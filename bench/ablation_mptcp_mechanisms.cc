@@ -1,0 +1,122 @@
+// Ablation study for the MPTCP v0.88 mechanisms this reproduction
+// implements (DESIGN.md modelling decisions): receive-window size,
+// opportunistic reinjection, penalization, join delay, and the
+// scheduler.  Shows which mechanism produces which paper effect:
+// disable reinjection/penalization and Figure 7b's MPTCP win collapses;
+// shrink the window and Figure 7a's disparate-link loss deepens.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/experiment.hpp"
+#include "measure/locations20.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace mn;
+
+double tput(const MpNetworkSetup& net, const MptcpSpec& spec, std::int64_t bytes) {
+  Simulator sim;
+  return run_mptcp_flow(sim, net, spec, bytes, Direction::kDownload).throughput_mbps;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mn;
+  bench::print_header("Ablation", "MPTCP mechanisms vs the paper's effects");
+  bench::print_paper(
+      "not a paper artifact — validates the modelling choices listed in "
+      "DESIGN.md by toggling each mechanism.");
+
+  const auto comparable = location_setup(table2_locations()[10], /*seed=*/2);  // 8/7
+  const auto disparate = location_setup(table2_locations()[0], /*seed=*/2);    // 18/4
+
+  MptcpSpec base;
+  base.primary = PathId::kWifi;
+  base.cc = CcAlgo::kDecoupled;
+
+  // 1. Window-blocking mitigations: most visible on a long flow over
+  // mildly disparate links (the regime where the window stalls often).
+  {
+    const auto long_net = location_setup(table2_locations()[1], /*seed=*/7);  // 12/5
+    Table t{{"Variant", "8 MB over 12/5 Mbit/s links"}};
+    auto row = [&](const char* name, MptcpSpec s) {
+      t.add_row({name, Table::num(tput(long_net, s, 8000 * kKB), 2) + " Mbit/s"});
+    };
+    row("full v0.88 (reinject + penalize)", base);
+    MptcpSpec no_pen = base;
+    no_pen.penalization = false;
+    row("no penalization", no_pen);
+    MptcpSpec no_reinj = base;
+    no_reinj.opportunistic_reinjection = false;
+    no_reinj.penalization = false;
+    row("no reinjection, no penalization", no_reinj);
+    std::cout << "\nWindow-blocking mitigations:\n";
+    t.print(std::cout);
+  }
+
+  // 2. Receive-window size (the Figure-7a head-of-line mechanism).
+  {
+    Table t{{"Window", "comparable Mbit/s", "disparate Mbit/s"}};
+    for (std::int64_t w : {std::int64_t{100'000}, std::int64_t{200'000},
+                           std::int64_t{400'000}, std::int64_t{1'000'000}}) {
+      MptcpSpec s = base;
+      s.receive_window_bytes = w;
+      t.add_row({std::to_string(w / 1000) + " KB",
+                 Table::num(tput(comparable, s, 1000 * kKB), 2),
+                 Table::num(tput(disparate, s, 1000 * kKB), 2)});
+    }
+    std::cout << "\nReceive-window sweep (1 MB downloads):\n";
+    t.print(std::cout);
+  }
+
+  // 3. Join delay (the Figures 8-10 short-flow mechanism).
+  {
+    Table t{{"Join delay", "10 KB Mbit/s", "100 KB Mbit/s", "1 MB Mbit/s"}};
+    for (int ms : {0, 100, 200, 400}) {
+      MptcpSpec s = base;
+      s.primary = PathId::kLte;  // slow primary: the join rescues the flow
+      s.join_delay = msec(ms);
+      t.add_row({std::to_string(ms) + " ms",
+                 Table::num(tput(disparate, s, 10 * kKB), 2),
+                 Table::num(tput(disparate, s, 100 * kKB), 2),
+                 Table::num(tput(disparate, s, 1000 * kKB), 2)});
+    }
+    std::cout << "\nJoin-delay sweep (slow primary at the disparate location):\n";
+    t.print(std::cout);
+  }
+
+  // 4. Congestion-control family (extension: OLIA, the paper's ref [10]).
+  {
+    Table t{{"CC", "comparable Mbit/s", "disparate Mbit/s"}};
+    for (CcAlgo cc : {CcAlgo::kDecoupled, CcAlgo::kCoupled, CcAlgo::kOlia}) {
+      MptcpSpec s = base;
+      s.cc = cc;
+      t.add_row({to_string(cc), Table::num(tput(comparable, s, 1000 * kKB), 2),
+                 Table::num(tput(disparate, s, 1000 * kKB), 2)});
+    }
+    std::cout << "\nCongestion-control family (1 MB downloads):\n";
+    t.print(std::cout);
+  }
+
+  // 5. Scheduler.
+  {
+    Table t{{"Scheduler", "comparable Mbit/s", "disparate Mbit/s"}};
+    for (MpScheduler sched : {MpScheduler::kLowestRtt, MpScheduler::kRoundRobin}) {
+      MptcpSpec s = base;
+      s.scheduler = sched;
+      t.add_row({to_string(sched), Table::num(tput(comparable, s, 1000 * kKB), 2),
+                 Table::num(tput(disparate, s, 1000 * kKB), 2)});
+    }
+    std::cout << "\nScheduler comparison (1 MB downloads):\n";
+    t.print(std::cout);
+  }
+
+  bench::print_measured(
+      "window size and join delay are the dominant levers (Fig 7a "
+      "blocking and the Fig 8-10 short-flow primary effect); the v0.88 "
+      "reinjection/penalization mitigations are near-neutral on clean "
+      "bulk flows and matter in tail-stall corner cases.");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Regenerates Figure 3: CDF of Tput(WiFi) - Tput(LTE) on the uplink and
+// downlink over the crowdsourced campaign, with the shaded LTE-wins
+// fractions the paper headlines (42% uplink, 35% downlink, 40% overall).
+#include <iostream>
+
+#include "common.hpp"
+#include "measure/campaign.hpp"
+#include "measure/world.hpp"
+
+int main() {
+  using namespace mn;
+  bench::print_header("Figure 3", "CDF of WiFi - LTE throughput difference");
+  bench::print_paper(
+      "LTE outperforms WiFi in 42% of uplink and 35% of downlink samples "
+      "(40% combined); differences exceed 10 Mbit/s in both directions.");
+
+  CampaignOptions opt;
+  opt.run_scale = bench::env_scale();
+  const auto runs = complete_runs(run_campaign(table1_world(), opt));
+  const auto a = analyze_campaign(runs);
+
+  PlotOptions plot;
+  plot.x_label = "Tput(WiFi) - Tput(LTE) (mbps)";
+  plot.y_label = "CDF";
+  plot.fix_x = true;
+  plot.x_min = -15;
+  plot.x_max = 25;
+  std::cout << "\n(a) Uplink\n"
+            << render_plot({bench::cdf_series(a.up_diff, "uplink")}, plot);
+  std::cout << "\n(b) Downlink\n"
+            << render_plot({bench::cdf_series(a.down_diff, "downlink")}, plot);
+
+  Table t{{"Metric", "Paper", "Measured"}};
+  t.add_row({"LTE wins, uplink", "42%", Table::pct(a.lte_win_uplink())});
+  t.add_row({"LTE wins, downlink", "35%", Table::pct(a.lte_win_downlink())});
+  t.add_row({"LTE wins, combined", "40%", Table::pct(a.lte_win_combined())});
+  t.add_row({"max |diff| > 10 mbps", "yes",
+             (a.down_diff.max() > 10.0 || -a.down_diff.min() > 10.0) ? "yes" : "no"});
+  t.print(std::cout);
+  return 0;
+}

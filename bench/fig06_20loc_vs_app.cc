@@ -1,0 +1,96 @@
+// Regenerates Figure 6: the throughput-difference CDF measured with
+// regular TCP at the 20 MPTCP locations, overlaid on the crowdsourced
+// ("App Data") CDF — the paper's evidence that the 20 locations are
+// representative of conditions in the wild.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/experiment.hpp"
+#include "measure/campaign.hpp"
+#include "measure/locations20.hpp"
+#include "measure/world.hpp"
+
+int main() {
+  using namespace mn;
+  bench::print_header("Figure 6",
+                      "20-location TCP CDF vs crowdsourced App-Data CDF");
+  bench::print_paper(
+      "For both upload and download the 20-Location curves are close to "
+      "the App Data curves: similar variability of network conditions.");
+
+  // App-data curves (Section 2 campaign).
+  CampaignOptions opt;
+  opt.run_scale = bench::env_scale();
+  const auto app_runs = complete_runs(run_campaign(table1_world(), opt));
+  const auto app = analyze_campaign(app_runs);
+
+  // 20-location curves: several seeded runs per location, both directions.
+  EmpiricalDistribution loc_up;
+  EmpiricalDistribution loc_down;
+  const int runs_per_location = 5;
+  for (const auto& loc : table2_locations()) {
+    for (int r = 0; r < runs_per_location; ++r) {
+      const auto setup = location_setup(loc, static_cast<std::uint64_t>(r + 1));
+      double wifi_up = 0.0;
+      double wifi_down = 0.0;
+      double lte_up = 0.0;
+      double lte_down = 0.0;
+      {
+        Simulator sim;
+        const auto res = run_transport_flow(sim, setup,
+                                            TransportConfig::single_path(PathId::kWifi),
+                                            1'000'000, Direction::kUpload);
+        wifi_up = res.throughput_mbps;
+      }
+      {
+        Simulator sim;
+        const auto res = run_transport_flow(sim, setup,
+                                            TransportConfig::single_path(PathId::kWifi),
+                                            1'000'000, Direction::kDownload);
+        wifi_down = res.throughput_mbps;
+      }
+      {
+        Simulator sim;
+        const auto res = run_transport_flow(sim, setup,
+                                            TransportConfig::single_path(PathId::kLte),
+                                            1'000'000, Direction::kUpload);
+        lte_up = res.throughput_mbps;
+      }
+      {
+        Simulator sim;
+        const auto res = run_transport_flow(sim, setup,
+                                            TransportConfig::single_path(PathId::kLte),
+                                            1'000'000, Direction::kDownload);
+        lte_down = res.throughput_mbps;
+      }
+      loc_up.add(wifi_up - lte_up);
+      loc_down.add(wifi_down - lte_down);
+    }
+  }
+
+  PlotOptions plot;
+  plot.x_label = "Tput(WiFi) - Tput(LTE) (mbps)";
+  plot.y_label = "CDF";
+  plot.fix_x = true;
+  plot.x_min = -15;
+  plot.x_max = 25;
+  std::cout << "\n(a) Uplink\n"
+            << render_plot({bench::cdf_series(app.up_diff, "App Data"),
+                            bench::cdf_series(loc_up, "20-Location")},
+                           plot);
+  std::cout << "\n(b) Downlink\n"
+            << render_plot({bench::cdf_series(app.down_diff, "App Data"),
+                            bench::cdf_series(loc_down, "20-Location")},
+                           plot);
+
+  Table t{{"Quantile", "AppData up", "20-Loc up", "AppData down", "20-Loc down"}};
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    t.add_row({Table::num(q, 2), Table::num(app.up_diff.quantile(q), 1),
+               Table::num(loc_up.quantile(q), 1),
+               Table::num(app.down_diff.quantile(q), 1),
+               Table::num(loc_down.quantile(q), 1)});
+  }
+  t.print(std::cout);
+  bench::print_measured("20-location quantiles track the crowdsourced quantiles");
+  return 0;
+}

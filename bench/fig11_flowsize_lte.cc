@@ -1,0 +1,62 @@
+// Regenerates Figure 11: absolute MPTCP throughput and the
+// MPTCP_LTE / MPTCP_WiFi throughput ratio as a function of flow size, at
+// a location where LTE is faster.  The paper's point: the absolute gap
+// grows with flow size but the *relative* gap shrinks.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/units.hpp"
+#include "core/experiment.hpp"
+#include "measure/locations20.hpp"
+
+int main() {
+  using namespace mn;
+  bench::print_header("Figure 11", "Throughput and ratio vs flow size (LTE faster)");
+  bench::print_paper(
+      "absolute difference grows with flow size (e.g. 0.5 mbps at 100 KB "
+      "-> ~3 mbps at 1 MB) while the ratio shrinks (2.2x -> 1.5x).");
+
+  const auto setup = location_setup(table2_locations()[16], /*seed=*/5);  // LTE 15/WiFi 4
+  std::vector<std::int64_t> sizes;
+  for (std::int64_t kb = 50; kb <= 1000; kb += 50) sizes.push_back(kb * kKB);
+
+  const auto lte_points = sweep_flow_sizes(
+      setup, TransportConfig::mptcp(PathId::kLte, CcAlgo::kDecoupled), sizes);
+  const auto wifi_points = sweep_flow_sizes(
+      setup, TransportConfig::mptcp(PathId::kWifi, CcAlgo::kDecoupled), sizes);
+
+  Series lte_s{"MPTCP(LTE)", {}};
+  Series wifi_s{"MPTCP(WiFi)", {}};
+  Series ratio_s{"ratio", {}};
+  Table t{{"Flow size (KB)", "MPTCP(LTE) mbps", "MPTCP(WiFi) mbps", "abs diff", "ratio"}};
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const double kb = static_cast<double>(sizes[i]) / kKB;
+    const double l = lte_points[i].throughput_mbps;
+    const double w = wifi_points[i].throughput_mbps;
+    lte_s.points.emplace_back(kb, l);
+    wifi_s.points.emplace_back(kb, w);
+    const double ratio = w > 0 ? l / w : 0.0;
+    ratio_s.points.emplace_back(kb, ratio);
+    if (i % 4 == 0 || i + 1 == sizes.size()) {
+      t.add_row({Table::num(kb, 0), Table::num(l, 2), Table::num(w, 2),
+                 Table::num(l - w, 2), Table::num(ratio, 2)});
+    }
+  }
+
+  PlotOptions plot;
+  plot.x_label = "Flow size (KB)";
+  plot.y_label = "Tput (mbps)";
+  std::cout << "\n(a) Absolute throughput\n" << render_plot({lte_s, wifi_s}, plot);
+  plot.y_label = "Ratio";
+  std::cout << "\n(b) Throughput ratio MPTCP(LTE)/MPTCP(WiFi)\n"
+            << render_plot({ratio_s}, plot);
+  t.print(std::cout);
+
+  const double small_ratio = ratio_s.points[1].second;   // 100 KB
+  const double big_ratio = ratio_s.points.back().second; // 1 MB
+  bench::print_measured("ratio at 100 KB " + Table::num(small_ratio, 2) +
+                        "x vs at 1 MB " + Table::num(big_ratio, 2) +
+                        "x -> relative gap largest for small flows: " +
+                        (small_ratio > big_ratio ? "yes (as in paper)" : "no"));
+  return 0;
+}

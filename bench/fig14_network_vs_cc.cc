@@ -1,0 +1,83 @@
+// Regenerates Figure 14: per flow size, the paired CDFs of
+//   r_network — relative diff when changing the primary network (same CC)
+//   r_cwnd    — relative diff when changing the CC (same primary)
+// Paper medians: Network 60/43/25 %, CC 16/16/34 % for 10 KB/100 KB/1 MB:
+// network choice dominates short flows, CC choice dominates long ones.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/units.hpp"
+#include "core/experiment.hpp"
+#include "measure/locations20.hpp"
+
+namespace {
+
+using namespace mn;
+
+// One *measurement run*: each configuration is measured on its own
+// network sample (the paper's runs were minutes apart).
+double measure(const Location20& loc, std::uint64_t seed, PathId primary, CcAlgo cc,
+               std::int64_t bytes) {
+  Simulator sim;
+  const auto setup = location_setup(loc, seed);
+  return run_transport_flow(sim, setup, TransportConfig::mptcp(primary, cc), bytes,
+                            Direction::kDownload)
+      .throughput_mbps;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mn;
+  bench::print_header("Figure 14", "Primary-network choice vs CC choice, by flow size");
+  bench::print_paper(
+      "medians — Network: 60% (10 KB), 43% (100 KB), 25% (1 MB); "
+      "CC: 16%, 16%, 34%.  'Network' right of 'CC' for small flows, "
+      "'CC' right of 'Network' at 1 MB.");
+
+  const int runs = std::max(1, static_cast<int>(5 * bench::env_scale()));
+  const std::vector<std::pair<std::string, std::int64_t>> sizes{
+      {"10 KB", 10 * kKB}, {"100 KB", 100 * kKB}, {"1 MB", 1000 * kKB}};
+  const char* paper_network[] = {"60%", "43%", "25%"};
+  const char* paper_cc[] = {"16%", "16%", "34%"};
+
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    EmpiricalDistribution r_network;
+    EmpiricalDistribution r_cwnd;
+    for (const auto& loc : table2_locations()) {
+      if (!loc.cc_study_member) continue;
+      for (int r = 0; r < runs; ++r) {
+        const auto base = static_cast<std::uint64_t>(r * 13);
+        const double lw_c = measure(loc, base + 1000, PathId::kLte, CcAlgo::kCoupled,
+                                    sizes[si].second);
+        const double wf_c = measure(loc, base + 2000, PathId::kWifi, CcAlgo::kCoupled,
+                                    sizes[si].second);
+        const double lw_d = measure(loc, base + 3000, PathId::kLte, CcAlgo::kDecoupled,
+                                    sizes[si].second);
+        const double wf_d = measure(loc, base + 4000, PathId::kWifi, CcAlgo::kDecoupled,
+                                    sizes[si].second);
+        if (wf_c > 0) r_network.add(bench::relative_diff_pct(lw_c, wf_c));
+        if (wf_d > 0) r_network.add(bench::relative_diff_pct(lw_d, wf_d));
+        if (lw_c > 0) r_cwnd.add(bench::relative_diff_pct(lw_d, lw_c));
+        if (wf_c > 0) r_cwnd.add(bench::relative_diff_pct(wf_d, wf_c));
+      }
+    }
+    PlotOptions plot;
+    plot.x_label = "Relative Difference (%)";
+    plot.y_label = "CDF";
+    plot.fix_x = true;
+    plot.x_min = 0;
+    plot.x_max = 200;
+    std::cout << "\n(" << static_cast<char>('a' + si) << ") " << sizes[si].first << "\n"
+              << render_plot({bench::cdf_series(r_cwnd, "CC"),
+                              bench::cdf_series(r_network, "Network")},
+                             plot);
+    Table t{{"Knob", "Median (paper)", "Median (measured)"}};
+    t.add_row({"Network", paper_network[si], Table::pct(r_network.median() / 100.0)});
+    t.add_row({"CC", paper_cc[si], Table::pct(r_cwnd.median() / 100.0)});
+    t.print(std::cout);
+    std::cout << "  dominant knob at " << sizes[si].first << ": "
+              << (r_network.median() > r_cwnd.median() ? "Network" : "CC") << "\n";
+  }
+  return 0;
+}

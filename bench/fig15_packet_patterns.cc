@@ -1,0 +1,102 @@
+// Regenerates Figure 15: per-interface packet-transmission timelines for
+// Full-MPTCP and Backup mode, including mid-flow path failures —
+//  (a,b) Full-MPTCP, both primaries: data on both interfaces throughout;
+//  (c,d) Backup mode: SYN at start and FIN at end only on the backup;
+//  (e,f) soft "multipath off" of the active path: immediate failover;
+//  (g)   silent unplug of a tethered-LTE primary: the transfer stalls
+//        until replug (the paper's puzzle);
+//  (h)   unplug of a WiFi primary (carrier loss visible): LTE takes over
+//        immediately.
+#include <functional>
+#include <iostream>
+
+#include "common.hpp"
+#include "measure/locations20.hpp"
+#include "mptcp/testbed.hpp"
+
+namespace {
+
+using namespace mn;
+
+std::vector<double> event_times(const std::vector<PacketEvent>& events) {
+  std::vector<double> ts;
+  ts.reserve(events.size());
+  for (const auto& e : events) ts.push_back(e.t.seconds());
+  return ts;
+}
+
+void scenario(const char* label, const char* description, MptcpSpec spec,
+              std::int64_t bytes, double t_max,
+              const std::function<void(Simulator&, MptcpTestbed&)>& inject) {
+  std::cout << "\n(" << label << ") " << description << "\n";
+  Simulator sim;
+  LinkSpec wifi;
+  wifi.rate_mbps = 4.0;
+  wifi.one_way_delay = msec(12);
+  wifi.queue_packets = 64;
+  LinkSpec lte = wifi;
+  lte.rate_mbps = 4.0;
+  lte.one_way_delay = msec(30);
+  MptcpTestbed bed{sim, symmetric_setup(wifi, lte), spec};
+  bed.start_transfer(bytes, Direction::kDownload);
+  if (inject) inject(sim, bed);
+  bed.run_until_finished(secs_f(t_max + 60.0));
+  std::cout << render_timeline({{"LTE", event_times(bed.events(PathId::kLte))},
+                                {"WiFi", event_times(bed.events(PathId::kWifi))}},
+                               t_max);
+  std::int64_t lte_payload = 0;
+  std::int64_t wifi_payload = 0;
+  for (const auto& e : bed.events(PathId::kLte)) lte_payload += e.payload;
+  for (const auto& e : bed.events(PathId::kWifi)) wifi_payload += e.payload;
+  std::cout << "  data bytes seen: LTE " << lte_payload << ", WiFi " << wifi_payload
+            << "; delivered in order: " << bed.client().data_delivered_in_order() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace mn;
+  bench::print_header("Figure 15", "Full-MPTCP and Backup Mode packet timelines");
+  bench::print_paper(
+      "backup interfaces carry only SYN/FIN; soft disables fail over "
+      "immediately; silently unplugging a tethered-LTE primary stalls the "
+      "flow until replug, while unplugging WiFi fails over at once.");
+
+  const std::int64_t kLong = 8'000'000;  // ~16 s at 4 Mbit/s
+
+  scenario("a", "Full-MPTCP, LTE primary",
+           MptcpSpec{PathId::kLte, CcAlgo::kDecoupled, MpMode::kFull}, kLong, 20.0, {});
+  scenario("b", "Full-MPTCP, WiFi primary",
+           MptcpSpec{PathId::kWifi, CcAlgo::kDecoupled, MpMode::kFull}, kLong, 20.0, {});
+  scenario("c", "Backup mode, LTE primary, WiFi backup",
+           MptcpSpec{PathId::kLte, CcAlgo::kDecoupled, MpMode::kBackup}, kLong, 20.0, {});
+  scenario("d", "Backup mode, WiFi primary, LTE backup",
+           MptcpSpec{PathId::kWifi, CcAlgo::kDecoupled, MpMode::kBackup}, kLong, 50.0, {});
+  scenario("e", "Backup: LTE primary set to 'multipath off' at t=9 s",
+           MptcpSpec{PathId::kLte, CcAlgo::kDecoupled, MpMode::kBackup}, kLong, 45.0,
+           [](Simulator& sim, MptcpTestbed& bed) {
+             sim.schedule_at(TimePoint{sec(9).usec()},
+                             [&bed] { bed.iface(PathId::kLte).disable_soft(); });
+           });
+  scenario("f", "Backup: WiFi primary set to 'multipath off' at t=11 s",
+           MptcpSpec{PathId::kWifi, CcAlgo::kDecoupled, MpMode::kBackup}, kLong, 35.0,
+           [](Simulator& sim, MptcpTestbed& bed) {
+             sim.schedule_at(TimePoint{sec(11).usec()},
+                             [&bed] { bed.iface(PathId::kWifi).disable_soft(); });
+           });
+  scenario("g", "Backup: tethered LTE primary unplugged at t=3 s, replugged at t=68 s",
+           MptcpSpec{PathId::kLte, CcAlgo::kDecoupled, MpMode::kBackup}, kLong, 90.0,
+           [](Simulator& sim, MptcpTestbed& bed) {
+             sim.schedule_at(TimePoint{sec(3).usec()},
+                             [&bed] { bed.iface(PathId::kLte).unplug(); });
+             sim.schedule_at(TimePoint{sec(68).usec()},
+                             [&bed] { bed.iface(PathId::kLte).plug_in(); });
+           });
+  scenario("h", "Backup: WiFi primary unplugged at t=6 s (carrier loss visible)",
+           MptcpSpec{PathId::kWifi, CcAlgo::kDecoupled, MpMode::kBackup}, kLong, 25.0,
+           [](Simulator& sim, MptcpTestbed& bed) {
+             sim.schedule_at(TimePoint{sec(6).usec()},
+                             [&bed] { bed.iface(PathId::kWifi).unplug(); });
+           });
+  return 0;
+}

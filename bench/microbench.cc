@@ -1,0 +1,104 @@
+// google-benchmark microbenchmarks for the simulation substrate: event
+// queue churn, trace-link drain, interval-set merging, full TCP and
+// MPTCP transfers.  These guard the simulator's own performance (the
+// campaign benches run thousands of flows).
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+#include "net/trace_gen.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/flow.hpp"
+#include "util/interval_set.hpp"
+#include "util/rng.hpp"
+
+namespace mn {
+namespace {
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(TimePoint{(i * 7919) % 10000}, [&fired] { ++fired; });
+    }
+    sim.run_until_idle();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_TraceLinkDrain(benchmark::State& state) {
+  auto trace = std::make_shared<DeliveryTrace>(constant_rate_trace(20.0, sec(1)));
+  for (auto _ : state) {
+    Simulator sim;
+    TraceLink link{sim, trace, 1000};
+    std::int64_t delivered = 0;
+    link.set_next([&delivered](Packet p) { delivered += p.payload; });
+    for (int i = 0; i < 500; ++i) {
+      Packet p;
+      p.payload = 1448;
+      link.accept(std::move(p));
+    }
+    sim.run_until_idle();
+    benchmark::DoNotOptimize(delivered);
+  }
+}
+BENCHMARK(BM_TraceLinkDrain);
+
+void BM_IntervalSetMerge(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng{42};
+    IntervalSet set;
+    for (int i = 0; i < 2000; ++i) {
+      const auto a = rng.uniform_int(0, 1'000'000);
+      set.add(a, a + rng.uniform_int(1, 3000));
+    }
+    benchmark::DoNotOptimize(set.total());
+  }
+}
+BENCHMARK(BM_IntervalSetMerge);
+
+void BM_TcpBulkFlow1MB(benchmark::State& state) {
+  LinkSpec spec;
+  spec.rate_mbps = 10.0;
+  spec.one_way_delay = msec(10);
+  spec.queue_packets = 64;
+  for (auto _ : state) {
+    Simulator sim;
+    DuplexPath path{sim, spec, spec};
+    const auto r = run_bulk_flow(sim, path, 1'000'000, Direction::kDownload);
+    benchmark::DoNotOptimize(r.throughput_mbps);
+  }
+}
+BENCHMARK(BM_TcpBulkFlow1MB);
+
+void BM_MptcpBulkFlow1MB(benchmark::State& state) {
+  LinkSpec wifi;
+  wifi.rate_mbps = 10.0;
+  wifi.one_way_delay = msec(10);
+  wifi.queue_packets = 64;
+  LinkSpec lte = wifi;
+  lte.one_way_delay = msec(30);
+  const auto setup = symmetric_setup(wifi, lte);
+  for (auto _ : state) {
+    Simulator sim;
+    const auto r = run_mptcp_flow(sim, setup, MptcpSpec{}, 1'000'000,
+                                  Direction::kDownload);
+    benchmark::DoNotOptimize(r.throughput_mbps);
+  }
+}
+BENCHMARK(BM_MptcpBulkFlow1MB);
+
+void BM_PoissonTraceGen(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng{7};
+    const auto t = poisson_trace(10.0, sec(2), rng);
+    benchmark::DoNotOptimize(t.opportunities_per_period());
+  }
+}
+BENCHMARK(BM_PoissonTraceGen);
+
+}  // namespace
+}  // namespace mn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Regenerates Table 1: geographical coverage of the crowdsourced Cell vs
+// WiFi data, grouped with the radius-constrained k-means of Section 2.2,
+// with the per-cluster fraction of runs where LTE throughput beat WiFi.
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "common.hpp"
+#include "measure/campaign.hpp"
+#include "measure/clustering.hpp"
+#include "measure/world.hpp"
+
+int main() {
+  using namespace mn;
+  bench::print_header("Table 1", "Geographical coverage and LTE-win percentage");
+  bench::print_paper(
+      "22 location clusters from 16 countries; 884 runs in Boston at 10% "
+      "LTE-win up to small clusters at 0-80%; clusters within r=100 km.");
+
+  const double scale = bench::env_scale();
+  CampaignOptions opt;
+  opt.run_scale = scale;
+  const auto all = run_campaign(table1_world(), opt);
+  const auto runs = complete_runs(all);
+  std::cout << "campaign: " << all.size() << " runs collected, " << runs.size()
+            << " complete (scale " << scale << ")\n\n";
+
+  const auto clustering = cluster_runs(runs, /*radius_km=*/100.0);
+
+  // Ground-truth targets for the label column.
+  std::map<std::string, double> targets;
+  for (const auto& c : table1_world()) targets[c.name] = c.lte_win_target;
+
+  Table t{{"Location Name", "(Lat, Long)", "# of Runs", "LTE % (measured)",
+           "LTE % (paper)"}};
+  for (const auto& c : clustering.clusters) {
+    std::ostringstream pos;
+    pos << std::fixed << std::setprecision(1) << "(" << c.centre.lat_deg << ", "
+        << c.centre.lon_deg << ")";
+    t.add_row({c.label, pos.str(), std::to_string(c.runs),
+               Table::pct(c.lte_win_fraction), Table::pct(targets[c.label])});
+  }
+  t.print(std::cout);
+
+  bench::print_measured("clusters found: " + std::to_string(clustering.clusters.size()) +
+                        " (paper groups into 22)");
+  return 0;
+}

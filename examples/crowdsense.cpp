@@ -1,0 +1,51 @@
+// A miniature Cell vs WiFi deployment: run the crowdsourced measurement
+// campaign over a small synthetic world, persist the dataset to CSV (the
+// app's "upload to MIT"), reload it, cluster it geographically, and
+// print a Table-1-style summary.
+#include <filesystem>
+#include <iostream>
+
+#include "measure/campaign.hpp"
+#include "measure/clustering.hpp"
+#include "measure/world.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mn;
+
+  // A three-city world with different LTE-vs-WiFi balances.
+  std::vector<ClusterSpec> world;
+  world.push_back(make_cluster("Cambridge", {42.37, -71.11}, 40, 0.15, 15.0));
+  world.push_back(make_cluster("Tel Aviv", {32.07, 34.79}, 30, 0.60, 8.0));
+  world.push_back(make_cluster("Tallinn", {59.44, 24.75}, 20, 0.75, 6.0));
+
+  CampaignOptions opt;
+  opt.incomplete_probability = 0.1;
+  const auto all = run_campaign(world, opt);
+  const auto runs = complete_runs(all);
+  std::cout << "campaign: " << all.size() << " runs, " << runs.size() << " complete\n";
+
+  // Persist + reload (the server-side dataset).
+  const auto path = (std::filesystem::temp_directory_path() / "crowdsense.csv").string();
+  to_csv(runs).save(path);
+  const auto reloaded = from_csv(load_csv(path));
+  std::cout << "dataset saved to " << path << " and reloaded: " << reloaded.size()
+            << " rows\n\n";
+
+  // Cluster and summarize.
+  const auto clusters = cluster_runs(reloaded, 100.0);
+  Table t{{"Cluster", "# Runs", "LTE wins", "Center"}};
+  for (const auto& c : clusters.clusters) {
+    t.add_row({c.label, std::to_string(c.runs), Table::pct(c.lte_win_fraction),
+               "(" + Table::num(c.centre.lat_deg, 1) + ", " +
+                   Table::num(c.centre.lon_deg, 1) + ")"});
+  }
+  t.print(std::cout);
+
+  const auto analysis = analyze_campaign(reloaded);
+  std::cout << "\noverall: LTE beats WiFi in " << Table::pct(analysis.lte_win_combined())
+            << " of transfers and has lower RTT in " << Table::pct(analysis.lte_rtt_win())
+            << " of runs\n";
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,186 @@
+#include "app/pattern.hpp"
+
+#include <algorithm>
+
+#include "util/units.hpp"
+
+namespace mn {
+namespace {
+
+/// A short-flow connection: a handful of small exchanges (API calls,
+/// thumbnails, beacons).
+AppFlow small_flow(Rng& rng, Duration start, int exchange_count, std::int64_t min_resp,
+                   std::int64_t max_resp, const std::string& uri_prefix, int flow_idx) {
+  AppFlow f;
+  f.start_offset = start;
+  for (int i = 0; i < exchange_count; ++i) {
+    HttpExchange e;
+    e.request.method = "GET";
+    e.request.uri = uri_prefix + "/" + std::to_string(flow_idx) + "/" + std::to_string(i);
+    e.request.headers = {{"Host", "app.example.com"},
+                         {"User-Agent", "android"},
+                         {"If-Modified-Since", "Mon, 01 Sep 2014 00:00:00 GMT"}};
+    e.request.body_bytes = 0;
+    e.response.status = 200;
+    e.response.headers = {{"Content-Type", "application/octet-stream"}};
+    e.response.body_bytes = rng.uniform_int(min_resp, max_resp);
+    e.server_think = msec(rng.uniform_int(5, 60));
+    f.exchanges.push_back(std::move(e));
+  }
+  return f;
+}
+
+/// A long flow: one big object fetched in a single request (trailer, PDF).
+AppFlow big_flow(Duration start, std::int64_t bytes, const std::string& uri) {
+  AppFlow f;
+  f.start_offset = start;
+  HttpExchange e;
+  e.request.method = "GET";
+  e.request.uri = uri;
+  e.request.headers = {{"Host", "cdn.example.com"}, {"User-Agent", "android"}};
+  e.response.status = 200;
+  e.response.headers = {{"Content-Type", "application/octet-stream"}};
+  e.response.body_bytes = bytes;
+  e.server_think = msec(30);
+  f.exchanges.push_back(std::move(e));
+  return f;
+}
+
+AppPattern short_flow_app(const std::string& name, Rng& rng, int flows,
+                          Duration spread, std::int64_t min_resp, std::int64_t max_resp) {
+  AppPattern p;
+  p.name = name;
+  for (int i = 0; i < flows; ++i) {
+    // Connections cluster right after the user action, with stragglers.
+    const double frac = rng.uniform() * rng.uniform();  // biased early
+    const Duration start{static_cast<std::int64_t>(frac * spread.usec())};
+    const int exchanges = static_cast<int>(rng.uniform_int(2, 5));
+    p.flows.push_back(small_flow(rng, start, exchanges, min_resp, max_resp,
+                                 "/" + name, i));
+  }
+  std::sort(p.flows.begin(), p.flows.end(),
+            [](const AppFlow& a, const AppFlow& b) { return a.start_offset < b.start_offset; });
+  return p;
+}
+
+}  // namespace
+
+std::int64_t AppFlow::total_bytes() const {
+  std::int64_t n = 0;
+  for (const auto& e : exchanges) n += e.request.wire_bytes() + e.response.wire_bytes();
+  return n;
+}
+
+std::int64_t AppPattern::total_bytes() const {
+  std::int64_t n = 0;
+  for (const auto& f : flows) n += f.total_bytes();
+  return n;
+}
+
+std::int64_t AppPattern::largest_flow_bytes() const {
+  std::int64_t best = 0;
+  for (const auto& f : flows) best = std::max(best, f.total_bytes());
+  return best;
+}
+
+std::string to_string(AppClass c) {
+  return c == AppClass::kShortFlowDominated ? "short-flow dominated"
+                                            : "long-flow dominated";
+}
+
+AppClass classify(const AppPattern& pattern, std::int64_t long_flow_bytes,
+                  double dominant_share) {
+  const std::int64_t largest = pattern.largest_flow_bytes();
+  const std::int64_t total = pattern.total_bytes();
+  if (largest >= long_flow_bytes) return AppClass::kLongFlowDominated;
+  if (total > 0 &&
+      static_cast<double>(largest) / static_cast<double>(total) >= dominant_share) {
+    return AppClass::kLongFlowDominated;
+  }
+  return AppClass::kShortFlowDominated;
+}
+
+AppPattern cnn_launch(Rng& rng) {
+  // Fig 17a: ~20 connections, small transfers, a couple persisting.
+  return short_flow_app("cnn-launch", rng, 20, msec(1500), 2'000, 25'000);
+}
+
+AppPattern cnn_click(Rng& rng) {
+  // Fig 17b: ~25 connections after an article click.
+  return short_flow_app("cnn-click", rng, 25, msec(1500), 2'000, 30'000);
+}
+
+AppPattern imdb_launch(Rng& rng) {
+  // Fig 17c: ~14 connections, small transfers.
+  return short_flow_app("imdb-launch", rng, 14, msec(1500), 1'000, 25'000);
+}
+
+AppPattern imdb_click(Rng& rng) {
+  // Fig 17d: ~35 connections; connection ID 30 downloads a whole movie
+  // trailer in one HTTP request.
+  AppPattern p = short_flow_app("imdb-click", rng, 34, msec(2000), 1'000, 20'000);
+  p.name = "imdb-click";
+  p.flows.push_back(big_flow(msec(1200), 4'000'000, "/imdb/trailer.mp4"));
+  return p;
+}
+
+AppPattern dropbox_launch(Rng& rng) {
+  // Fig 17e: ~6 connections, metadata only.
+  return short_flow_app("dropbox-launch", rng, 6, msec(1200), 1'000, 20'000);
+}
+
+AppPattern dropbox_click(Rng& rng) {
+  // Fig 17f: ~12 connections; connection ID 8 downloads the clicked PDF.
+  AppPattern p = short_flow_app("dropbox-click", rng, 11, msec(1000), 1'000, 15'000);
+  p.name = "dropbox-click";
+  p.flows.push_back(big_flow(msec(800), 8'000'000, "/dropbox/file.pdf"));
+  return p;
+}
+
+std::vector<AppPattern> figure17_patterns(std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<AppPattern> out;
+  Rng r1 = rng.fork("cnn-launch");
+  out.push_back(cnn_launch(r1));
+  Rng r2 = rng.fork("cnn-click");
+  out.push_back(cnn_click(r2));
+  Rng r3 = rng.fork("imdb-launch");
+  out.push_back(imdb_launch(r3));
+  Rng r4 = rng.fork("imdb-click");
+  out.push_back(imdb_click(r4));
+  Rng r5 = rng.fork("dropbox-launch");
+  out.push_back(dropbox_launch(r5));
+  Rng r6 = rng.fork("dropbox-click");
+  out.push_back(dropbox_click(r6));
+  return out;
+}
+
+RecordStore pattern_to_store(const AppPattern& pattern) {
+  RecordStore store;
+  for (const auto& flow : pattern.flows) {
+    for (const auto& e : flow.exchanges) {
+      store.add(RecordedExchange{e.request, e.response});
+    }
+  }
+  return store;
+}
+
+AppPattern pattern_via_store(const AppPattern& pattern, const RecordStore& store) {
+  AppPattern out;
+  out.name = pattern.name + "@replay";
+  for (const auto& flow : pattern.flows) {
+    AppFlow f;
+    f.start_offset = flow.start_offset;
+    for (const auto& e : flow.exchanges) {
+      HttpExchange replayed = e;
+      if (const auto hit = store.match(e.request)) {
+        replayed.response = hit->response;
+      }
+      f.exchanges.push_back(std::move(replayed));
+    }
+    out.flows.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace mn

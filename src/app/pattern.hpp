@@ -1,0 +1,69 @@
+// Mobile-app traffic patterns (paper Section 4.2, Figure 17).
+//
+// An AppPattern is what RecordShell captures from a real app: a set of
+// connections (flows), each opening at some offset after the user action
+// and carrying a sequence of HTTP exchanges.  Built-in generators mimic
+// the six recorded scenarios — CNN / IMDB / Dropbox, launch and click —
+// whose shapes motivate the short-flow vs long-flow dichotomy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "emu/mpshell.hpp"
+#include "emu/record.hpp"
+#include "util/rng.hpp"
+
+namespace mn {
+
+struct AppFlow {
+  Duration start_offset{0};
+  std::vector<HttpExchange> exchanges;
+
+  [[nodiscard]] std::int64_t total_bytes() const;
+};
+
+struct AppPattern {
+  std::string name;
+  std::vector<AppFlow> flows;
+
+  [[nodiscard]] std::int64_t total_bytes() const;
+  [[nodiscard]] std::int64_t largest_flow_bytes() const;
+  [[nodiscard]] std::size_t flow_count() const { return flows.size(); }
+};
+
+enum class AppClass { kShortFlowDominated, kLongFlowDominated };
+
+[[nodiscard]] std::string to_string(AppClass c);
+
+/// Section 4.2's categorization: an app is long-flow dominated when one
+/// connection moves a large amount of data (an absolute threshold, or
+/// dominating the session's bytes).
+[[nodiscard]] AppClass classify(const AppPattern& pattern,
+                                std::int64_t long_flow_bytes = 500'000,
+                                double dominant_share = 0.5);
+
+// ---- Figure-17 scenario generators -----------------------------------
+// Deterministic given the Rng: same seed, same pattern.
+
+[[nodiscard]] AppPattern cnn_launch(Rng& rng);      // Fig 17a: short-flow dominated
+[[nodiscard]] AppPattern cnn_click(Rng& rng);       // Fig 17b
+[[nodiscard]] AppPattern imdb_launch(Rng& rng);     // Fig 17c
+[[nodiscard]] AppPattern imdb_click(Rng& rng);      // Fig 17d: trailer download
+[[nodiscard]] AppPattern dropbox_launch(Rng& rng);  // Fig 17e
+[[nodiscard]] AppPattern dropbox_click(Rng& rng);   // Fig 17f: PDF download
+
+/// All six, in Figure-17 order.
+[[nodiscard]] std::vector<AppPattern> figure17_patterns(std::uint64_t seed);
+
+/// Convert a pattern to the recorded request/response store it would
+/// produce under RecordShell (one entry per exchange).
+[[nodiscard]] RecordStore pattern_to_store(const AppPattern& pattern);
+
+/// Rebuild replayable flows by matching a pattern's requests against a
+/// store (the ReplayShell path: recorded once, replayed under emulated
+/// conditions).  Missing matches fall back to the pattern's own data.
+[[nodiscard]] AppPattern pattern_via_store(const AppPattern& pattern,
+                                           const RecordStore& store);
+
+}  // namespace mn

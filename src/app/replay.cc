@@ -1,0 +1,62 @@
+#include "app/replay.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace mn {
+
+AppReplayResult replay_app(const AppPattern& pattern, const MpNetworkSetup& net,
+                           const TransportConfig& config, Duration timeout) {
+  AppReplayResult result;
+  if (pattern.flows.empty()) {
+    result.all_complete = true;
+    return result;
+  }
+
+  Simulator sim;
+  MpShell shell{sim, net};
+  std::vector<std::unique_ptr<HttpConnectionSim>> conns;
+  conns.reserve(pattern.flows.size());
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < pattern.flows.size(); ++i) {
+    const AppFlow& flow = pattern.flows[i];
+    auto conn = std::make_unique<HttpConnectionSim>(
+        shell, config, /*connection_id=*/i + 1, flow.exchanges);
+    conn->on_complete = [&completed] { ++completed; };
+    conn->start(TimePoint{flow.start_offset.usec()});
+    conns.push_back(std::move(conn));
+  }
+
+  const TimePoint deadline{timeout.usec()};
+  while (completed < conns.size() && sim.now() < deadline) {
+    if (!sim.step()) break;
+  }
+
+  TimePoint first_start = TimePoint::max();
+  TimePoint last_end{0};
+  result.flows.reserve(conns.size());
+  for (const auto& conn : conns) {
+    FlowReplayOutcome out;
+    out.complete = conn->complete();
+    out.start = conn->started_at() - TimePoint{0};
+    out.end = (conn->complete() ? conn->completed_at() : deadline) - TimePoint{0};
+    first_start = std::min(first_start, conn->started_at());
+    last_end = std::max(last_end, conn->complete() ? conn->completed_at() : deadline);
+    result.flows.push_back(out);
+  }
+  result.all_complete = completed == conns.size();
+  result.response_time_s = (last_end - first_start).seconds();
+  return result;
+}
+
+ConfigTimes replay_all_configs(const AppPattern& pattern, const MpNetworkSetup& net,
+                               Duration timeout) {
+  ConfigTimes times;
+  for (const TransportConfig& config : replay_configs()) {
+    const AppReplayResult r = replay_app(pattern, net, config, timeout);
+    times[config.name()] = r.response_time_s;
+  }
+  return times;
+}
+
+}  // namespace mn

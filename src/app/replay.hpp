@@ -1,0 +1,43 @@
+// App replay over emulated multi-homed networks (paper Section 5).
+//
+// Runs an AppPattern through MpShell under one TransportConfig and
+// reports the paper's metric: app response time = time between the start
+// of the first HTTP connection and the end of the last one.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "app/pattern.hpp"
+#include "core/policy.hpp"
+#include "mptcp/testbed.hpp"
+
+namespace mn {
+
+struct FlowReplayOutcome {
+  bool complete = false;
+  Duration start{0};
+  Duration end{0};
+};
+
+struct AppReplayResult {
+  bool all_complete = false;
+  /// Start of first connection -> end of last connection, in seconds.
+  double response_time_s = 0.0;
+  std::vector<FlowReplayOutcome> flows;
+};
+
+/// Replay `pattern` over `net` using `config` for every connection.
+[[nodiscard]] AppReplayResult replay_app(const AppPattern& pattern,
+                                         const MpNetworkSetup& net,
+                                         const TransportConfig& config,
+                                         Duration timeout = sec(180));
+
+/// Replay a pattern under all six Section-5 configurations; keys are
+/// TransportConfig::name() (the ConfigTimes format the oracles consume).
+[[nodiscard]] ConfigTimes replay_all_configs(const AppPattern& pattern,
+                                             const MpNetworkSetup& net,
+                                             Duration timeout = sec(180));
+
+}  // namespace mn

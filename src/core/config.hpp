@@ -1,0 +1,64 @@
+// Transport configurations — the answer space of "WiFi, LTE, or Both?".
+//
+// The paper evaluates six configurations per network condition
+// (Section 5): single-path TCP on WiFi or LTE, and MPTCP with
+// {coupled, decoupled} x {WiFi-primary, LTE-primary}.  TransportConfig
+// names one of them; all experiment drivers and the replay engine take
+// one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mptcp/mptcp.hpp"
+
+namespace mn {
+
+enum class TransportKind {
+  kSinglePath,
+  kMptcp,
+};
+
+struct TransportConfig {
+  TransportKind kind = TransportKind::kSinglePath;
+  /// Single-path: which network.  MPTCP: ignored (see mp.primary).
+  PathId path = PathId::kWifi;
+  MptcpSpec mp;
+
+  [[nodiscard]] static TransportConfig single_path(PathId p) {
+    TransportConfig c;
+    c.kind = TransportKind::kSinglePath;
+    c.path = p;
+    return c;
+  }
+  [[nodiscard]] static TransportConfig mptcp(PathId primary, CcAlgo cc,
+                                             MpMode mode = MpMode::kFull) {
+    TransportConfig c;
+    c.kind = TransportKind::kMptcp;
+    c.mp.primary = primary;
+    c.mp.cc = cc;
+    c.mp.mode = mode;
+    return c;
+  }
+
+  [[nodiscard]] std::string name() const {
+    if (kind == TransportKind::kSinglePath) {
+      return to_string(path) + "-TCP";
+    }
+    return "MPTCP-" + to_string(mp.cc) + "-" + to_string(mp.primary);
+  }
+};
+
+/// The paper's six Section-5 configurations, in Figure-18/20 order.
+[[nodiscard]] inline std::vector<TransportConfig> replay_configs() {
+  return {
+      TransportConfig::single_path(PathId::kWifi),
+      TransportConfig::single_path(PathId::kLte),
+      TransportConfig::mptcp(PathId::kWifi, CcAlgo::kCoupled),
+      TransportConfig::mptcp(PathId::kLte, CcAlgo::kCoupled),
+      TransportConfig::mptcp(PathId::kWifi, CcAlgo::kDecoupled),
+      TransportConfig::mptcp(PathId::kLte, CcAlgo::kDecoupled),
+  };
+}
+
+}  // namespace mn

@@ -1,0 +1,88 @@
+#include "core/energy_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mn {
+namespace {
+
+/// Predicted completion seconds for one config (first-order model: the
+/// handshake plus size over effective rate; MPTCP's second path joins
+/// late and both paths contribute afterwards).
+double predict_completion_s(const LinkEstimate& est, const TransportConfig& config,
+                            std::int64_t flow_bytes) {
+  const double wifi = std::max(est.wifi_down_mbps, 0.05);
+  const double lte = std::max(est.lte_down_mbps, 0.05);
+  const double wifi_rtt = std::max(est.wifi_rtt.seconds(), 0.005);
+  const double lte_rtt = std::max(est.lte_rtt.seconds(), 0.005);
+  const double bits = static_cast<double>(flow_bytes) * 8.0;
+
+  auto single = [bits](double mbps, double rtt) {
+    // Handshake + slow-start penalty (~2 RTT equivalent) + serialization.
+    return 3.0 * rtt + bits / (mbps * 1e6);
+  };
+  if (config.kind == TransportKind::kSinglePath) {
+    return config.path == PathId::kWifi ? single(wifi, wifi_rtt) : single(lte, lte_rtt);
+  }
+  const bool wifi_primary = config.mp.primary == PathId::kWifi;
+  const double primary_rate = wifi_primary ? wifi : lte;
+  const double primary_rtt = wifi_primary ? wifi_rtt : lte_rtt;
+  const double join_s = config.mp.join_delay.seconds() + 2.0 * primary_rtt;
+  // Bytes moved before the join on the primary alone:
+  const double pre_join_bits = std::min(bits, primary_rate * 1e6 * join_s);
+  const double rest = bits - pre_join_bits;
+  // Coupled CC is a bit less aggressive in aggregate (RFC 6356 fairness).
+  const double agg = (wifi + lte) * (config.mp.cc == CcAlgo::kCoupled ? 0.85 : 0.95);
+  return 3.0 * primary_rtt + join_s + rest / (agg * 1e6);
+}
+
+/// Radio joules for a transfer of `seconds` on one radio, Figure-16
+/// parameters: active power for the duration plus one tail.
+double radio_joules(const RadioPowerParams& p, double active_seconds) {
+  if (active_seconds <= 0.0) return 0.0;
+  return p.active_watts * active_seconds + p.tail_watts * p.tail_duration.seconds();
+}
+
+}  // namespace
+
+EnergyCostEstimate estimate_energy_cost(const LinkEstimate& est,
+                                        const TransportConfig& config,
+                                        std::int64_t flow_bytes,
+                                        const EnergyPolicyConfig& policy) {
+  EnergyCostEstimate out;
+  out.completion_s = predict_completion_s(est, config, flow_bytes);
+  const auto lte = lte_power_params();
+  const auto wifi = wifi_power_params();
+  if (config.kind == TransportKind::kSinglePath) {
+    out.radio_joules = config.path == PathId::kWifi
+                           ? radio_joules(wifi, out.completion_s)
+                           : radio_joules(lte, out.completion_s);
+  } else {
+    // MPTCP keeps both radios active for the transfer; both pay tails.
+    out.radio_joules =
+        radio_joules(wifi, out.completion_s) + radio_joules(lte, out.completion_s);
+  }
+  out.total_cost = out.radio_joules + policy.joules_per_second * out.completion_s;
+  return out;
+}
+
+TransportConfig energy_aware_policy(const LinkEstimate& est, std::int64_t flow_bytes,
+                                    const EnergyPolicyConfig& policy) {
+  TransportConfig best = always_wifi_policy();
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const TransportConfig& config : replay_configs()) {
+    if (config.kind == TransportKind::kMptcp &&
+        flow_bytes < policy.short_flow_threshold) {
+      continue;  // Section 3.3: MPTCP cannot pay for itself on short flows
+    }
+    const auto cost = estimate_energy_cost(est, config, flow_bytes, policy);
+    if (cost.total_cost < best_cost) {
+      best_cost = cost.total_cost;
+      best = config;
+    }
+  }
+  return best;
+}
+
+}  // namespace mn

@@ -1,0 +1,44 @@
+#include "core/experiment.hpp"
+
+namespace mn {
+
+TransportFlowResult run_transport_flow(Simulator& sim, const MpNetworkSetup& net,
+                                       const TransportConfig& config, std::int64_t bytes,
+                                       Direction dir, Duration timeout) {
+  TransportFlowResult out;
+  if (config.kind == TransportKind::kSinglePath) {
+    const bool wifi = config.path == PathId::kWifi;
+    DuplexPath path{sim, wifi ? net.wifi_up : net.lte_up,
+                    wifi ? net.wifi_down : net.lte_down};
+    const FlowResult r = run_bulk_flow(sim, path, bytes, dir, reno_factory(), timeout);
+    out.completed = r.completed;
+    out.completion_time = r.completion_time;
+    out.throughput_mbps = r.throughput_mbps;
+    out.timeline = r.timeline;
+    return out;
+  }
+  const MptcpFlowResult r = run_mptcp_flow(sim, net, config.mp, bytes, dir, timeout);
+  out.completed = r.completed;
+  out.completion_time = r.completion_time;
+  out.throughput_mbps = r.throughput_mbps;
+  out.timeline = r.timeline;
+  out.subflow_timelines = r.subflow_timelines;
+  out.subflow_paths = r.subflow_paths;
+  return out;
+}
+
+std::vector<SweepPoint> sweep_flow_sizes(const MpNetworkSetup& net,
+                                         const TransportConfig& config,
+                                         const std::vector<std::int64_t>& sizes,
+                                         Direction dir) {
+  std::vector<SweepPoint> points;
+  points.reserve(sizes.size());
+  for (const std::int64_t bytes : sizes) {
+    Simulator sim;  // fresh world per point: identical starting conditions
+    const auto r = run_transport_flow(sim, net, config, bytes, dir);
+    points.push_back({bytes, r.throughput_mbps, r.completion_time});
+  }
+  return points;
+}
+
+}  // namespace mn

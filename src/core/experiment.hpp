@@ -1,0 +1,47 @@
+// Flow-level experiment drivers shared by tests and benches: run one
+// transfer under any TransportConfig over an MpNetworkSetup, and sweep
+// flow sizes (the x-axis of Figures 7, 8, 11-14).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "mptcp/testbed.hpp"
+#include "tcp/flow.hpp"
+
+namespace mn {
+
+/// Uniform result for single-path and MPTCP flows.
+struct TransportFlowResult {
+  bool completed = false;
+  Duration completion_time{0};
+  double throughput_mbps = 0.0;
+  /// Client-observed cumulative-bytes timeline (relative to first SYN).
+  std::vector<TimelinePoint> timeline;
+  /// MPTCP only: per-subflow client timelines (empty for single path).
+  std::array<std::vector<TimelinePoint>, 2> subflow_timelines;
+  std::array<PathId, 2> subflow_paths{PathId::kWifi, PathId::kLte};
+};
+
+/// Run `bytes` under `config` over `net`.  A fresh Simulator should be
+/// used per call for reproducibility (pass one in; it is advanced).
+[[nodiscard]] TransportFlowResult run_transport_flow(Simulator& sim,
+                                                     const MpNetworkSetup& net,
+                                                     const TransportConfig& config,
+                                                     std::int64_t bytes, Direction dir,
+                                                     Duration timeout = sec(120));
+
+/// One point of a flow-size sweep.
+struct SweepPoint {
+  std::int64_t flow_bytes = 0;
+  double throughput_mbps = 0.0;
+  Duration completion_time{0};
+};
+
+/// Throughput as a function of flow size for one config (Figure 7 axes).
+[[nodiscard]] std::vector<SweepPoint> sweep_flow_sizes(
+    const MpNetworkSetup& net, const TransportConfig& config,
+    const std::vector<std::int64_t>& sizes, Direction dir = Direction::kDownload);
+
+}  // namespace mn

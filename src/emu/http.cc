@@ -1,0 +1,53 @@
+#include "emu/http.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace mn {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::int64_t headers_bytes(const std::vector<HttpHeader>& headers) {
+  std::int64_t n = 0;
+  for (const auto& h : headers) {
+    n += static_cast<std::int64_t>(h.name.size() + h.value.size()) + 4;  // ": " + CRLF
+  }
+  return n + 2;  // final CRLF
+}
+
+}  // namespace
+
+std::int64_t HttpRequest::wire_bytes() const {
+  return static_cast<std::int64_t>(method.size() + uri.size()) + 12 +
+         headers_bytes(headers) + body_bytes;
+}
+
+std::optional<std::string> HttpRequest::header(const std::string& name) const {
+  const std::string want = lower(name);
+  for (const auto& h : headers) {
+    if (lower(h.name) == want) return h.value;
+  }
+  return std::nullopt;
+}
+
+std::int64_t HttpResponse::wire_bytes() const {
+  return 17 /* status line */ + headers_bytes(headers) + body_bytes;
+}
+
+bool is_time_sensitive_header(const std::string& name) {
+  static const std::array<const char*, 7> kIgnored = {
+      "if-modified-since", "if-none-match", "if-unmodified-since",
+      "date",              "cookie",        "authorization",
+      "cache-control"};
+  const std::string n = lower(name);
+  return std::any_of(kIgnored.begin(), kIgnored.end(),
+                     [&n](const char* s) { return n == s; });
+}
+
+}  // namespace mn

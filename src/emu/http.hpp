@@ -1,0 +1,43 @@
+// Minimal HTTP/1.1 message model for record-and-replay.
+//
+// Bodies are byte counts (the simulator moves sizes, not payloads);
+// headers are real key/value pairs because ReplayShell's matching logic
+// (ignore time-sensitive fields) operates on them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mn {
+
+struct HttpHeader {
+  std::string name;
+  std::string value;
+};
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string uri = "/";
+  std::vector<HttpHeader> headers;
+  std::int64_t body_bytes = 0;
+
+  /// Approximate on-the-wire size: request line + headers + body.
+  [[nodiscard]] std::int64_t wire_bytes() const;
+  [[nodiscard]] std::optional<std::string> header(const std::string& name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::vector<HttpHeader> headers;
+  std::int64_t body_bytes = 0;
+
+  [[nodiscard]] std::int64_t wire_bytes() const;
+};
+
+/// Header fields that have "likely changed since recording" (paper
+/// Section 4.1) and must be ignored when matching a replayed request.
+[[nodiscard]] bool is_time_sensitive_header(const std::string& name);
+
+}  // namespace mn

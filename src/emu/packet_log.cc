@@ -1,0 +1,116 @@
+#include "emu/packet_log.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mn {
+
+void PacketLog::record(const std::string& iface, TimePoint t, PacketDir dir,
+                       const Packet& p) {
+  PacketLogEntry e;
+  e.t = t;
+  e.iface = iface;
+  e.dir = dir;
+  e.subflow_id = p.subflow_id;
+  e.flags = p.flags;
+  e.seq = p.seq;
+  e.ack = p.ack_seq;
+  e.payload = p.payload;
+  entries_.push_back(std::move(e));
+}
+
+InterfaceTap PacketLog::tap_for(std::string iface) {
+  return [this, iface = std::move(iface)](TimePoint t, PacketDir dir, const Packet& p) {
+    record(iface, t, dir, p);
+  };
+}
+
+std::vector<double> PacketLog::event_times(const std::string& iface) const {
+  std::vector<double> out;
+  for (const auto& e : entries_) {
+    if (e.iface == iface) out.push_back(e.t.seconds());
+  }
+  return out;
+}
+
+std::int64_t PacketLog::bytes_received_by(const std::string& iface, TimePoint t) const {
+  std::int64_t total = 0;
+  for (const auto& e : entries_) {
+    if (e.iface == iface && e.dir == PacketDir::kReceived && e.t <= t) {
+      total += e.payload;
+    }
+  }
+  return total;
+}
+
+std::string PacketLog::serialize() const {
+  std::ostringstream os;
+  for (const auto& e : entries_) {
+    std::string flags;
+    if (e.flags.syn) flags += "SYN,";
+    if (e.flags.ack) flags += "ACK,";
+    if (e.flags.fin) flags += "FIN,";
+    if (e.flags.rst) flags += "RST,";
+    if (flags.empty()) flags = "-";
+    os << e.t.usec() << ' ' << e.iface << ' '
+       << (e.dir == PacketDir::kSent ? 'S' : 'R') << " sf=" << e.subflow_id << ' '
+       << flags << " seq=" << e.seq << " ack=" << e.ack << " len=" << e.payload << '\n';
+  }
+  return os.str();
+}
+
+PacketLog PacketLog::deserialize(const std::string& text) {
+  PacketLog log;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    PacketLogEntry e;
+    std::int64_t usecs = 0;
+    char dir = 'S';
+    std::string sf;
+    std::string flags;
+    std::string seq;
+    std::string ack;
+    std::string len;
+    if (!(ls >> usecs >> e.iface >> dir >> sf >> flags >> seq >> ack >> len)) {
+      throw std::runtime_error("PacketLog: bad line: " + line);
+    }
+    e.t = TimePoint{usecs};
+    e.dir = dir == 'S' ? PacketDir::kSent : PacketDir::kReceived;
+    auto num_after = [&line](const std::string& field, const char* prefix) {
+      const auto pos = field.find(prefix);
+      if (pos != 0) throw std::runtime_error("PacketLog: bad field in: " + line);
+      return std::stoll(field.substr(std::strlen(prefix)));
+    };
+    e.subflow_id = static_cast<int>(num_after(sf, "sf="));
+    e.flags.syn = flags.find("SYN") != std::string::npos;
+    e.flags.ack = flags.find("ACK") != std::string::npos;
+    e.flags.fin = flags.find("FIN") != std::string::npos;
+    e.flags.rst = flags.find("RST") != std::string::npos;
+    e.seq = num_after(seq, "seq=");
+    e.ack = num_after(ack, "ack=");
+    e.payload = num_after(len, "len=");
+    log.entries_.push_back(std::move(e));
+  }
+  return log;
+}
+
+void PacketLog::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("PacketLog: cannot write " + path);
+  out << serialize();
+}
+
+PacketLog PacketLog::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("PacketLog: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return deserialize(buf.str());
+}
+
+}  // namespace mn

@@ -1,0 +1,60 @@
+// A tcpdump-style packet logger.
+//
+// The paper collected tcpdump traces at the MPTCP client and built its
+// Figure-9/10/15 analyses from them.  PacketLog is the simulated
+// counterpart: attach it to a NetworkInterface tap (or feed it packets
+// directly), and it records one line per packet in a stable text format
+// that can be saved, reloaded, and queried (event times per lane,
+// cumulative byte counts over time).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/path.hpp"
+#include "tcp/tcp_endpoint.hpp"
+
+namespace mn {
+
+struct PacketLogEntry {
+  TimePoint t;
+  std::string iface;  // "wifi" / "lte" / arbitrary
+  PacketDir dir = PacketDir::kSent;
+  int subflow_id = 0;
+  TcpFlags flags;
+  std::int64_t seq = 0;
+  std::int64_t ack = 0;
+  std::int64_t payload = 0;
+};
+
+class PacketLog {
+ public:
+  /// Record one packet crossing `iface`.
+  void record(const std::string& iface, TimePoint t, PacketDir dir, const Packet& p);
+
+  /// Returns a tap callback bound to `iface`, suitable for
+  /// NetworkInterface::set_tap.  The log must outlive the interface.
+  [[nodiscard]] InterfaceTap tap_for(std::string iface);
+
+  [[nodiscard]] const std::vector<PacketLogEntry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Event timestamps (seconds) for one interface — the Figure-15 lanes.
+  [[nodiscard]] std::vector<double> event_times(const std::string& iface) const;
+  /// Cumulative received payload bytes on `iface` by time `t`.
+  [[nodiscard]] std::int64_t bytes_received_by(const std::string& iface, TimePoint t) const;
+
+  /// One line per packet:
+  ///   <usec> <iface> <S|R> sf=<id> [SYN][ACK][FIN][RST] seq=<n> ack=<n> len=<n>
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static PacketLog deserialize(const std::string& text);
+  void save(const std::string& path) const;
+  [[nodiscard]] static PacketLog load(const std::string& path);
+
+ private:
+  std::vector<PacketLogEntry> entries_;
+};
+
+}  // namespace mn

@@ -1,0 +1,46 @@
+// RecordShell / ReplayShell analog (paper Section 4.1, after Mahimahi).
+//
+// RecordStore holds request/response pairs captured by a recording run.
+// Replay matches an incoming request against the store: the URI must
+// match (falling back to the longest-common-prefix candidate, as
+// Mahimahi does for changed query strings), and among URI matches the
+// exchange with the most agreeing non-time-sensitive headers wins.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "emu/http.hpp"
+
+namespace mn {
+
+struct RecordedExchange {
+  HttpRequest request;
+  HttpResponse response;
+};
+
+class RecordStore {
+ public:
+  void add(RecordedExchange exchange) { exchanges_.push_back(std::move(exchange)); }
+
+  [[nodiscard]] std::size_t size() const { return exchanges_.size(); }
+  [[nodiscard]] const std::vector<RecordedExchange>& exchanges() const {
+    return exchanges_;
+  }
+
+  /// ReplayShell matching.  Returns nullopt when nothing plausible is
+  /// stored (no same-method exchange sharing any URI prefix).
+  [[nodiscard]] std::optional<RecordedExchange> match(const HttpRequest& request) const;
+
+  /// Text persistence (one recorded session per file).
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static RecordStore deserialize(const std::string& text);
+  void save(const std::string& path) const;
+  [[nodiscard]] static RecordStore load(const std::string& path);
+
+ private:
+  std::vector<RecordedExchange> exchanges_;
+};
+
+}  // namespace mn

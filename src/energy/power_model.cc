@@ -1,0 +1,85 @@
+#include "energy/power_model.hpp"
+
+#include <algorithm>
+
+namespace mn {
+
+RadioPowerParams lte_power_params() {
+  RadioPowerParams p;
+  p.active_watts = 2.5;  // Fig 16a: ~3.5 W total while active
+  p.tail_watts = 1.0;    // Fig 16a/c: ~2 W total for ~15 s after FIN
+  p.tail_duration = sec(15);
+  return p;
+}
+
+RadioPowerParams wifi_power_params() {
+  RadioPowerParams p;
+  p.active_watts = 0.7;  // Fig 16b: much lower than LTE
+  p.tail_watts = 0.1;    // PSM re-entry is fast
+  p.tail_duration = msec(200);
+  return p;
+}
+
+std::vector<PowerStep> EnergyMeter::timeline(TimePoint horizon) const {
+  std::vector<TimePoint> acts = activity_;
+  std::sort(acts.begin(), acts.end());
+
+  // Coalesce packets into active bursts.
+  struct Burst {
+    TimePoint start;
+    TimePoint end;
+  };
+  std::vector<Burst> bursts;
+  for (const TimePoint t : acts) {
+    if (t > horizon) break;
+    if (!bursts.empty() && t - bursts.back().end <= params_.burst_hold) {
+      bursts.back().end = t;
+    } else {
+      bursts.push_back({t, t});
+    }
+  }
+
+  std::vector<PowerStep> steps;
+  TimePoint cursor{0};
+  auto emit = [&steps](TimePoint a, TimePoint b, double w) {
+    if (b <= a) return;
+    if (!steps.empty() && steps.back().watts == w && steps.back().end == a) {
+      steps.back().end = b;  // merge equal adjacent steps
+    } else {
+      steps.push_back({a, b, w});
+    }
+  };
+
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    const Burst& b = bursts[i];
+    emit(cursor, b.start, kBasePowerWatts);  // idle gap before the burst
+    // Active: burst span plus the hold (the radio does not demote
+    // instantly after the last packet).
+    TimePoint active_end = std::min(b.end + params_.burst_hold, horizon);
+    // Tail: until demotion, the next burst, or the horizon.
+    TimePoint tail_end = std::min(active_end + params_.tail_duration, horizon);
+    if (i + 1 < bursts.size()) {
+      active_end = std::min(active_end, bursts[i + 1].start);
+      tail_end = std::min(tail_end, bursts[i + 1].start);
+    }
+    emit(b.start, active_end, kBasePowerWatts + params_.active_watts);
+    emit(active_end, tail_end, kBasePowerWatts + params_.tail_watts);
+    cursor = tail_end;
+  }
+  emit(cursor, horizon, kBasePowerWatts);
+  return steps;
+}
+
+double EnergyMeter::energy_joules(TimePoint horizon) const {
+  double joules = 0.0;
+  for (const PowerStep& s : timeline(horizon)) {
+    joules += s.watts * (s.end - s.start).seconds();
+  }
+  return joules;
+}
+
+double EnergyMeter::radio_energy_joules(TimePoint horizon) const {
+  return energy_joules(horizon) - kBasePowerWatts * horizon.seconds();
+}
+
+}  // namespace mn

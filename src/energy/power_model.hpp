@@ -1,0 +1,62 @@
+// Radio power modelling (paper Section 3.6.2, Figure 16).
+//
+// Replaces the Monsoon power monitor: packet activity timestamps from an
+// interface tap are folded into a radio state machine — active while
+// packets move, then a promoted "tail" state (the RRC DCH->FACH demotion
+// timer on LTE), then idle.  The headline effect reproduced here is the
+// ~15-second, ~1-W LTE tail: even a lone SYN/FIN pair keeps the radio
+// hot, which is why Backup mode saves almost nothing for short flows
+// when LTE is the backup interface.
+#pragma once
+
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace mn {
+
+struct RadioPowerParams {
+  double active_watts = 2.5;        // above base, while transferring
+  double tail_watts = 1.0;          // above base, in the tail state
+  Duration tail_duration = sec(15);
+  /// Activity within this gap of the previous packet is one burst.
+  Duration burst_hold = msec(100);
+};
+
+/// Figure-16 defaults, in watts above the phone's 1 W base.
+[[nodiscard]] RadioPowerParams lte_power_params();
+[[nodiscard]] RadioPowerParams wifi_power_params();
+
+constexpr double kBasePowerWatts = 1.0;  // screen + CPU (paper's baseline)
+
+/// One step of a piecewise-constant power timeline.
+struct PowerStep {
+  TimePoint start;
+  TimePoint end;
+  double watts = 0.0;  // absolute (includes base)
+};
+
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(RadioPowerParams params) : params_(params) {}
+
+  /// Record one packet crossing the radio.  Timestamps may arrive in any
+  /// order; they are sorted when the timeline is built.
+  void add_activity(TimePoint t) { activity_.push_back(t); }
+
+  [[nodiscard]] std::size_t activity_count() const { return activity_.size(); }
+
+  /// Absolute power timeline over [0, horizon], including base power.
+  [[nodiscard]] std::vector<PowerStep> timeline(TimePoint horizon) const;
+
+  /// Total energy consumed over [0, horizon], in joules.
+  [[nodiscard]] double energy_joules(TimePoint horizon) const;
+  /// Energy above the base load — the radio's own cost.
+  [[nodiscard]] double radio_energy_joules(TimePoint horizon) const;
+
+ private:
+  RadioPowerParams params_;
+  std::vector<TimePoint> activity_;
+};
+
+}  // namespace mn

@@ -1,0 +1,188 @@
+#include "measure/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/trace_gen.hpp"
+#include "tcp/flow.hpp"
+
+namespace mn {
+namespace {
+
+/// One network measurement: 1 MB up + 1 MB down + pings, on fresh links.
+struct ProbeResult {
+  double up_mbps = 0.0;
+  double down_mbps = 0.0;
+  double rtt_ms = 0.0;
+};
+
+LinkSpec make_link(double mbps, Duration delay, bool lte, Rng& rng) {
+  LinkSpec s;
+  s.one_way_delay = delay;
+  // WiFi: Poisson contention; LTE: bursty two-state scheduler, deeper
+  // (bufferbloated) queues — both trace-driven, Mahimahi style.
+  const Duration period = sec(2);
+  if (lte) {
+    TwoStateSpec ts;
+    ts.good_mbps = mbps * 1.4;
+    ts.bad_mbps = std::max(0.3, mbps * 0.4);
+    ts.mean_dwell = msec(300);
+    s.trace = std::make_shared<DeliveryTrace>(two_state_trace(ts, period, rng));
+    s.queue_packets = 150;
+  } else {
+    s.trace = std::make_shared<DeliveryTrace>(poisson_trace(mbps, period, rng));
+    s.queue_packets = 64;
+  }
+  return s;
+}
+
+ProbeResult probe_network(double rate_mbps, Duration one_way, bool lte, Rng& rng,
+                          const CampaignOptions& opt) {
+  ProbeResult res;
+  {
+    Simulator sim;
+    DuplexPath path{sim, make_link(rate_mbps, one_way, lte, rng),
+                    make_link(rate_mbps, one_way, lte, rng)};
+    const auto up = run_bulk_flow(sim, path, opt.transfer_bytes, Direction::kUpload,
+                                  reno_factory(), sec(60));
+    res.up_mbps = up.throughput_mbps;
+  }
+  {
+    Simulator sim;
+    DuplexPath path{sim, make_link(rate_mbps, one_way, lte, rng),
+                    make_link(rate_mbps, one_way, lte, rng)};
+    const auto down = run_bulk_flow(sim, path, opt.transfer_bytes, Direction::kDownload,
+                                    reno_factory(), sec(60));
+    res.down_mbps = down.throughput_mbps;
+  }
+  {
+    Simulator sim;
+    DuplexPath path{sim, make_link(rate_mbps, one_way, lte, rng),
+                    make_link(rate_mbps, one_way, lte, rng)};
+    res.rtt_ms = measure_ping_rtt(sim, path, opt.ping_count).millis();
+  }
+  return res;
+}
+
+}  // namespace
+
+std::vector<RunRecord> run_campaign(const std::vector<ClusterSpec>& world,
+                                    const CampaignOptions& options) {
+  Rng rng{options.seed};
+  std::vector<RunRecord> records;
+  for (const ClusterSpec& cluster : world) {
+    Rng crng = rng.fork(cluster.name);
+    const int n = std::max(1, static_cast<int>(std::lround(
+                                  cluster.runs * options.run_scale)));
+    for (int i = 0; i < n; ++i) {
+      RunRecord rec;
+      rec.cluster = cluster.name;
+      // Users wander near the cluster centre (well inside the paper's
+      // 100 km grouping radius).
+      rec.pos.lat_deg = cluster.centre.lat_deg + crng.uniform(-0.3, 0.3);
+      rec.pos.lon_deg = cluster.centre.lon_deg + crng.uniform(-0.3, 0.3);
+
+      // Figure-2 flowchart: some runs can't measure one of the networks.
+      const bool skip_one = crng.chance(options.incomplete_probability);
+      const bool skip_wifi = skip_one && crng.chance(0.5);
+      const bool skip_lte = skip_one && !skip_wifi;
+
+      if (!skip_wifi) {
+        const double rate = cluster.wifi_rate.sample(crng);
+        const Duration delay = cluster.wifi_delay.sample(crng);
+        const auto p = probe_network(rate, delay, /*lte=*/false, crng, options);
+        rec.wifi_measured = true;
+        rec.wifi_up_mbps = p.up_mbps;
+        rec.wifi_down_mbps = p.down_mbps;
+        rec.wifi_rtt_ms = p.rtt_ms;
+      }
+      if (!skip_lte) {
+        const double rate = cluster.lte_rate.sample(crng);
+        const Duration delay = cluster.lte_delay.sample(crng);
+        const auto p = probe_network(rate, delay, /*lte=*/true, crng, options);
+        rec.lte_measured = true;
+        rec.lte_up_mbps = p.up_mbps;
+        rec.lte_down_mbps = p.down_mbps;
+        rec.lte_rtt_ms = p.rtt_ms;
+      }
+      records.push_back(std::move(rec));
+    }
+  }
+  return records;
+}
+
+std::vector<RunRecord> complete_runs(const std::vector<RunRecord>& all) {
+  std::vector<RunRecord> out;
+  out.reserve(all.size());
+  for (const auto& r : all) {
+    if (r.complete()) out.push_back(r);
+  }
+  return out;
+}
+
+CsvWriter to_csv(const std::vector<RunRecord>& runs) {
+  CsvWriter w{{"cluster", "lat", "lon", "wifi_up", "wifi_down", "lte_up", "lte_down",
+               "wifi_rtt_ms", "lte_rtt_ms"}};
+  for (const auto& r : runs) {
+    if (!r.complete()) continue;
+    w.add_row({r.cluster, std::to_string(r.pos.lat_deg), std::to_string(r.pos.lon_deg),
+               std::to_string(r.wifi_up_mbps), std::to_string(r.wifi_down_mbps),
+               std::to_string(r.lte_up_mbps), std::to_string(r.lte_down_mbps),
+               std::to_string(r.wifi_rtt_ms), std::to_string(r.lte_rtt_ms)});
+  }
+  return w;
+}
+
+std::vector<RunRecord> from_csv(const CsvData& data) {
+  std::vector<RunRecord> out;
+  const auto c_cluster = data.col("cluster");
+  const auto c_lat = data.col("lat");
+  const auto c_lon = data.col("lon");
+  const auto c_wu = data.col("wifi_up");
+  const auto c_wd = data.col("wifi_down");
+  const auto c_lu = data.col("lte_up");
+  const auto c_ld = data.col("lte_down");
+  const auto c_wr = data.col("wifi_rtt_ms");
+  const auto c_lr = data.col("lte_rtt_ms");
+  for (const auto& row : data.rows) {
+    RunRecord r;
+    r.cluster = row[c_cluster];
+    r.pos = {std::stod(row[c_lat]), std::stod(row[c_lon])};
+    r.wifi_up_mbps = std::stod(row[c_wu]);
+    r.wifi_down_mbps = std::stod(row[c_wd]);
+    r.lte_up_mbps = std::stod(row[c_lu]);
+    r.lte_down_mbps = std::stod(row[c_ld]);
+    r.wifi_rtt_ms = std::stod(row[c_wr]);
+    r.lte_rtt_ms = std::stod(row[c_lr]);
+    r.wifi_measured = r.lte_measured = true;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+double CampaignAnalysis::lte_win_combined() const {
+  const auto total = static_cast<double>(up_diff.size() + down_diff.size());
+  if (total <= 0.0) return 0.0;
+  const double wins = up_diff.fraction_below(0.0) * static_cast<double>(up_diff.size()) +
+                      down_diff.fraction_below(0.0) * static_cast<double>(down_diff.size());
+  return wins / total;
+}
+
+double CampaignAnalysis::lte_rtt_win() const {
+  // Lower RTT wins: LTE wins where RTT(WiFi) - RTT(LTE) is positive.
+  if (rtt_diff.empty()) return 0.0;
+  return 1.0 - rtt_diff.cdf_at(0.0);
+}
+
+CampaignAnalysis analyze_campaign(const std::vector<RunRecord>& runs) {
+  CampaignAnalysis a;
+  for (const auto& r : runs) {
+    if (!r.complete()) continue;
+    a.up_diff.add(r.wifi_up_mbps - r.lte_up_mbps);
+    a.down_diff.add(r.wifi_down_mbps - r.lte_down_mbps);
+    a.rtt_diff.add(r.wifi_rtt_ms - r.lte_rtt_ms);
+  }
+  return a;
+}
+
+}  // namespace mn

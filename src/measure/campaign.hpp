@@ -1,0 +1,75 @@
+// The Cell vs WiFi measurement campaign (paper Section 2, Figure 2).
+//
+// Executes the app's measurement-collection flowchart against the
+// simulated world: per run, associate to WiFi, transfer 1 MB up and
+// down, switch to cellular, repeat, ping both, upload the record.  Runs
+// can be incomplete (user had WiFi or cellular disabled) and are
+// filtered exactly like the paper filters its dataset.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "measure/world.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace mn {
+
+struct RunRecord {
+  std::string cluster;  // ground-truth origin (for cluster labelling)
+  GeoPoint pos;
+  bool wifi_measured = false;
+  bool lte_measured = false;
+  double wifi_up_mbps = 0.0;
+  double wifi_down_mbps = 0.0;
+  double lte_up_mbps = 0.0;
+  double lte_down_mbps = 0.0;
+  double wifi_rtt_ms = 0.0;  // 10-ping average
+  double lte_rtt_ms = 0.0;
+
+  [[nodiscard]] bool complete() const { return wifi_measured && lte_measured; }
+  /// The Table-1 win criterion: LTE faster on the downlink.
+  [[nodiscard]] bool lte_wins() const { return lte_down_mbps > wifi_down_mbps; }
+};
+
+struct CampaignOptions {
+  std::int64_t transfer_bytes = 1'000'000;  // the app's 1 MB probes
+  int ping_count = 10;
+  /// Probability a run is incomplete (user disabled one network).
+  double incomplete_probability = 0.08;
+  /// Scale factor on each cluster's run count (1.0 = full Table 1).
+  double run_scale = 1.0;
+  std::uint64_t seed = 20130901;  // the app's launch month
+};
+
+/// Execute the campaign over `world`; returns one record per attempted
+/// run (incomplete ones included — filter with complete()).
+[[nodiscard]] std::vector<RunRecord> run_campaign(const std::vector<ClusterSpec>& world,
+                                                  const CampaignOptions& options = {});
+
+/// Keep only complete runs (the paper's filtering step).
+[[nodiscard]] std::vector<RunRecord> complete_runs(const std::vector<RunRecord>& all);
+
+/// CSV persistence (the app's "upload to the server at MIT").
+[[nodiscard]] CsvWriter to_csv(const std::vector<RunRecord>& runs);
+[[nodiscard]] std::vector<RunRecord> from_csv(const CsvData& data);
+
+/// Aggregate distributions behind Figures 3 and 4.
+struct CampaignAnalysis {
+  EmpiricalDistribution up_diff;    // Tput(WiFi) - Tput(LTE), uplink
+  EmpiricalDistribution down_diff;  // downlink
+  EmpiricalDistribution rtt_diff;   // RTT(WiFi) - RTT(LTE), ms
+
+  /// Fractions of samples where LTE wins (the shaded CDF regions).
+  [[nodiscard]] double lte_win_uplink() const { return up_diff.fraction_below(0.0); }
+  [[nodiscard]] double lte_win_downlink() const { return down_diff.fraction_below(0.0); }
+  [[nodiscard]] double lte_win_combined() const;
+  [[nodiscard]] double lte_rtt_win() const;
+};
+
+[[nodiscard]] CampaignAnalysis analyze_campaign(const std::vector<RunRecord>& runs);
+
+}  // namespace mn

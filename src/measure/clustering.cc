@@ -1,0 +1,105 @@
+#include "measure/clustering.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace mn {
+namespace {
+
+int nearest_centre(const GeoPoint& p, const std::vector<GeoPoint>& centres) {
+  int best = -1;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < centres.size(); ++i) {
+    const double d = haversine_km(p, centres[i]);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ClusteringResult cluster_runs(const std::vector<RunRecord>& runs, double radius_km,
+                              int refine_iterations) {
+  ClusteringResult result;
+  if (runs.empty()) return result;
+
+  // Leader pass: seed a centre whenever a run is outside every radius.
+  std::vector<GeoPoint> centres;
+  for (const auto& r : runs) {
+    const int c = centres.empty() ? -1 : nearest_centre(r.pos, centres);
+    if (c < 0 || haversine_km(r.pos, centres[static_cast<std::size_t>(c)]) > radius_km) {
+      centres.push_back(r.pos);
+    }
+  }
+
+  // k-means refinement: assign to nearest centre, recompute centroids.
+  std::vector<int> assignment(runs.size(), 0);
+  for (int iter = 0; iter < refine_iterations; ++iter) {
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      assignment[i] = nearest_centre(runs[i].pos, centres);
+    }
+    std::vector<double> lat(centres.size(), 0.0);
+    std::vector<double> lon(centres.size(), 0.0);
+    std::vector<int> count(centres.size(), 0);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const auto c = static_cast<std::size_t>(assignment[i]);
+      lat[c] += runs[i].pos.lat_deg;
+      lon[c] += runs[i].pos.lon_deg;
+      ++count[c];
+    }
+    for (std::size_t c = 0; c < centres.size(); ++c) {
+      if (count[c] > 0) {
+        centres[c] = {lat[c] / count[c], lon[c] / count[c]};
+      }
+    }
+  }
+
+  // Summaries.
+  std::vector<ClusterSummary> summaries(centres.size());
+  std::vector<std::map<std::string, int>> label_votes(centres.size());
+  for (std::size_t c = 0; c < centres.size(); ++c) summaries[c].centre = centres[c];
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto c = static_cast<std::size_t>(assignment[i]);
+    ++summaries[c].runs;
+    if (runs[i].lte_wins()) summaries[c].lte_win_fraction += 1.0;
+    ++label_votes[c][runs[i].cluster];
+  }
+  for (std::size_t c = 0; c < summaries.size(); ++c) {
+    if (summaries[c].runs > 0) {
+      summaries[c].lte_win_fraction /= summaries[c].runs;
+    }
+    int best = -1;
+    for (const auto& [name, votes] : label_votes[c]) {
+      if (votes > best) {
+        best = votes;
+        summaries[c].label = name;
+      }
+    }
+  }
+
+  // Drop empty clusters and order by run count like Table 1.  Remap the
+  // assignment through the same permutation.
+  std::vector<std::size_t> order;
+  for (std::size_t c = 0; c < summaries.size(); ++c) {
+    if (summaries[c].runs > 0) order.push_back(c);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return summaries[a].runs > summaries[b].runs;
+  });
+  std::vector<int> remap(summaries.size(), -1);
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    remap[order[rank]] = static_cast<int>(rank);
+    result.clusters.push_back(summaries[order[rank]]);
+  }
+  result.assignment.resize(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    result.assignment[i] = remap[static_cast<std::size_t>(assignment[i])];
+  }
+  return result;
+}
+
+}  // namespace mn

@@ -1,0 +1,34 @@
+// Geographic grouping of measurement runs (paper Table 1): "we group
+// nearby runs together using a k-means clustering algorithm, with a
+// cluster radius of r = 100 kilometers".
+//
+// Implementation: leader initialization (first run outside every
+// existing cluster's radius seeds a new cluster) followed by k-means
+// refinement with haversine distance.  Deterministic given input order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "measure/campaign.hpp"
+
+namespace mn {
+
+struct ClusterSummary {
+  GeoPoint centre;
+  int runs = 0;
+  double lte_win_fraction = 0.0;
+  /// Modal ground-truth origin among members (for labelling the table).
+  std::string label;
+};
+
+struct ClusteringResult {
+  std::vector<int> assignment;  // run index -> cluster index
+  std::vector<ClusterSummary> clusters;  // sorted by runs, descending
+};
+
+[[nodiscard]] ClusteringResult cluster_runs(const std::vector<RunRecord>& runs,
+                                            double radius_km = 100.0,
+                                            int refine_iterations = 5);
+
+}  // namespace mn

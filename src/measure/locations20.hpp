@@ -1,0 +1,38 @@
+// The 20 MPTCP measurement locations (paper Table 2) and their emulated
+// network conditions.
+//
+// Each location carries concrete WiFi/LTE rates and delays chosen to
+// span the same Tput(WiFi)-Tput(LTE) range as the crowdsourced data
+// (the paper's Figure 6 shows the 20 locations are representative):
+// campus/apartment WiFi is fast, mall/conference WiFi is congested,
+// downtown LTE is strong, and so on.  The first 7 locations are the
+// "both carriers, both CC algorithms" subset of Section 3.5.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mptcp/testbed.hpp"
+
+namespace mn {
+
+struct Location20 {
+  int id = 0;  // 1-based, Table 2 order
+  std::string city;
+  std::string description;
+  double wifi_mbps = 0.0;
+  double lte_mbps = 0.0;
+  Duration wifi_one_way{0};
+  Duration lte_one_way{0};
+  /// Member of the 7-location Section-3.5 subset (both CC algorithms).
+  bool cc_study_member = false;
+};
+
+/// All 20 locations, Table-2 order.
+[[nodiscard]] const std::vector<Location20>& table2_locations();
+
+/// Build the emulated network condition for one location.  `seed` varies
+/// the delivery-trace randomness (different runs at the same place).
+[[nodiscard]] MpNetworkSetup location_setup(const Location20& loc, std::uint64_t seed);
+
+}  // namespace mn

@@ -1,0 +1,85 @@
+// MPTCP configuration types (paper Section 3 terminology).
+#pragma once
+
+#include <string>
+
+#include "util/time.hpp"
+
+namespace mn {
+
+/// The two access networks of a multi-homed phone.
+enum class PathId : int { kWifi = 0, kLte = 1 };
+
+[[nodiscard]] constexpr PathId other_path(PathId p) {
+  return p == PathId::kWifi ? PathId::kLte : PathId::kWifi;
+}
+
+[[nodiscard]] inline std::string to_string(PathId p) {
+  return p == PathId::kWifi ? "WiFi" : "LTE";
+}
+
+/// Congestion-control coupling across subflows (paper Section 3.5).
+enum class CcAlgo {
+  kDecoupled,  // independent Reno per subflow
+  kCoupled,    // RFC 6356 Linked Increases (LIA)
+  kOlia,       // Khalili et al. (the paper's ref [10]) — extension
+};
+
+[[nodiscard]] inline std::string to_string(CcAlgo c) {
+  switch (c) {
+    case CcAlgo::kDecoupled: return "Decoupled";
+    case CcAlgo::kCoupled: return "Coupled";
+    case CcAlgo::kOlia: return "OLIA";
+  }
+  return "?";
+}
+
+/// Operating mode (paper Sections 3 and 3.6).
+enum class MpMode {
+  kFull,        // data on all subflows
+  kBackup,      // backup subflow does handshake/FIN only, unless failover
+  kSinglePath,  // Paasch et al.: open the second subflow only on failure
+};
+
+[[nodiscard]] inline std::string to_string(MpMode m) {
+  switch (m) {
+    case MpMode::kFull: return "Full-MPTCP";
+    case MpMode::kBackup: return "Backup";
+    case MpMode::kSinglePath: return "Single-Path";
+  }
+  return "?";
+}
+
+/// Which subflow gets data first when several have window space.
+enum class MpScheduler {
+  kLowestRtt,   // Linux MPTCP default (what the paper measured)
+  kRoundRobin,  // the kernel's alternative scheduler; ablation knob
+};
+
+[[nodiscard]] inline std::string to_string(MpScheduler s) {
+  return s == MpScheduler::kLowestRtt ? "LowestRTT" : "RoundRobin";
+}
+
+struct MptcpSpec {
+  /// Network carrying the primary subflow (the paper's central knob).
+  PathId primary = PathId::kWifi;
+  CcAlgo cc = CcAlgo::kCoupled;
+  MpMode mode = MpMode::kFull;
+  /// Delay between primary establishment and the MP_JOIN SYN — the
+  /// path manager's ADD_ADDR round plus scheduling latency, clearly
+  /// visible in the paper's Figures 9-10 subflow ramps.
+  Duration join_delay = msec(200);
+  /// Data-level receive buffer.  New data may only be scheduled within
+  /// this window of the cumulative data-ACK — the mechanism behind the
+  /// paper's Figure 7a: with disparate paths, chunks stuck on the slow
+  /// subflow block the window and idle the fast one (receive-buffer
+  /// head-of-line blocking, a known MPTCP v0.88 pathology).
+  std::int64_t receive_window_bytes = 400'000;
+  MpScheduler scheduler = MpScheduler::kLowestRtt;
+  /// Ablation knobs for the v0.88 window-blocking mitigations
+  /// (bench/ablation_mptcp_mechanisms studies them).
+  bool opportunistic_reinjection = true;
+  bool penalization = true;
+};
+
+}  // namespace mn

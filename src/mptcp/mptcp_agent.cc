@@ -1,0 +1,320 @@
+#include "mptcp/mptcp_agent.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mn {
+
+MptcpAgent::MptcpAgent(Simulator& sim, std::uint64_t connection_id, MptcpSpec spec,
+                       bool is_client)
+    : sim_(sim), connection_id_(connection_id), spec_(spec), is_client_(is_client) {
+  // Subflow 0 rides the primary network; subflow 1 the other one.
+  setup_subflow(0, spec_.primary, MpOption::kCapable);
+  setup_subflow(1, other_path(spec_.primary), MpOption::kJoin);
+  subflows_[1].is_backup = spec_.mode != MpMode::kFull;
+}
+
+MptcpAgent::~MptcpAgent() = default;
+
+std::unique_ptr<CongestionController> MptcpAgent::make_cc() {
+  switch (spec_.cc) {
+    case CcAlgo::kCoupled: return std::make_unique<LiaCc>(group_);
+    case CcAlgo::kOlia: return std::make_unique<OliaCc>(olia_group_);
+    case CcAlgo::kDecoupled: break;
+  }
+  return std::make_unique<RenoCc>();
+}
+
+void MptcpAgent::setup_subflow(int id, PathId path, MpOption syn_option) {
+  Subflow& sf = subflows_[static_cast<std::size_t>(id)];
+  sf.path = path;
+  TcpConfig cfg;
+  cfg.connection_id = connection_id_;
+  cfg.subflow_id = id;
+  cfg.syn_option = syn_option;
+  sf.ep = std::make_unique<TcpEndpoint>(sim_, cfg, make_cc());
+  sf.ep->set_source(this);
+  sf.ep->on_send_possible = [this] { pump_all(); };
+  sf.ep->on_acked = [this, id](std::int64_t newly, std::int64_t) {
+    on_subflow_acked(id, newly);
+  };
+  sf.ep->on_data_segment = [this, id](const Packet& p) { on_subflow_segment(id, p); };
+  sf.ep->on_closed = [this] { maybe_fire_closed(); };
+  if (id == 0) {
+    sf.ep->on_established = [this] {
+      if (on_established) on_established();
+      if (is_client_) start_join();
+      pump_all();
+    };
+  }
+}
+
+void MptcpAgent::set_transmit(int subflow_id, PacketHandler transmit) {
+  Subflow& sf = subflows_[static_cast<std::size_t>(subflow_id)];
+  sf.transmit = transmit;
+  sf.ep->set_transmit(std::move(transmit));
+}
+
+void MptcpAgent::handle_packet(const Packet& p) {
+  if (p.subflow_id < 0 || p.subflow_id > 1) return;
+  Subflow& sf = subflows_[static_cast<std::size_t>(p.subflow_id)];
+  if (p.flags.rst) {
+    // Peer tore this subflow down (soft interface failure on its side).
+    kill_subflow(p.subflow_id, /*send_rst=*/false);
+    return;
+  }
+  if (sf.dead) return;
+  sf.ep->handle_packet(p);
+}
+
+void MptcpAgent::connect() { subflows_[0].connected_started = true; subflows_[0].ep->connect(); }
+
+void MptcpAgent::listen() {
+  subflows_[0].ep->listen();
+  subflows_[1].ep->listen();
+}
+
+void MptcpAgent::start_join() {
+  if (spec_.mode == MpMode::kSinglePath) return;  // joined only on failure
+  Subflow& sf = subflows_[1];
+  if (sf.connected_started || sf.dead) return;
+  sf.connected_started = true;
+  if (spec_.join_delay.usec() > 0) {
+    sim_.schedule_after(spec_.join_delay, [this] {
+      if (!subflows_[1].dead) subflows_[1].ep->connect();
+    });
+  } else {
+    sf.ep->connect();
+  }
+}
+
+void MptcpAgent::send_data(std::int64_t bytes) {
+  data_end_ += bytes;
+  pump_all();
+}
+
+void MptcpAgent::close_when_done() {
+  close_requested_ = true;
+  maybe_close_subflows();
+  pump_all();
+}
+
+void MptcpAgent::notify_path_state(PathId path, bool up) {
+  for (int id = 0; id < 2; ++id) {
+    Subflow& sf = subflows_[static_cast<std::size_t>(id)];
+    if (sf.path != path) continue;
+    if (!up) {
+      kill_subflow(id, /*send_rst=*/true);
+    } else if (!sf.dead) {
+      // Replug of a silently-failed path: the subflow was never killed,
+      // so revive it — window updates wake the remote sender and our own
+      // retransmissions restart (paper Figure 15g's resume-on-replug).
+      sf.ep->on_link_up();
+    }
+    // A *dead* subflow stays dead (Linux v0.88 does not resurrect
+    // closed subflows).
+  }
+}
+
+int MptcpAgent::active_data_subflow() const {
+  // In Backup / Single-Path mode, data rides the primary subflow while it
+  // lives, then fails over to the other.
+  if (!subflows_[0].dead) return 0;
+  return 1;
+}
+
+std::optional<DataSource::Chunk> MptcpAgent::take(std::int64_t max_bytes,
+                                                  int subflow_id) {
+#ifdef MN_MPTCP_DEBUG
+  std::fprintf(stderr, "[take] t=%.3f sf=%d max=%lld next=%lld end=%lld cum=%lld\n",
+               sim_.now().seconds(), subflow_id, (long long)max_bytes,
+               (long long)next_data_seq_, (long long)data_end_,
+               (long long)acked_.contiguous_from(0));
+#endif
+  Subflow& sf = subflows_[static_cast<std::size_t>(subflow_id)];
+  if (sf.dead || max_bytes <= 0) return std::nullopt;
+  if (spec_.mode != MpMode::kFull && subflow_id != active_data_subflow()) {
+    return std::nullopt;  // backup withholding
+  }
+  Chunk c;
+  if (!reinject_.empty()) {
+    auto& [start, len] = reinject_.front();
+    c.data_seq = start;
+    c.bytes = std::min(max_bytes, len);
+    start += c.bytes;
+    len -= c.bytes;
+    if (len == 0) reinject_.pop_front();
+  } else {
+    const std::int64_t cum_ack = acked_.contiguous_from(0);
+    const std::int64_t window_limit =
+        cum_ack + std::max<std::int64_t>(spec_.receive_window_bytes, 64'000);
+    if (next_data_seq_ < data_end_ && next_data_seq_ < window_limit) {
+      c.data_seq = next_data_seq_;
+      c.bytes = std::min({max_bytes, data_end_ - next_data_seq_,
+                          window_limit - next_data_seq_});
+      next_data_seq_ += c.bytes;
+    } else if (spec_.opportunistic_reinjection && data_end_ > 0 &&
+               cum_ack < data_end_ && cum_ack > last_opportunistic_seq_) {
+      // Blocked: either the receive window is closed mid-flow, or all
+      // data is assigned and we are waiting on stragglers at the tail.
+      // Opportunistic reinjection (Linux MPTCP v0.88, after Raiciu et
+      // al.): if another subflow holds the chunk everyone waits on,
+      // retransmit it here instead of idling.  One per stall point.
+      const bool window_blocked = next_data_seq_ < data_end_;
+      for (int other = 0; other < 2 && c.bytes == 0; ++other) {
+        if (other == subflow_id) continue;
+        Subflow& o = subflows_[static_cast<std::size_t>(other)];
+        for (const auto& [ds, len] : o.mappings) {
+          if (ds <= cum_ack && cum_ack < ds + len) {
+            last_opportunistic_seq_ = cum_ack;
+            c.data_seq = cum_ack;
+            c.bytes = std::min(max_bytes, ds + len - cum_ack);
+            // Penalization targets a genuinely window-hogging slow
+            // path (severe RTT asymmetry, i.e. bufferbloat), not a
+            // peer's transient loss-recovery hole.
+            if (spec_.penalization && window_blocked &&
+                o.ep->srtt() > 3 * sf.ep->srtt()) {
+              o.ep->penalize();
+            }
+            break;
+          }
+        }
+      }
+      if (c.bytes == 0) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+  }
+  sf.mappings.emplace_back(c.data_seq, c.bytes);
+  last_grant_subflow_ = subflow_id;
+  return c;
+}
+
+bool MptcpAgent::exhausted() const {
+  return reinject_.empty() && next_data_seq_ >= data_end_;
+}
+
+void MptcpAgent::pump_all() {
+  std::array<int, 2> order{0, 1};
+  if (spec_.scheduler == MpScheduler::kLowestRtt) {
+    // Lowest-SRTT-first (the Linux MPTCP default scheduler).
+    const auto key = [this](int id) {
+      const Subflow& sf = subflows_[static_cast<std::size_t>(id)];
+      return sf.ep->srtt().usec() > 0 ? sf.ep->srtt().usec() : msec(100).usec();
+    };
+    if (key(1) < key(0)) std::swap(order[0], order[1]);
+  } else {
+    // Round-robin: offer data first to the subflow that did NOT receive
+    // the previous grant (robust against pump_all being invoked several
+    // times per ACK).
+    if (last_grant_subflow_ == 0) std::swap(order[0], order[1]);
+  }
+  for (int id : order) {
+    Subflow& sf = subflows_[static_cast<std::size_t>(id)];
+    if (!sf.dead && sf.ep->established()) sf.ep->pump();
+  }
+}
+
+void MptcpAgent::on_subflow_acked(int id, std::int64_t newly) {
+  Subflow& sf = subflows_[static_cast<std::size_t>(id)];
+  std::int64_t gained = 0;
+  while (newly > 0 && !sf.mappings.empty()) {
+    auto& [data_seq, len] = sf.mappings.front();
+    const std::int64_t n = std::min(newly, len);
+    gained += acked_.add(data_seq, data_seq + n);
+    data_seq += n;
+    len -= n;
+    newly -= n;
+    if (len == 0) sf.mappings.pop_front();
+  }
+  if (gained > 0) {
+    acked_timeline_.push_back({sim_.now(), acked_.total()});
+    if (on_data_acked) on_data_acked(gained, acked_.total());
+    pump_all();  // the data-level window may have opened
+  }
+  maybe_close_subflows();
+}
+
+void MptcpAgent::on_subflow_segment(int /*id*/, const Packet& p) {
+  if (p.data_seq < 0 || p.payload <= 0) return;
+  const std::int64_t gained = received_.add(p.data_seq, p.data_seq + p.payload);
+  if (gained > 0) {
+    delivered_timeline_.push_back({sim_.now(), received_.total()});
+    if (on_data_delivered) on_data_delivered(received_.total());
+  }
+}
+
+void MptcpAgent::kill_subflow(int id, bool send_rst) {
+  Subflow& sf = subflows_[static_cast<std::size_t>(id)];
+  if (sf.dead) return;
+  sf.dead = true;
+  if (send_rst) {
+    Packet rst;
+    rst.connection_id = connection_id_;
+    rst.subflow_id = id;
+    rst.flags.rst = true;
+    rst.sent_at = sim_.now();
+    // Tear-down signal on the dying path itself (works for a soft
+    // "multipath off", where the radio still transmits)...
+    if (sf.transmit) sf.transmit(rst);
+    // ...and MP_FAIL-style over the surviving subflow's path, for
+    // carrier-loss failures where the dying path is already mute.
+    Subflow& peer_sf = subflows_[static_cast<std::size_t>(1 - id)];
+    if (!peer_sf.dead && peer_sf.transmit) peer_sf.transmit(rst);
+  }
+  sf.ep->freeze();
+  // Reinject data this subflow never got acknowledged; the receiver's
+  // interval set deduplicates anything that actually arrived.
+  for (auto& [data_seq, len] : sf.mappings) {
+    if (len > 0) reinject_.emplace_back(data_seq, len);
+  }
+  sf.mappings.clear();
+  // Single-Path mode: open the other subflow now (break-before-make).
+  if (is_client_ && spec_.mode == MpMode::kSinglePath && id == 0) {
+    Subflow& backup = subflows_[1];
+    if (!backup.connected_started && !backup.dead) {
+      backup.connected_started = true;
+      backup.ep->connect();
+    }
+  }
+  pump_all();
+  maybe_fire_closed();
+}
+
+void MptcpAgent::maybe_close_subflows() {
+  if (!close_requested_ || subflow_close_issued_) return;
+  if (!exhausted()) return;
+  if (data_end_ > 0 && acked_.total() < data_end_) return;
+  subflow_close_issued_ = true;
+  for (auto& sf : subflows_) {
+    if (sf.dead) continue;
+    if (!sf.connected_started && !sf.ep->established() &&
+        sf.ep->state() == TcpState::kClosed) {
+      // Never started (Single-Path backup): nothing to close.
+      sf.dead = true;
+      continue;
+    }
+    sf.ep->close_when_done();
+  }
+  maybe_fire_closed();
+}
+
+bool MptcpAgent::finished() const {
+  for (const auto& sf : subflows_) {
+    if (sf.dead) continue;
+    if (sf.ep->state() == TcpState::kListen && !is_client_) continue;  // unused accept slot
+    if (!sf.connected_started && sf.ep->state() == TcpState::kClosed) {
+      continue;  // never opened (Single-Path backup)
+    }
+    if (sf.ep->state() != TcpState::kDone) return false;
+  }
+  return true;
+}
+
+void MptcpAgent::maybe_fire_closed() {
+  if (closed_fired_ || !finished()) return;
+  closed_fired_ = true;
+  if (on_closed) on_closed();
+}
+
+}  // namespace mn

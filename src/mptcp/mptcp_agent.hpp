@@ -1,0 +1,130 @@
+// One end of an MPTCP connection (Linux MPTCP v0.88 semantics, as
+// measured by the paper).
+//
+// The agent owns up to two TCP subflow endpoints (subflow 0 on the
+// primary network, subflow 1 on the other), a data-level scheduler that
+// hands byte ranges to subflows (implementing DataSource), data-level
+// reassembly/ack tracking via interval sets, and the path-failure
+// machinery: RST-signalled soft failures with reinjection, silent
+// blackholes (the Figure-15g stall), and Backup/Single-Path modes.
+//
+// Both the client and the server side are instances of this class; the
+// client additionally drives connect()/join scheduling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mptcp/mptcp.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/tcp_endpoint.hpp"
+#include "util/interval_set.hpp"
+
+namespace mn {
+
+class MptcpAgent final : public DataSource {
+ public:
+  MptcpAgent(Simulator& sim, std::uint64_t connection_id, MptcpSpec spec,
+             bool is_client);
+  ~MptcpAgent() override;
+
+  // ---- wiring ---------------------------------------------------------
+  /// How subflow `id` puts packets on its network.  Must be set for both
+  /// subflows before connect()/listen().
+  void set_transmit(int subflow_id, PacketHandler transmit);
+  /// Feed a packet that arrived for this connection (any subflow).
+  void handle_packet(const Packet& p);
+
+  // ---- control --------------------------------------------------------
+  void connect();  // client: SYN on primary, join the other after
+  void listen();   // server: both subflows accept
+  /// Enqueue data-level bytes for transmission to the peer.
+  void send_data(std::int64_t bytes);
+  /// Close every subflow once all enqueued data is data-level acked.
+  void close_when_done();
+  /// Interface state change on `path` (from NetworkInterface listeners).
+  /// Soft failures arrive here; silent unplugs do not.
+  void notify_path_state(PathId path, bool up);
+
+  // ---- DataSource (called by subflow endpoints) -------------------------
+  std::optional<Chunk> take(std::int64_t max_bytes, int subflow_id) override;
+  [[nodiscard]] bool exhausted() const override;
+
+  // ---- callbacks --------------------------------------------------------
+  std::function<void()> on_established;  // primary subflow up
+  std::function<void(std::int64_t newly, std::int64_t total)> on_data_acked;
+  std::function<void(std::int64_t total)> on_data_delivered;
+  std::function<void()> on_closed;  // all subflows finished
+
+  // ---- introspection ----------------------------------------------------
+  [[nodiscard]] std::int64_t data_acked() const { return acked_.total(); }
+  [[nodiscard]] std::int64_t data_delivered() const { return received_.total(); }
+  /// In-order data-level delivery (what the application could read).
+  [[nodiscard]] std::int64_t data_delivered_in_order() const {
+    return received_.contiguous_from(0);
+  }
+  [[nodiscard]] const std::vector<TimelinePoint>& acked_timeline() const {
+    return acked_timeline_;
+  }
+  [[nodiscard]] const std::vector<TimelinePoint>& delivered_timeline() const {
+    return delivered_timeline_;
+  }
+  [[nodiscard]] const TcpEndpoint& subflow(int id) const { return *subflows_[id].ep; }
+  [[nodiscard]] PathId subflow_path(int id) const { return subflows_[id].path; }
+  [[nodiscard]] bool subflow_dead(int id) const { return subflows_[id].dead; }
+  [[nodiscard]] bool finished() const;
+
+ private:
+  struct Subflow {
+    std::unique_ptr<TcpEndpoint> ep;
+    PathId path = PathId::kWifi;
+    PacketHandler transmit;
+    /// Data ranges assigned, in subflow-send order: (data_seq, len).
+    std::deque<std::pair<std::int64_t, std::int64_t>> mappings;
+    bool dead = false;
+    bool is_backup = false;
+    bool connected_started = false;
+  };
+
+  [[nodiscard]] std::unique_ptr<CongestionController> make_cc();
+  void setup_subflow(int id, PathId path, MpOption syn_option);
+  void start_join();
+  void pump_all();
+  void on_subflow_acked(int id, std::int64_t newly);
+  void on_subflow_segment(int id, const Packet& p);
+  void kill_subflow(int id, bool send_rst);
+  void maybe_close_subflows();
+  void maybe_fire_closed();
+  [[nodiscard]] int active_data_subflow() const;
+
+  Simulator& sim_;
+  std::uint64_t connection_id_;
+  MptcpSpec spec_;
+  bool is_client_;
+  CoupledGroup group_;
+  OliaGroup olia_group_;
+
+  std::array<Subflow, 2> subflows_;
+
+  // Scheduler state (sender side).
+  std::int64_t data_end_ = 0;       // total bytes enqueued
+  std::int64_t next_data_seq_ = 0;  // next unassigned byte
+  std::deque<std::pair<std::int64_t, std::int64_t>> reinject_;
+  std::int64_t last_opportunistic_seq_ = -1;  // one reinjection per stall
+  int last_grant_subflow_ = 1;                // round-robin scheduler state
+  bool close_requested_ = false;
+  bool subflow_close_issued_ = false;
+
+  IntervalSet acked_;    // sender: data-level acked ranges
+  IntervalSet received_;  // receiver: data-level received ranges
+  std::vector<TimelinePoint> acked_timeline_;
+  std::vector<TimelinePoint> delivered_timeline_;
+  bool closed_fired_ = false;
+};
+
+}  // namespace mn

@@ -1,0 +1,127 @@
+#include "mptcp/testbed.hpp"
+
+#include <utility>
+
+#include "util/units.hpp"
+
+namespace mn {
+
+MpNetworkSetup symmetric_setup(const LinkSpec& wifi, const LinkSpec& lte) {
+  MpNetworkSetup s;
+  s.wifi_up = s.wifi_down = wifi;
+  s.lte_up = s.lte_down = lte;
+  return s;
+}
+
+MptcpTestbed::MptcpTestbed(Simulator& sim, const MpNetworkSetup& setup, MptcpSpec spec,
+                           std::uint64_t connection_id)
+    : sim_(sim) {
+  wifi_path_ = std::make_unique<DuplexPath>(sim, setup.wifi_up, setup.wifi_down);
+  lte_path_ = std::make_unique<DuplexPath>(sim, setup.lte_up, setup.lte_down);
+  ifaces_[0] = std::make_unique<NetworkInterface>("wifi", sim, *wifi_path_,
+                                                  setup.wifi_reports_carrier_loss);
+  ifaces_[1] = std::make_unique<NetworkInterface>("lte", sim, *lte_path_,
+                                                  setup.lte_reports_carrier_loss);
+
+  client_ = std::make_unique<MptcpAgent>(sim, connection_id, spec, /*is_client=*/true);
+  server_ = std::make_unique<MptcpAgent>(sim, connection_id, spec, /*is_client=*/false);
+
+  for (int id = 0; id < 2; ++id) {
+    const PathId path = client_->subflow_path(id);
+    NetworkInterface* iface = ifaces_[static_cast<std::size_t>(path)].get();
+    client_->set_transmit(id, [iface](Packet p) { iface->send(std::move(p)); });
+    DuplexPath* dp = (path == PathId::kWifi) ? wifi_path_.get() : lte_path_.get();
+    server_->set_transmit(id, [dp](Packet p) { dp->send_down(std::move(p)); });
+  }
+  // All client-bound traffic funnels into the client agent (subflow_id in
+  // the packet selects the endpoint); same on the server.
+  for (auto& iface : ifaces_) {
+    iface->set_receiver([this](Packet p) { client_->handle_packet(p); });
+  }
+  wifi_path_->set_server_receiver([this](Packet p) { server_->handle_packet(p); });
+  lte_path_->set_server_receiver([this](Packet p) { server_->handle_packet(p); });
+
+  // Interface state changes drive MPTCP path management on the client.
+  for (int pi = 0; pi < 2; ++pi) {
+    const auto path = static_cast<PathId>(pi);
+    ifaces_[static_cast<std::size_t>(pi)]->add_state_listener(
+        [this, path](bool up) { client_->notify_path_state(path, up); });
+    // Packet-event taps (Figure 15 / energy model).
+    ifaces_[static_cast<std::size_t>(pi)]->set_tap(
+        [this, pi](TimePoint t, PacketDir dir, const Packet& p) {
+          events_[static_cast<std::size_t>(pi)].push_back(
+              PacketEvent{t, dir, p.flags, p.payload});
+        });
+  }
+}
+
+MptcpTestbed::~MptcpTestbed() {
+  wifi_path_->set_server_receiver({});
+  lte_path_->set_server_receiver({});
+}
+
+void MptcpTestbed::start_transfer(std::int64_t bytes, Direction dir) {
+  MptcpAgent& sender = (dir == Direction::kUpload) ? *client_ : *server_;
+  sender.send_data(bytes);
+  sender.close_when_done();
+  server_->listen();
+  client_->connect();
+}
+
+bool MptcpTestbed::run_until_finished(Duration timeout) {
+  const TimePoint deadline = sim_.now() + timeout;
+  while (!(client_->finished() && server_->finished()) && sim_.now() < deadline) {
+    if (!sim_.step()) break;
+  }
+  return client_->finished() && server_->finished();
+}
+
+MptcpFlowResult run_mptcp_flow(Simulator& sim, const MpNetworkSetup& setup,
+                               const MptcpSpec& spec, std::int64_t bytes, Direction dir,
+                               Duration timeout, std::uint64_t connection_id) {
+  MptcpTestbed bed{sim, setup, spec, connection_id};
+  const TimePoint start = sim.now();
+  MptcpFlowResult result;
+
+  bed.client().on_established = [&] { result.primary_established = sim.now() - start; };
+  bed.start_transfer(bytes, dir);
+  bed.run_until_finished(timeout);
+
+  // Client-observed data-level clock: delivered for downloads, acked for
+  // uploads (the paper measures at the phone's tcpdump).
+  const auto& tl = (dir == Direction::kDownload) ? bed.client().delivered_timeline()
+                                                 : bed.client().acked_timeline();
+  result.timeline.reserve(tl.size());
+  for (const auto& pt : tl) {
+    result.timeline.push_back({TimePoint{(pt.t - start).usec()}, pt.bytes});
+  }
+  for (int id = 0; id < 2; ++id) {
+    result.subflow_paths[static_cast<std::size_t>(id)] = bed.client().subflow_path(id);
+    const auto& stl = (dir == Direction::kDownload)
+                          ? bed.client().subflow(id).delivered_timeline()
+                          : bed.client().subflow(id).acked_timeline();
+    auto& out = result.subflow_timelines[static_cast<std::size_t>(id)];
+    out.reserve(stl.size());
+    for (const auto& pt : stl) {
+      out.push_back({TimePoint{(pt.t - start).usec()}, pt.bytes});
+    }
+  }
+
+  const std::int64_t observed = result.timeline.empty() ? 0 : result.timeline.back().bytes;
+  if (observed >= bytes) {
+    result.completed = true;
+    for (const auto& pt : result.timeline) {
+      if (pt.bytes >= bytes) {
+        result.completion_time = Duration{pt.t.usec()};
+        break;
+      }
+    }
+    result.throughput_mbps = throughput_mbps(bytes, result.completion_time);
+  } else {
+    result.completion_time = timeout;
+    result.throughput_mbps = throughput_mbps(observed, timeout);
+  }
+  return result;
+}
+
+}  // namespace mn

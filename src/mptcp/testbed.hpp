@@ -1,0 +1,97 @@
+// The simulated counterpart of the paper's Figure-5 measurement setup: a
+// multi-homed client (WiFi + tethered LTE) talking to a single-homed
+// server at MIT, over two emulated duplex paths.
+//
+// The testbed wires one MptcpAgent on each end, exposes the two
+// client-side NetworkInterfaces for failure injection (soft disable /
+// unplug / replug), and records per-interface packet events — the raw
+// material of the Figure-15 timelines and the energy model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mptcp/mptcp_agent.hpp"
+#include "net/path.hpp"
+#include "tcp/flow.hpp"
+
+namespace mn {
+
+/// Link parameters for both directions of both networks.
+struct MpNetworkSetup {
+  LinkSpec wifi_up;
+  LinkSpec wifi_down;
+  LinkSpec lte_up;
+  LinkSpec lte_down;
+  /// A locally attached WiFi radio sees carrier loss; the paper's
+  /// USB-tethered LTE phone does not (the Figure-15g asymmetry).
+  bool wifi_reports_carrier_loss = true;
+  bool lte_reports_carrier_loss = false;
+};
+
+/// Symmetric convenience constructor: same spec both directions per path.
+[[nodiscard]] MpNetworkSetup symmetric_setup(const LinkSpec& wifi, const LinkSpec& lte);
+
+/// One packet crossing a client interface.
+struct PacketEvent {
+  TimePoint t;
+  PacketDir dir = PacketDir::kSent;
+  TcpFlags flags;
+  std::int64_t payload = 0;
+};
+
+class MptcpTestbed {
+ public:
+  MptcpTestbed(Simulator& sim, const MpNetworkSetup& setup, MptcpSpec spec,
+               std::uint64_t connection_id = 1);
+  MptcpTestbed(const MptcpTestbed&) = delete;
+  MptcpTestbed& operator=(const MptcpTestbed&) = delete;
+  ~MptcpTestbed();
+
+  [[nodiscard]] MptcpAgent& client() { return *client_; }
+  [[nodiscard]] MptcpAgent& server() { return *server_; }
+  [[nodiscard]] NetworkInterface& iface(PathId path) {
+    return *ifaces_[static_cast<std::size_t>(path)];
+  }
+  [[nodiscard]] const std::vector<PacketEvent>& events(PathId path) const {
+    return events_[static_cast<std::size_t>(path)];
+  }
+
+  /// Begin a bulk transfer: server.listen + client.connect + data enqueue.
+  void start_transfer(std::int64_t bytes, Direction dir);
+  /// Step the simulator until both agents finish or `timeout` elapses.
+  /// Returns true when the transfer completed cleanly.
+  bool run_until_finished(Duration timeout);
+
+ private:
+  Simulator& sim_;
+  std::unique_ptr<DuplexPath> wifi_path_;
+  std::unique_ptr<DuplexPath> lte_path_;
+  std::array<std::unique_ptr<NetworkInterface>, 2> ifaces_;  // index = PathId
+  std::unique_ptr<MptcpAgent> client_;
+  std::unique_ptr<MptcpAgent> server_;
+  std::array<std::vector<PacketEvent>, 2> events_;
+};
+
+/// Result of one MPTCP bulk flow (run_mptcp_flow).
+struct MptcpFlowResult {
+  bool completed = false;
+  Duration completion_time{0};  // first SYN -> all data observed at client
+  double throughput_mbps = 0.0;
+  Duration primary_established{0};
+  /// Client-observed MPTCP data-level timeline (relative to first SYN).
+  std::vector<TimelinePoint> timeline;
+  /// Client-observed per-subflow byte timelines (index = subflow id;
+  /// subflow 0 is on the primary network).
+  std::array<std::vector<TimelinePoint>, 2> subflow_timelines;
+  std::array<PathId, 2> subflow_paths{PathId::kWifi, PathId::kLte};
+};
+
+[[nodiscard]] MptcpFlowResult run_mptcp_flow(Simulator& sim, const MpNetworkSetup& setup,
+                                             const MptcpSpec& spec, std::int64_t bytes,
+                                             Direction dir, Duration timeout = sec(120),
+                                             std::uint64_t connection_id = 1);
+
+}  // namespace mn

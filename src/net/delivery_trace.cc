@@ -1,0 +1,96 @@
+#include "net/delivery_trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "net/packet.hpp"
+
+namespace mn {
+
+DeliveryTrace::DeliveryTrace(std::vector<Duration> opportunities, Duration period)
+    : opportunities_(std::move(opportunities)), period_(period) {
+  if (opportunities_.empty()) {
+    throw std::invalid_argument("DeliveryTrace: no opportunities");
+  }
+  if (period_.usec() <= 0) {
+    throw std::invalid_argument("DeliveryTrace: non-positive period");
+  }
+  if (!std::is_sorted(opportunities_.begin(), opportunities_.end())) {
+    throw std::invalid_argument("DeliveryTrace: opportunities not sorted");
+  }
+  if (opportunities_.front().usec() < 0 || opportunities_.back() > period_) {
+    throw std::invalid_argument("DeliveryTrace: opportunity outside period");
+  }
+}
+
+TimePoint DeliveryTrace::next_opportunity(TimePoint t) const {
+  const std::int64_t p = period_.usec();
+  const std::int64_t tu = std::max<std::int64_t>(t.usec(), 0);
+  const std::int64_t cycle = tu / p;
+  const Duration offset{tu - cycle * p};
+  auto it = std::lower_bound(opportunities_.begin(), opportunities_.end(), offset);
+  if (it != opportunities_.end()) {
+    return TimePoint{cycle * p + it->usec()};
+  }
+  // Wrap to the first opportunity of the next cycle.
+  return TimePoint{(cycle + 1) * p + opportunities_.front().usec()};
+}
+
+double DeliveryTrace::average_rate_mbps() const {
+  const double bits =
+      static_cast<double>(opportunities_.size()) * static_cast<double>(Packet::kMtu) * 8.0;
+  return bits / static_cast<double>(period_.usec());
+}
+
+std::string DeliveryTrace::to_mahimahi() const {
+  std::ostringstream os;
+  for (const Duration d : opportunities_) {
+    os << (d.usec() / 1000) << '\n';
+  }
+  return os.str();
+}
+
+DeliveryTrace DeliveryTrace::from_mahimahi(const std::string& text) {
+  std::istringstream in(text);
+  std::vector<Duration> opportunities;
+  std::string line;
+  std::int64_t last_ms = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::size_t pos = 0;
+    std::int64_t ms = 0;
+    try {
+      ms = std::stoll(line, &pos);
+    } catch (const std::exception&) {
+      throw std::runtime_error("mahimahi trace: bad line: " + line);
+    }
+    if (pos != line.size() && line[pos] != '\r') {
+      throw std::runtime_error("mahimahi trace: trailing junk: " + line);
+    }
+    if (ms < last_ms) throw std::runtime_error("mahimahi trace: timestamps not sorted");
+    last_ms = ms;
+    opportunities.push_back(msec(ms));
+  }
+  if (opportunities.empty()) throw std::runtime_error("mahimahi trace: empty");
+  const Duration period = std::max(msec(1), opportunities.back());
+  return DeliveryTrace{std::move(opportunities), period};
+}
+
+void DeliveryTrace::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("DeliveryTrace: cannot write " + path);
+  out << to_mahimahi();
+  if (!out) throw std::runtime_error("DeliveryTrace: write failed: " + path);
+}
+
+DeliveryTrace DeliveryTrace::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("DeliveryTrace: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_mahimahi(buf.str());
+}
+
+}  // namespace mn

@@ -1,0 +1,95 @@
+#include "net/links.hpp"
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace mn {
+
+void DelayBox::accept(Packet p) {
+  ++counters_.accepted;
+  sim_.schedule_after(delay_, [this, p = std::move(p)]() mutable { forward(std::move(p)); });
+}
+
+void LossBox::accept(Packet p) {
+  ++counters_.accepted;
+  if (rng_.chance(loss_rate_)) {
+    ++counters_.dropped;
+    return;
+  }
+  forward(std::move(p));
+}
+
+void ReorderBox::accept(Packet p) {
+  ++counters_.accepted;
+  if (rng_.chance(probability_)) {
+    const Duration jitter{static_cast<std::int64_t>(
+        rng_.uniform(0.5, 1.5) * static_cast<double>(extra_delay_.usec()))};
+    sim_.schedule_after(jitter, [this, p = std::move(p)]() mutable {
+      forward(std::move(p));
+    });
+    return;
+  }
+  forward(std::move(p));
+}
+
+RateLink::RateLink(Simulator& sim, double mbps, int queue_packets)
+    : sim_(sim), mbps_(mbps), queue_limit_(queue_packets) {
+  if (mbps <= 0.0) throw std::invalid_argument("RateLink: rate must be positive");
+  if (queue_packets <= 0) throw std::invalid_argument("RateLink: queue must hold >= 1 packet");
+}
+
+void RateLink::accept(Packet p) {
+  ++counters_.accepted;
+  if (queued_ >= queue_limit_) {
+    ++counters_.dropped;
+    return;
+  }
+  ++queued_;
+  const TimePoint start = std::max(sim_.now(), busy_until_);
+  const TimePoint finish = start + transmission_time(p.wire_bytes(), mbps_);
+  busy_until_ = finish;
+  sim_.schedule_at(finish, [this, p = std::move(p)]() mutable {
+    --queued_;
+    forward(std::move(p));
+  });
+}
+
+TraceLink::TraceLink(Simulator& sim, TracePtr trace, int queue_packets)
+    : sim_(sim), trace_(std::move(trace)), queue_limit_(queue_packets) {
+  if (!trace_) throw std::invalid_argument("TraceLink: null trace");
+  if (queue_packets <= 0) throw std::invalid_argument("TraceLink: queue must hold >= 1 packet");
+}
+
+void TraceLink::accept(Packet p) {
+  ++counters_.accepted;
+  if (queue_.size() >= static_cast<std::size_t>(queue_limit_)) {
+    ++counters_.dropped;
+    return;
+  }
+  queue_.push_back(std::move(p));
+  arm_drain();
+}
+
+void TraceLink::arm_drain() {
+  if (drain_armed_ || queue_.empty()) return;
+  const TimePoint when = trace_->next_opportunity(std::max(sim_.now(), next_allowed_));
+  drain_armed_ = true;
+  sim_.schedule_at(when, [this] { drain(); });
+}
+
+void TraceLink::drain() {
+  drain_armed_ = false;
+  // This opportunity is consumed regardless of how much it carries.
+  next_allowed_ = sim_.now() + usec(1);
+  std::int64_t budget = Packet::kMtu;
+  while (!queue_.empty() && queue_.front().wire_bytes() <= budget) {
+    budget -= queue_.front().wire_bytes();
+    Packet p = std::move(queue_.front());
+    queue_.pop_front();
+    forward(std::move(p));
+  }
+  arm_drain();
+}
+
+}  // namespace mn

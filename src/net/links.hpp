@@ -1,0 +1,134 @@
+// Unidirectional packet-pipeline stages: loss, delay, fixed-rate link,
+// and the Mahimahi-style trace-driven link.
+//
+// A stage accepts packets and forwards them to the next handler, possibly
+// later (simulated time) and possibly never (drops).  Stages are composed
+// left-to-right by Path (see path.hpp).  All stages keep simple counters
+// so tests and benches can assert on queue behaviour.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "net/delivery_trace.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace mn {
+
+using PacketHandler = std::function<void(Packet)>;
+
+struct StageCounters {
+  std::uint64_t accepted = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// Base for pipeline stages.  Not copyable: stages are wired by reference.
+class PacketStage {
+ public:
+  PacketStage() = default;
+  PacketStage(const PacketStage&) = delete;
+  PacketStage& operator=(const PacketStage&) = delete;
+  virtual ~PacketStage() = default;
+
+  virtual void accept(Packet p) = 0;
+  void set_next(PacketHandler next) { next_ = std::move(next); }
+
+  [[nodiscard]] const StageCounters& counters() const { return counters_; }
+
+ protected:
+  void forward(Packet p) {
+    ++counters_.delivered;
+    if (next_) next_(std::move(p));
+  }
+  StageCounters counters_;
+
+ private:
+  PacketHandler next_;
+};
+
+/// Constant one-way propagation delay.
+class DelayBox final : public PacketStage {
+ public:
+  DelayBox(Simulator& sim, Duration delay) : sim_(sim), delay_(delay) {}
+  void accept(Packet p) override;
+
+ private:
+  Simulator& sim_;
+  Duration delay_;
+};
+
+/// Independent (Bernoulli) packet loss.
+class LossBox final : public PacketStage {
+ public:
+  LossBox(Rng rng, double loss_rate) : rng_(std::move(rng)), loss_rate_(loss_rate) {}
+  void accept(Packet p) override;
+
+ private:
+  Rng rng_;
+  double loss_rate_;
+};
+
+/// Fixed-rate serializing link with a DropTail queue of `queue_packets`.
+class RateLink final : public PacketStage {
+ public:
+  RateLink(Simulator& sim, double mbps, int queue_packets);
+  void accept(Packet p) override;
+
+  [[nodiscard]] int queued_packets() const { return queued_; }
+
+ private:
+  Simulator& sim_;
+  double mbps_;
+  int queue_limit_;
+  int queued_ = 0;
+  TimePoint busy_until_{0};
+};
+
+/// Random extra delay on a fraction of packets — produces genuine packet
+/// reordering (wireless links reorder under link-layer retransmission).
+/// Used to stress the transport's reordering tolerance.
+class ReorderBox final : public PacketStage {
+ public:
+  ReorderBox(Simulator& sim, Rng rng, double reorder_probability, Duration extra_delay)
+      : sim_(sim),
+        rng_(std::move(rng)),
+        probability_(reorder_probability),
+        extra_delay_(extra_delay) {}
+  void accept(Packet p) override;
+
+ private:
+  Simulator& sim_;
+  Rng rng_;
+  double probability_;
+  Duration extra_delay_;
+};
+
+/// Mahimahi-semantics trace-driven link: a DropTail queue drained by MTU
+/// delivery opportunities from a looping DeliveryTrace.  Each opportunity
+/// carries up to kMtu bytes of whole packets; unused capacity is wasted
+/// (as on a real shared channel slot).
+class TraceLink final : public PacketStage {
+ public:
+  TraceLink(Simulator& sim, TracePtr trace, int queue_packets);
+  void accept(Packet p) override;
+
+  [[nodiscard]] std::size_t queued_packets() const { return queue_.size(); }
+
+ private:
+  void arm_drain();
+  void drain();
+
+  Simulator& sim_;
+  TracePtr trace_;
+  int queue_limit_;
+  std::deque<Packet> queue_;
+  bool drain_armed_ = false;
+  TimePoint next_allowed_{0};  // first instant a new opportunity may fire
+};
+
+}  // namespace mn

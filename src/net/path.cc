@@ -1,0 +1,79 @@
+#include "net/path.hpp"
+
+namespace mn {
+
+OneWayPipe::OneWayPipe(Simulator& sim, const LinkSpec& spec) {
+  if (spec.trace) {
+    link_ = std::make_unique<TraceLink>(sim, spec.trace, spec.queue_packets);
+  } else {
+    link_ = std::make_unique<RateLink>(sim, spec.rate_mbps.value_or(10.0),
+                                       spec.queue_packets);
+  }
+  delay_ = std::make_unique<DelayBox>(sim, spec.one_way_delay);
+  link_->set_next([d = delay_.get()](Packet p) { d->accept(std::move(p)); });
+  if (spec.loss_rate > 0.0) {
+    loss_ = std::make_unique<LossBox>(Rng{spec.loss_seed}, spec.loss_rate);
+    loss_->set_next([l = link_.get()](Packet p) { l->accept(std::move(p)); });
+    entry_ = loss_.get();
+  } else {
+    entry_ = link_.get();
+  }
+}
+
+void OneWayPipe::send(Packet p) { entry_->accept(std::move(p)); }
+
+void OneWayPipe::set_receiver(PacketHandler h) { delay_->set_next(std::move(h)); }
+
+const StageCounters& OneWayPipe::link_counters() const { return link_->counters(); }
+
+DuplexPath::DuplexPath(Simulator& sim, const LinkSpec& uplink, const LinkSpec& downlink)
+    : up_(sim, uplink), down_(sim, downlink) {}
+
+NetworkInterface::NetworkInterface(std::string name, Simulator& sim, DuplexPath& path,
+                                   bool reports_carrier_loss)
+    : name_(std::move(name)),
+      sim_(sim),
+      path_(path),
+      reports_carrier_loss_(reports_carrier_loss) {
+  path_.set_client_receiver([this](Packet p) {
+    if (!up_) return;  // radio is off/unplugged: nothing arrives
+    if (tap_) tap_(sim_.now(), PacketDir::kReceived, p);
+    if (receiver_) receiver_(std::move(p));
+  });
+}
+
+void NetworkInterface::send(Packet p) {
+  if (!up_) return;
+  if (tap_) tap_(sim_.now(), PacketDir::kSent, p);
+  path_.send_up(std::move(p));
+}
+
+void NetworkInterface::set_receiver(PacketHandler h) { receiver_ = std::move(h); }
+
+void NetworkInterface::add_state_listener(std::function<void(bool)> listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void NetworkInterface::set_state(bool up, bool notify) {
+  if (up_ == up) return;
+  up_ = up;
+  if (notify) {
+    for (auto& l : listeners_) l(up_);
+  }
+}
+
+void NetworkInterface::disable_soft() {
+  // "multipath off" via iproute: the interface is still physically able
+  // to transmit while the path manager reacts, so listeners run *before*
+  // the interface stops carrying traffic (this is how the subflow RST
+  // escapes; contrast with unplug()).
+  if (!up_) return;
+  for (auto& l : listeners_) l(false);
+  up_ = false;
+}
+
+void NetworkInterface::unplug() { set_state(false, /*notify=*/reports_carrier_loss_); }
+
+void NetworkInterface::plug_in() { set_state(true, /*notify=*/true); }
+
+}  // namespace mn

@@ -1,0 +1,120 @@
+// Path composition: LinkSpec -> one-way pipelines -> duplex paths, plus
+// the NetworkInterface wrapper that models interface up/down state
+// (including the soft-disable vs silent-unplug distinction from the
+// paper's Section 3.6 failure experiments).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/links.hpp"
+
+namespace mn {
+
+/// Parameters of one link direction.  Exactly one of `rate_mbps` /
+/// `trace` is the capacity model; if both are set the trace wins.
+struct LinkSpec {
+  std::optional<double> rate_mbps;  // fixed-rate link
+  TracePtr trace;                   // Mahimahi-style trace-driven link
+  Duration one_way_delay = msec(10);
+  double loss_rate = 0.0;
+  int queue_packets = 256;
+  std::uint64_t loss_seed = 1;  // seed for the Bernoulli loss stage
+};
+
+/// One direction: [loss] -> capacity link -> propagation delay -> receiver.
+class OneWayPipe {
+ public:
+  OneWayPipe(Simulator& sim, const LinkSpec& spec);
+  OneWayPipe(const OneWayPipe&) = delete;
+  OneWayPipe& operator=(const OneWayPipe&) = delete;
+
+  void send(Packet p);
+  void set_receiver(PacketHandler h);
+
+  [[nodiscard]] const StageCounters& link_counters() const;
+
+ private:
+  std::unique_ptr<LossBox> loss_;       // null when loss_rate == 0
+  std::unique_ptr<PacketStage> link_;   // RateLink or TraceLink
+  std::unique_ptr<DelayBox> delay_;
+  PacketStage* entry_ = nullptr;
+};
+
+/// A bidirectional path between a client and a server.
+class DuplexPath {
+ public:
+  DuplexPath(Simulator& sim, const LinkSpec& uplink, const LinkSpec& downlink);
+
+  /// Client -> server direction.
+  void send_up(Packet p) { up_.send(std::move(p)); }
+  /// Server -> client direction.
+  void send_down(Packet p) { down_.send(std::move(p)); }
+  void set_server_receiver(PacketHandler h) { up_.set_receiver(std::move(h)); }
+  void set_client_receiver(PacketHandler h) { down_.set_receiver(std::move(h)); }
+
+  [[nodiscard]] OneWayPipe& uplink() { return up_; }
+  [[nodiscard]] OneWayPipe& downlink() { return down_; }
+
+ private:
+  OneWayPipe up_;
+  OneWayPipe down_;
+};
+
+/// Direction of a packet crossing an interface, from the client's view.
+enum class PacketDir { kSent, kReceived };
+
+/// Observer of interface activity: (time, direction, packet).  Drives the
+/// Figure-15 timelines and the energy model.
+using InterfaceTap = std::function<void(TimePoint, PacketDir, const Packet&)>;
+
+/// A client-side network interface (the phone's WiFi or LTE radio) in
+/// front of a DuplexPath.
+///
+/// Failure semantics (paper Section 3.6):
+///  - disable_soft(): "multipath off" via iproute — the interface goes
+///    down AND the endpoint is notified (on_down fires), so MPTCP can
+///    fail over immediately.
+///  - unplug(): physical removal — packets blackhole.  on_down fires
+///    only if `reports_carrier_loss` is true (a locally attached radio
+///    whose carrier loss the OS sees); a tethered USB modem that simply
+///    vanishes reports nothing, reproducing the Figure-15g stall.
+///  - plug_in()/enable(): restore connectivity and fire on_up.
+class NetworkInterface {
+ public:
+  NetworkInterface(std::string name, Simulator& sim, DuplexPath& path,
+                   bool reports_carrier_loss = true);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool is_up() const { return up_; }
+
+  /// Client-side send; drops silently when the interface is down.
+  void send(Packet p);
+  /// Endpoint's receive hook (delivery is suppressed while down).
+  void set_receiver(PacketHandler h);
+
+  void set_tap(InterfaceTap tap) { tap_ = std::move(tap); }
+  /// Subscribe to up/down notifications (bool: new up-state).
+  void add_state_listener(std::function<void(bool)> listener);
+
+  void disable_soft();
+  void unplug();
+  void plug_in();
+
+ private:
+  void set_state(bool up, bool notify);
+
+  std::string name_;
+  Simulator& sim_;
+  DuplexPath& path_;
+  bool reports_carrier_loss_;
+  bool up_ = true;
+  PacketHandler receiver_;
+  InterfaceTap tap_;
+  std::vector<std::function<void(bool)>> listeners_;
+};
+
+}  // namespace mn

@@ -1,0 +1,34 @@
+// Synthetic delivery-trace generators.
+//
+// These stand in for the packet-delivery traces the paper recorded on
+// real WiFi and LTE links (Section 5 uses recorded TCP traces to drive
+// Mahimahi; we generate statistically similar ones):
+//   - constant_rate: evenly spaced opportunities (an idealized link).
+//   - poisson: exponential inter-opportunity gaps (WiFi-ish contention).
+//   - two_state: Gilbert-style good/degraded alternation (LTE-ish
+//     scheduler burstiness; also models WiFi interference episodes).
+#pragma once
+
+#include "net/delivery_trace.hpp"
+#include "util/rng.hpp"
+
+namespace mn {
+
+/// Evenly spaced MTU opportunities averaging `mbps` over `period`.
+[[nodiscard]] DeliveryTrace constant_rate_trace(double mbps, Duration period);
+
+/// Poisson arrivals of MTU opportunities averaging `mbps` over `period`.
+[[nodiscard]] DeliveryTrace poisson_trace(double mbps, Duration period, Rng& rng);
+
+struct TwoStateSpec {
+  double good_mbps = 10.0;
+  double bad_mbps = 2.0;
+  Duration mean_dwell = msec(500);  // mean time in each state
+};
+
+/// Two-state Markov-modulated Poisson trace: alternates between good and
+/// degraded delivery rates with exponentially distributed dwell times.
+[[nodiscard]] DeliveryTrace two_state_trace(const TwoStateSpec& spec, Duration period,
+                                            Rng& rng);
+
+}  // namespace mn

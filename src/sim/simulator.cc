@@ -1,0 +1,80 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace mn {
+
+EventId Simulator::schedule_at(TimePoint at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) {
+  if (handlers_.count(id)) cancelled_.insert(id);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(top.id)) {
+      handlers_.erase(top.id);
+      continue;
+    }
+    auto it = handlers_.find(top.id);
+    // Handler must exist: ids are only erased via the cancel path above.
+    auto fn = std::move(it->second);
+    handlers_.erase(it);
+    now_ = top.at;
+    ++fired_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  while (!queue_.empty()) {
+    // Peek past cancelled entries without firing.
+    const Entry top = queue_.top();
+    if (cancelled_.count(top.id)) {
+      queue_.pop();
+      cancelled_.erase(top.id);
+      handlers_.erase(top.id);
+      continue;
+    }
+    if (top.at > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run_until_idle() {
+  while (step()) {
+  }
+}
+
+void Timer::restart(Duration delay) {
+  stop();
+  armed_ = true;
+  pending_ = sim_.schedule_after(delay, [this] {
+    armed_ = false;
+    on_fire_();
+  });
+}
+
+void Timer::stop() {
+  if (armed_) {
+    sim_.cancel(pending_);
+    armed_ = false;
+  }
+}
+
+}  // namespace mn

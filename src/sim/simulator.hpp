@@ -1,0 +1,96 @@
+// Deterministic single-threaded discrete-event engine.
+//
+// The Simulator owns a priority queue of (time, sequence#) -> callback
+// events.  Ties on time break on insertion order, so a run is a pure
+// function of its inputs.  Components hold a Simulator& and schedule
+// their own futures; the top-level experiment calls run_until /
+// run_until_idle.
+//
+// Cancellation: schedule() returns an EventId; cancel() marks the entry
+// dead (it is skipped when popped).  Timer wraps the
+// schedule-cancel-reschedule pattern used by retransmission timeouts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace mn {
+
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (clamped to >= now).
+  EventId schedule_at(TimePoint at, std::function<void()> fn);
+  /// Schedule `fn` to run after `delay`.
+  EventId schedule_after(Duration delay, std::function<void()> fn);
+  /// Cancel a pending event.  Cancelling an already-fired or unknown id
+  /// is a no-op (the common race when a timer fires while being reset).
+  void cancel(EventId id);
+
+  /// Run events until the queue empties or the clock would pass `deadline`.
+  /// The clock is left at the last fired event (or `deadline` if reached).
+  void run_until(TimePoint deadline);
+  /// Run until no events remain.
+  void run_until_idle();
+  /// Fire exactly one event if one is pending; returns false when idle.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    EventId id;
+    // Ordered min-first by (time, id): id is the insertion sequence, so
+    // simultaneous events fire in the order they were scheduled.
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  TimePoint now_{0};
+  EventId next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+/// A restartable one-shot timer (RTO, join delays, app think time...).
+class Timer {
+ public:
+  Timer(Simulator& sim, std::function<void()> on_fire)
+      : sim_(sim), on_fire_(std::move(on_fire)) {}
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  ~Timer() { stop(); }
+
+  /// (Re)arm the timer to fire after `delay` from now.
+  void restart(Duration delay);
+  /// Disarm; no-op if not armed.
+  void stop();
+  [[nodiscard]] bool armed() const { return armed_; }
+
+ private:
+  Simulator& sim_;
+  std::function<void()> on_fire_;
+  EventId pending_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace mn

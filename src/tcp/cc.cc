@@ -1,0 +1,191 @@
+#include "tcp/cc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/packet.hpp"
+
+namespace mn {
+namespace {
+
+constexpr std::int64_t kMss = Packet::kMss;
+constexpr std::int64_t kInitialWindow = 10 * kMss;  // Linux 3.x IW10
+constexpr std::int64_t kInitialSsthresh = 1'000'000 * kMss;  // "infinite"
+constexpr std::int64_t kMinCwnd = 2 * kMss;
+
+}  // namespace
+
+void AimdCc::on_established() {
+  cwnd_ = kInitialWindow;
+  ssthresh_ = kInitialSsthresh;
+}
+
+void AimdCc::on_ack(std::int64_t newly_acked, Duration rtt) {
+  if (rtt.usec() > 0) last_rtt_ = rtt;
+  if (in_slow_start()) {
+    cwnd_ += newly_acked;
+  } else {
+    cwnd_ += std::max<std::int64_t>(0, ca_increase(newly_acked, last_rtt_));
+  }
+}
+
+void AimdCc::on_enter_recovery(std::int64_t flight_bytes) {
+  // SACK pipe-style recovery: halve to ssthresh and rely on flight
+  // accounting for self-clocking (no Reno window inflation — with SACK
+  // each delivery visibly reduces the pipe, which is strictly better
+  // behaved than inflation under burst loss).
+  ssthresh_ = std::max(flight_bytes / 2, kMinCwnd);
+  cwnd_ = ssthresh_;
+}
+
+void AimdCc::on_dupack_in_recovery() {}
+
+void AimdCc::on_exit_recovery() { cwnd_ = ssthresh_; }
+
+void AimdCc::on_retransmit_timeout() {
+  ssthresh_ = std::max(cwnd_ / 2, kMinCwnd);
+  cwnd_ = kMss;
+}
+
+std::int64_t RenoCc::ca_increase(std::int64_t newly_acked, Duration /*rtt*/) {
+  // One MSS per cwnd of acked data: cwnd += MSS*MSS/cwnd, scaled by acked.
+  if (cwnd_ <= 0) return kMss;
+  return std::max<std::int64_t>(1, kMss * newly_acked / cwnd_);
+}
+
+void CoupledGroup::remove(LiaCc* member) {
+  std::erase(members_, member);
+}
+
+std::int64_t CoupledGroup::total_cwnd_bytes() const {
+  std::int64_t total = 0;
+  for (const LiaCc* m : members_) total += m->current_cwnd();
+  return total;
+}
+
+double CoupledGroup::alpha() const {
+  // alpha = cwnd_total * max_i(cwnd_i/rtt_i^2) / (sum_i cwnd_i/rtt_i)^2
+  // (windows in MSS, rtts in seconds; RFC 6356 section 4).
+  double best_ratio = 0.0;
+  double sum = 0.0;
+  double total_mss = 0.0;
+  for (const LiaCc* m : members_) {
+    const double cwnd_mss = static_cast<double>(m->current_cwnd()) / kMss;
+    double rtt_s = m->current_rtt().seconds();
+    if (rtt_s <= 1e-6) rtt_s = 0.1;  // no sample yet: assume 100 ms
+    best_ratio = std::max(best_ratio, cwnd_mss / (rtt_s * rtt_s));
+    sum += cwnd_mss / rtt_s;
+    total_mss += cwnd_mss;
+  }
+  if (sum <= 0.0) return 1.0;
+  return std::max(1e-6, total_mss * best_ratio / (sum * sum));
+}
+
+LiaCc::LiaCc(CoupledGroup& group) : group_(group) { group_.add(this); }
+
+LiaCc::~LiaCc() { group_.remove(this); }
+
+std::int64_t LiaCc::ca_increase(std::int64_t newly_acked, Duration /*rtt*/) {
+  const std::int64_t total = std::max<std::int64_t>(group_.total_cwnd_bytes(), kMss);
+  const double alpha = group_.alpha();
+  // Linked increase: min(alpha * acked * MSS / cwnd_total, acked * MSS / cwnd_i)
+  const double coupled =
+      alpha * static_cast<double>(newly_acked) * static_cast<double>(kMss) /
+      static_cast<double>(total);
+  const double uncoupled = static_cast<double>(newly_acked) * static_cast<double>(kMss) /
+                           static_cast<double>(std::max(cwnd_, kMss));
+  return static_cast<std::int64_t>(std::min(coupled, uncoupled));
+}
+
+void OliaGroup::remove(OliaCc* member) { std::erase(members_, member); }
+
+OliaCc::OliaCc(OliaGroup& group) : group_(group) { group_.add(this); }
+
+OliaCc::~OliaCc() { group_.remove(this); }
+
+std::int64_t OliaCc::ca_increase(std::int64_t newly_acked, Duration /*rtt*/) {
+  const auto& members = group_.members();
+  const double n = static_cast<double>(members.size());
+  auto rtt_s = [](const OliaCc* m) {
+    const double s = m->current_rtt().seconds();
+    return s > 1e-6 ? s : 0.1;
+  };
+  auto quality = [&rtt_s](const OliaCc* m) {
+    const double r = rtt_s(m);
+    return static_cast<double>(m->current_cwnd()) / (r * r);
+  };
+  // Denominator: (sum_p w_p / rtt_p)^2, in MSS/second units.
+  double sum = 0.0;
+  double max_w = 0.0;
+  double best_q = 0.0;
+  for (const OliaCc* m : members) {
+    sum += static_cast<double>(m->current_cwnd()) / kMss / rtt_s(m);
+    max_w = std::max(max_w, static_cast<double>(m->current_cwnd()));
+    best_q = std::max(best_q, quality(m));
+  }
+  if (sum <= 0.0) return kMss;
+  // alpha: collected = best-quality paths without the max window.
+  int collected = 0;
+  int maxed = 0;
+  for (const OliaCc* m : members) {
+    const bool is_best = quality(m) >= best_q * 0.999;
+    const bool is_max = static_cast<double>(m->current_cwnd()) >= max_w * 0.999;
+    if (is_best && !is_max) ++collected;
+    if (is_max) ++maxed;
+  }
+  const bool self_best = quality(this) >= best_q * 0.999;
+  const bool self_max = static_cast<double>(cwnd_) >= max_w * 0.999;
+  double alpha = 0.0;
+  if (collected > 0) {
+    if (self_best && !self_max) {
+      alpha = 1.0 / (n * collected);
+    } else if (self_max) {
+      alpha = -1.0 / (n * maxed);
+    }
+  }
+  const double w_mss = static_cast<double>(std::max(cwnd_, kMss)) / kMss;
+  const double coupled_term = (w_mss / (rtt_s(this) * rtt_s(this))) / (sum * sum);
+  const double per_mss_acked = static_cast<double>(newly_acked) / kMss;
+  const double dw_mss = (coupled_term + alpha / w_mss) * per_mss_acked;
+  // Never decrease below a Reno-fractional floor nor exceed Reno's gain.
+  const double reno_mss = per_mss_acked / w_mss;
+  const double clamped = std::clamp(dw_mss, -0.5 * reno_mss, reno_mss);
+  return static_cast<std::int64_t>(clamped * kMss);
+}
+
+void CubicLiteCc::on_enter_recovery(std::int64_t flight_bytes) {
+  w_max_mss_ = static_cast<double>(cwnd_) / kMss;
+  since_decrease_s_ = 0.0;
+  // CUBIC beta = 0.7.
+  ssthresh_ = std::max(static_cast<std::int64_t>(static_cast<double>(flight_bytes) * 0.7),
+                       kMinCwnd);
+  cwnd_ = ssthresh_;
+}
+
+void CubicLiteCc::on_retransmit_timeout() {
+  w_max_mss_ = static_cast<double>(cwnd_) / kMss;
+  since_decrease_s_ = 0.0;
+  ssthresh_ = std::max(static_cast<std::int64_t>(static_cast<double>(cwnd_) * 0.7), kMinCwnd);
+  cwnd_ = kMss;
+}
+
+std::int64_t CubicLiteCc::ca_increase(std::int64_t newly_acked, Duration rtt) {
+  // Advance the CA clock by the fraction of a window this ACK covers.
+  double rtt_s = rtt.seconds();
+  if (rtt_s <= 1e-6) rtt_s = 0.05;
+  since_decrease_s_ +=
+      rtt_s * static_cast<double>(newly_acked) / static_cast<double>(std::max(cwnd_, kMss));
+  constexpr double kC = 0.4;
+  const double k = std::cbrt(w_max_mss_ * 0.3 / kC);
+  const double t = since_decrease_s_ - k;
+  const double target_mss = kC * t * t * t + w_max_mss_;
+  const auto target = static_cast<std::int64_t>(target_mss * kMss);
+  if (target <= cwnd_) {
+    // Plateau: grow at least Reno-fashion so we never stall entirely.
+    return std::max<std::int64_t>(1, kMss * newly_acked / (50 * cwnd_ / kMss + cwnd_));
+  }
+  // Approach the cubic target over roughly one RTT.
+  return std::max<std::int64_t>(1, (target - cwnd_) * newly_acked / std::max(cwnd_, kMss));
+}
+
+}  // namespace mn

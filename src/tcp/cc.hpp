@@ -1,0 +1,165 @@
+// Congestion-control algorithms.
+//
+// The endpoint owns the loss-detection machinery (dupacks, recovery,
+// RTO); the CongestionController owns the window.  This split is what
+// lets MPTCP swap the *increase* rule per subflow:
+//   - RenoCc        — standard slow start + AIMD; the paper's
+//                     "decoupled" MPTCP runs one RenoCc per subflow.
+//   - LiaCc         — RFC 6356 / Wischik et al. Linked Increases
+//                     ("coupled"): subflows in a CoupledGroup share an
+//                     aggressiveness budget, shifting load onto the
+//                     less-congested path.
+//   - CubicLiteCc   — a simplified CUBIC window growth, provided as the
+//                     single-path baseline ablation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace mn {
+
+class CongestionController {
+ public:
+  CongestionController() = default;
+  CongestionController(const CongestionController&) = delete;
+  CongestionController& operator=(const CongestionController&) = delete;
+  virtual ~CongestionController() = default;
+
+  /// Connection established: initialize cwnd (IW10 per Linux 3.x).
+  virtual void on_established() = 0;
+  /// `newly_acked` bytes cumulatively acknowledged; `rtt` is the sample
+  /// for this ACK (zero duration when the sample is invalid/Karn-ignored).
+  virtual void on_ack(std::int64_t newly_acked, Duration rtt) = 0;
+  /// Third duplicate ACK: multiplicative decrease, enter fast recovery.
+  virtual void on_enter_recovery(std::int64_t flight_bytes) = 0;
+  /// Additional dupack during recovery (window inflation).
+  virtual void on_dupack_in_recovery() = 0;
+  /// Recovery completed (full ACK): deflate to ssthresh.
+  virtual void on_exit_recovery() = 0;
+  /// Retransmission timeout: collapse to one segment.
+  virtual void on_retransmit_timeout() = 0;
+
+  [[nodiscard]] virtual std::int64_t cwnd_bytes() const = 0;
+  [[nodiscard]] virtual std::int64_t ssthresh_bytes() const = 0;
+  [[nodiscard]] virtual bool in_slow_start() const = 0;
+};
+
+/// Shared base: slow start, AIMD bookkeeping, recovery inflation.  The
+/// congestion-avoidance increase is the virtual hot spot.
+class AimdCc : public CongestionController {
+ public:
+  void on_established() override;
+  void on_ack(std::int64_t newly_acked, Duration rtt) override;
+  void on_enter_recovery(std::int64_t flight_bytes) override;
+  void on_dupack_in_recovery() override;
+  void on_exit_recovery() override;
+  void on_retransmit_timeout() override;
+
+  [[nodiscard]] std::int64_t cwnd_bytes() const override { return cwnd_; }
+  [[nodiscard]] std::int64_t ssthresh_bytes() const override { return ssthresh_; }
+  [[nodiscard]] bool in_slow_start() const override { return cwnd_ < ssthresh_; }
+
+ protected:
+  /// Bytes to add to cwnd for `newly_acked` bytes in congestion avoidance.
+  [[nodiscard]] virtual std::int64_t ca_increase(std::int64_t newly_acked,
+                                                 Duration rtt) = 0;
+
+  std::int64_t cwnd_ = 0;
+  std::int64_t ssthresh_ = 0;
+  Duration last_rtt_{0};
+};
+
+/// Classic NewReno AIMD.
+class RenoCc final : public AimdCc {
+ protected:
+  std::int64_t ca_increase(std::int64_t newly_acked, Duration rtt) override;
+};
+
+class LiaCc;
+
+/// The shared state of one MPTCP connection's coupled subflows.  Owns
+/// nothing; LiaCc instances register/deregister themselves.
+class CoupledGroup {
+ public:
+  void add(LiaCc* member) { members_.push_back(member); }
+  void remove(LiaCc* member);
+
+  /// RFC 6356 alpha: total_cwnd * max_i(cwnd_i/rtt_i^2) / (sum_i cwnd_i/rtt_i)^2,
+  /// computed in MSS-and-seconds units.
+  [[nodiscard]] double alpha() const;
+  [[nodiscard]] std::int64_t total_cwnd_bytes() const;
+
+ private:
+  std::vector<LiaCc*> members_;
+};
+
+/// RFC 6356 Linked-Increases coupled congestion control.  Slow start and
+/// decreases are per-subflow Reno; only the CA increase is coupled.
+class LiaCc final : public AimdCc {
+ public:
+  explicit LiaCc(CoupledGroup& group);
+  ~LiaCc() override;
+
+  [[nodiscard]] std::int64_t current_cwnd() const { return cwnd_; }
+  [[nodiscard]] Duration current_rtt() const { return last_rtt_; }
+
+ protected:
+  std::int64_t ca_increase(std::int64_t newly_acked, Duration rtt) override;
+
+ private:
+  CoupledGroup& group_;
+};
+
+class OliaCc;
+
+/// Shared state for OLIA-coupled subflows (Khalili et al., CoNEXT'12 —
+/// the paper's reference [10], "MPTCP is not Pareto-optimal").
+class OliaGroup {
+ public:
+  void add(OliaCc* member) { members_.push_back(member); }
+  void remove(OliaCc* member);
+  [[nodiscard]] const std::vector<OliaCc*>& members() const { return members_; }
+
+ private:
+  std::vector<OliaCc*> members_;
+};
+
+/// Simplified OLIA: the window increase couples subflows through
+///   dw_r = ( (w_r/rtt_r^2) / (sum_p w_p/rtt_p)^2  +  a_r / w_r ) per RTT,
+/// where a_r shifts capacity from max-window paths toward the best paths
+/// (by w/rtt^2, our proxy for OLIA's inter-loss-distance quality metric)
+/// that are not yet carrying the largest window.
+class OliaCc final : public AimdCc {
+ public:
+  explicit OliaCc(OliaGroup& group);
+  ~OliaCc() override;
+
+  [[nodiscard]] std::int64_t current_cwnd() const { return cwnd_; }
+  [[nodiscard]] Duration current_rtt() const { return last_rtt_; }
+
+ protected:
+  std::int64_t ca_increase(std::int64_t newly_acked, Duration rtt) override;
+
+ private:
+  OliaGroup& group_;
+};
+
+/// Simplified CUBIC: cubic window growth from the last-loss window, with
+/// the standard beta=0.7 decrease.  Used for single-path ablations.
+class CubicLiteCc final : public AimdCc {
+ public:
+  void on_enter_recovery(std::int64_t flight_bytes) override;
+  void on_retransmit_timeout() override;
+
+ protected:
+  std::int64_t ca_increase(std::int64_t newly_acked, Duration rtt) override;
+
+ private:
+  double w_max_mss_ = 0.0;      // window before the last decrease, in MSS
+  double since_decrease_s_ = 0.0;  // CA time proxy, advanced per ACK
+};
+
+}  // namespace mn

@@ -1,0 +1,121 @@
+#include "tcp/flow.hpp"
+
+#include <algorithm>
+
+#include "util/units.hpp"
+
+namespace mn {
+
+CcFactory reno_factory() {
+  return [] { return std::make_unique<RenoCc>(); };
+}
+
+double timeline_throughput_at(const std::vector<TimelinePoint>& timeline, Duration t) {
+  if (t.usec() <= 0) return 0.0;
+  std::int64_t bytes = 0;
+  for (const auto& pt : timeline) {
+    if (pt.t.usec() > t.usec()) break;
+    bytes = pt.bytes;
+  }
+  return throughput_mbps(bytes, t);
+}
+
+FlowResult run_bulk_flow(Simulator& sim, DuplexPath& path, std::int64_t bytes,
+                         Direction dir, const CcFactory& cc_factory, Duration timeout,
+                         std::uint64_t connection_id) {
+  TcpConfig client_cfg;
+  client_cfg.connection_id = connection_id;
+  TcpConfig server_cfg = client_cfg;
+
+  TcpEndpoint client{sim, client_cfg, cc_factory()};
+  TcpEndpoint server{sim, server_cfg, cc_factory()};
+  client.set_transmit([&path](Packet p) { path.send_up(std::move(p)); });
+  server.set_transmit([&path](Packet p) { path.send_down(std::move(p)); });
+  path.set_client_receiver([&client](Packet p) { client.handle_packet(p); });
+  path.set_server_receiver([&server](Packet p) { server.handle_packet(p); });
+
+  const TimePoint start = sim.now();
+  FlowResult result;
+
+  client.on_established = [&] { result.syn_rtt = sim.now() - start; };
+
+  TcpEndpoint& sender = (dir == Direction::kUpload) ? client : server;
+  sender.send_bytes(bytes);
+  sender.close_when_done();
+
+  server.listen();
+  client.connect();
+
+  const TimePoint deadline = start + timeout;
+  auto finished = [&] {
+    return client.state() == TcpState::kDone && server.state() == TcpState::kDone;
+  };
+  while (!finished() && sim.now() < deadline) {
+    if (!sim.step()) break;
+  }
+
+  // The client-observed byte clock: delivered bytes for a download, acked
+  // bytes for an upload (what tcpdump at the phone would show).
+  const auto& client_timeline =
+      (dir == Direction::kDownload) ? client.delivered_timeline() : client.acked_timeline();
+  result.timeline.reserve(client_timeline.size());
+  for (const auto& pt : client_timeline) {
+    result.timeline.push_back({TimePoint{(pt.t - start).usec()}, pt.bytes});
+  }
+  result.retransmits = client.retransmit_count() + server.retransmit_count();
+
+  const std::int64_t observed =
+      result.timeline.empty() ? 0 : result.timeline.back().bytes;
+  if (observed >= bytes) {
+    result.completed = true;
+    // Completion = when the byte count first reached the target.
+    for (const auto& pt : result.timeline) {
+      if (pt.bytes >= bytes) {
+        result.completion_time = Duration{pt.t.usec()};
+        break;
+      }
+    }
+    result.throughput_mbps = throughput_mbps(bytes, result.completion_time);
+  } else {
+    result.completion_time = timeout;
+    result.throughput_mbps = throughput_mbps(observed, timeout);
+  }
+
+  // Detach path handlers: packets still in flight after this run must not
+  // call into the endpoints we are about to destroy.
+  path.set_client_receiver({});
+  path.set_server_receiver({});
+  return result;
+}
+
+Duration measure_ping_rtt(Simulator& sim, DuplexPath& path, int count) {
+  Duration total{0};
+  int completed = 0;
+  // Echo server: bounce everything straight back.
+  path.set_server_receiver([&path](Packet p) { path.send_down(std::move(p)); });
+  for (int i = 0; i < count; ++i) {
+    bool got = false;
+    const TimePoint sent = sim.now();
+    path.set_client_receiver([&](Packet) {
+      if (!got) {
+        got = true;
+        total += sim.now() - sent;
+      }
+    });
+    Packet ping;
+    ping.connection_id = 0xEC40u;  // out-of-band marker; no endpoint routing
+    ping.payload = 56;             // ICMP echo payload size
+    path.send_up(std::move(ping));
+    const TimePoint deadline = sim.now() + sec(5);
+    while (!got && sim.now() < deadline) {
+      if (!sim.step()) break;
+    }
+    if (got) ++completed;
+  }
+  path.set_client_receiver({});
+  path.set_server_receiver({});
+  if (completed == 0) return sec(5);
+  return Duration{total.usec() / completed};
+}
+
+}  // namespace mn

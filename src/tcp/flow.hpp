@@ -1,0 +1,56 @@
+// Bulk-flow drivers: run one single-path TCP transfer over a DuplexPath
+// and report the paper's flow-level metrics (completion time, average
+// throughput since SYN, the client-observed byte timeline), plus the
+// ping-RTT measurement used by the Cell vs WiFi app (Figure 4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/path.hpp"
+#include "tcp/tcp_endpoint.hpp"
+
+namespace mn {
+
+/// Transfer direction from the client's point of view.
+enum class Direction { kUpload, kDownload };
+
+using CcFactory = std::function<std::unique_ptr<CongestionController>()>;
+
+/// The default congestion control (NewReno, as in the paper's kernels).
+[[nodiscard]] CcFactory reno_factory();
+
+struct FlowResult {
+  bool completed = false;
+  /// From the first SYN to the last data byte observed at the client
+  /// (delivered for downloads, acked for uploads) — the paper's clock.
+  Duration completion_time{0};
+  double throughput_mbps = 0.0;
+  /// SYN -> SYN-ACK at the client.
+  Duration syn_rtt{0};
+  /// Client-observed cumulative byte timeline (times relative to SYN).
+  std::vector<TimelinePoint> timeline;
+  std::uint64_t retransmits = 0;
+};
+
+/// Average throughput implied by a timeline at time `t` since flow start
+/// (the paper's "average throughput from establishment to time t").
+[[nodiscard]] double timeline_throughput_at(const std::vector<TimelinePoint>& timeline,
+                                            Duration t);
+
+/// Runs one bulk transfer of `bytes` over `path` and returns its result.
+/// The simulator is advanced as a side effect (run one flow per Simulator
+/// instance, or accept serialized flows).
+[[nodiscard]] FlowResult run_bulk_flow(Simulator& sim, DuplexPath& path,
+                                       std::int64_t bytes, Direction dir,
+                                       const CcFactory& cc_factory = reno_factory(),
+                                       Duration timeout = sec(120),
+                                       std::uint64_t connection_id = 1);
+
+/// Sends `count` sequential ICMP-sized echo exchanges over an idle path
+/// and returns the average RTT (the Cell vs WiFi app's 10-ping average).
+[[nodiscard]] Duration measure_ping_rtt(Simulator& sim, DuplexPath& path, int count = 10);
+
+}  // namespace mn

@@ -1,0 +1,44 @@
+// Demultiplexing of packets arriving on a host: routes by
+// (connection_id, subflow_id) to the owning endpoint, with a listener
+// hook for SYNs that match no endpoint (how servers accept new
+// connections and MPTCP joins).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "net/links.hpp"
+#include "net/packet.hpp"
+
+namespace mn {
+
+class PacketMux {
+ public:
+  using Key = std::pair<std::uint64_t, int>;
+
+  /// Route packets for (conn, subflow) to `handler`.  Re-attaching the
+  /// same key replaces the previous handler.
+  void attach(std::uint64_t conn, int subflow, PacketHandler handler);
+  void detach(std::uint64_t conn, int subflow);
+
+  /// Called (before dropping) for any SYN that matches no endpoint.
+  /// The listener typically creates an endpoint, attaches it, and
+  /// re-dispatches the packet.
+  void set_syn_listener(std::function<void(const Packet&)> listener) {
+    syn_listener_ = std::move(listener);
+  }
+
+  void dispatch(const Packet& p);
+
+  [[nodiscard]] std::size_t endpoint_count() const { return routes_.size(); }
+  [[nodiscard]] std::uint64_t unroutable_count() const { return unroutable_; }
+
+ private:
+  std::map<Key, PacketHandler> routes_;
+  std::function<void(const Packet&)> syn_listener_;
+  std::uint64_t unroutable_ = 0;
+};
+
+}  // namespace mn

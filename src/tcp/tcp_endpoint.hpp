@@ -1,0 +1,236 @@
+// A packet-level TCP endpoint on the simulator.
+//
+// Models what the paper's measurements depend on: the SYN/SYN-ACK
+// handshake (whose RTT drives the primary-subflow effect for short
+// flows), slow start from IW10, NewReno congestion avoidance with fast
+// retransmit/recovery, RFC 6298 RTO with Karn's rule and exponential
+// backoff, cumulative ACKs with out-of-order reassembly, and the
+// FIN/FIN-ACK close visible in the Figure-15 timelines.
+//
+// Data is synthetic: the endpoint moves byte *counts*, not buffers.  Two
+// feeding modes exist:
+//   - buffer mode: send_bytes() appends to an internal counter (plain TCP)
+//   - source mode: a DataSource is pulled chunk-by-chunk; each chunk
+//     carries a data-level sequence number (how MPTCP subflows get data
+//     and how segment->data-seq mappings are formed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/links.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/cc.hpp"
+
+namespace mn {
+
+enum class TcpState {
+  kClosed,
+  kListen,
+  kSynSent,
+  kSynReceived,
+  kEstablished,
+  kDone,  // both FINs exchanged and acknowledged
+};
+
+/// Pull-model data provider (the MPTCP scheduler plugs in here).
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+  struct Chunk {
+    std::int64_t bytes = 0;
+    std::int64_t data_seq = -1;
+  };
+  /// Hand out up to `max_bytes` to the asking subflow, or nullopt to
+  /// withhold (e.g. a backup subflow, or a better subflow has room).
+  virtual std::optional<Chunk> take(std::int64_t max_bytes, int subflow_id) = 0;
+  /// Whether any data remains unassigned (used for FIN timing).
+  [[nodiscard]] virtual bool exhausted() const = 0;
+};
+
+struct TcpConfig {
+  std::uint64_t connection_id = 1;
+  int subflow_id = 0;
+  MpOption syn_option = MpOption::kNone;  // kCapable / kJoin for MPTCP
+  Duration min_rto = msec(200);           // Linux TCP_RTO_MIN
+  Duration initial_rto = sec(1);
+  Duration max_rto = sec(60);
+  bool auto_close_on_peer_fin = true;     // respond to FIN with our FIN
+};
+
+/// A point of (time, cumulative bytes) used for throughput-vs-time curves.
+struct TimelinePoint {
+  TimePoint t;
+  std::int64_t bytes = 0;
+};
+
+class TcpEndpoint {
+ public:
+  TcpEndpoint(Simulator& sim, TcpConfig config, std::unique_ptr<CongestionController> cc);
+  TcpEndpoint(const TcpEndpoint&) = delete;
+  TcpEndpoint& operator=(const TcpEndpoint&) = delete;
+
+  // ---- wiring --------------------------------------------------------
+  void set_transmit(PacketHandler transmit) { transmit_ = std::move(transmit); }
+  void handle_packet(const Packet& p);
+
+  // ---- control -------------------------------------------------------
+  void connect();  // active open (client)
+  void listen();   // passive open (server)
+  /// Buffer mode: enqueue application bytes for transmission.
+  void send_bytes(std::int64_t bytes);
+  /// Source mode: pull data from `source` (not owned).  Exclusive with
+  /// send_bytes().
+  void set_source(DataSource* source) { source_ = source; }
+  /// Send FIN once all queued/pulled data has been transmitted.
+  void close_when_done();
+  /// Stop all timers and go quiescent (path torn down by MPTCP).
+  void freeze();
+  /// The underlying link came back: emit window-update ACKs so the peer's
+  /// dupack machinery revives its retransmissions (paper Figure 15g, the
+  /// replug behaviour), and retry anything we have outstanding.
+  void on_link_up();
+  /// MPTCP penalization (Raiciu et al.): this subflow is hogging the
+  /// connection-level receive window — halve its congestion window.
+  /// Rate-limited to once per SRTT internally.
+  void penalize();
+  /// Try to transmit (window/data permitting).  Public so the MPTCP
+  /// scheduler can drive subflows centrally.
+  void pump();
+
+  // ---- callbacks -----------------------------------------------------
+  std::function<void()> on_established;
+  /// Sender side: cumulative data bytes newly acknowledged.
+  std::function<void(std::int64_t newly, std::int64_t total)> on_acked;
+  /// Receiver side: in-order delivered byte total advanced.
+  std::function<void(std::int64_t total)> on_delivered;
+  /// Receiver side: every accepted data segment (MPTCP reassembly taps
+  /// this; may see duplicates from retransmissions).
+  std::function<void(const Packet&)> on_data_segment;
+  /// Window may have opened; MPTCP uses this to run its scheduler.  When
+  /// unset the endpoint pumps itself.
+  std::function<void()> on_send_possible;
+  std::function<void()> on_closed;
+
+  // ---- introspection -------------------------------------------------
+  [[nodiscard]] TcpState state() const { return state_; }
+  [[nodiscard]] bool established() const { return state_ == TcpState::kEstablished; }
+  [[nodiscard]] Duration srtt() const { return srtt_; }
+  [[nodiscard]] Duration rto() const { return rto_; }
+  [[nodiscard]] std::int64_t bytes_acked() const { return max_acked_data_; }
+  [[nodiscard]] std::int64_t bytes_delivered() const { return delivered_data_; }
+  [[nodiscard]] std::int64_t flight_bytes() const { return flight_bytes_; }
+  [[nodiscard]] const CongestionController& cc() const { return *cc_; }
+  [[nodiscard]] bool can_send_more() const;
+  [[nodiscard]] std::int64_t window_space() const;
+  [[nodiscard]] TimePoint established_at() const { return established_at_; }
+  [[nodiscard]] const std::vector<TimelinePoint>& acked_timeline() const {
+    return acked_timeline_;
+  }
+  [[nodiscard]] const std::vector<TimelinePoint>& delivered_timeline() const {
+    return delivered_timeline_;
+  }
+  [[nodiscard]] std::uint64_t retransmit_count() const { return retransmits_; }
+  [[nodiscard]] std::uint64_t rto_count() const { return rto_events_; }
+  [[nodiscard]] std::uint64_t probe_count() const { return probe_events_; }
+
+ private:
+  struct Segment {
+    std::int64_t len = 0;
+    std::int64_t data_seq = -1;
+    TimePoint first_sent{};
+    TimePoint last_sent{};
+    bool retransmitted = false;
+    bool lost = false;    // awaiting retransmission; not counted in flight
+    bool sacked = false;  // receiver holds it; not counted in flight
+  };
+
+  // -- send helpers --
+  void transmit(Packet p);
+  Packet make_packet() const;
+  void send_syn();
+  void send_syn_ack();
+  void send_pure_ack();
+  void send_segment(std::int64_t seq, const Segment& seg, bool is_rexmit);
+  void maybe_send_fin();
+  void trigger_send();
+
+  // -- receive helpers --
+  std::int64_t apply_sack(const Packet& p);  // returns newly-SACKed bytes
+  void infer_losses();
+  void enter_recovery();
+  void process_ack(const Packet& p);
+  void process_data(const Packet& p);
+  void process_fin(const Packet& p);
+  void advance_rcv_next();
+  void enter_established();
+  void maybe_finish_close();
+
+  // -- timers --
+  void arm_rto();
+  void on_rto_fire();
+  void arm_probe();
+  void on_probe_fire();
+  void update_rtt(Duration sample);
+
+  Simulator& sim_;
+  TcpConfig config_;
+  std::unique_ptr<CongestionController> cc_;
+  PacketHandler transmit_;
+  DataSource* source_ = nullptr;
+
+  TcpState state_ = TcpState::kClosed;
+  TimePoint established_at_{};
+  TimePoint syn_sent_at_{};  // first SYN / SYN-ACK transmission
+  TimePoint last_penalized_{};
+
+  // Sender sequence space.  SYN occupies seq 0; data starts at 1; FIN
+  // occupies one seq after the last data byte.
+  std::int64_t snd_una_ = 0;
+  std::int64_t snd_nxt_ = 0;
+  std::int64_t buffer_bytes_ = 0;  // buffer mode backlog
+  std::map<std::int64_t, Segment> outstanding_;
+  std::int64_t flight_bytes_ = 0;
+  std::int64_t max_acked_data_ = 0;  // cumulative data bytes acked
+  bool want_close_ = false;
+  bool fin_sent_ = false;
+  bool fin_acked_ = false;
+  std::int64_t fin_seq_ = -1;
+
+  // Loss recovery (SACK scoreboard + dupack fallback).
+  int dupacks_ = 0;
+  bool in_recovery_ = false;
+  std::int64_t recover_ = 0;
+  std::int64_t highest_sacked_ = 0;
+  TimePoint newest_sacked_xmit_{};  // RACK: send time of newest delivered seg
+
+  // Receiver state.
+  std::int64_t rcv_next_ = 0;
+  std::map<std::int64_t, std::int64_t> ooo_;  // start -> end (exclusive)
+  std::pair<std::int64_t, std::int64_t> last_rcv_range_{0, 0};  // newest SACK block
+  std::int64_t delivered_data_ = 0;
+  bool peer_fin_received_ = false;
+  std::int64_t peer_fin_seq_ = -1;
+
+  // RTT estimation / RTO (RFC 6298).
+  Duration srtt_{0};
+  Duration rttvar_{0};
+  Duration rto_;
+  int rto_backoff_ = 0;
+  Timer rto_timer_;
+  Timer probe_timer_;  // Tail Loss Probe (Linux 3.10+, on in the paper's kernels)
+  bool frozen_ = false;
+
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t rto_events_ = 0;
+  std::uint64_t probe_events_ = 0;
+  std::vector<TimelinePoint> acked_timeline_;
+  std::vector<TimelinePoint> delivered_timeline_;
+};
+
+}  // namespace mn

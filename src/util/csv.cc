@@ -1,0 +1,93 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mn {
+namespace {
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  for (char ch : line) {
+    if (ch == ',') {
+      cells.push_back(std::move(cur));
+      cur.clear();
+    } else if (ch != '\r') {
+      cur.push_back(ch);
+    }
+  }
+  cells.push_back(std::move(cur));
+  return cells;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::runtime_error("CSV row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      os << cells[i];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void CsvWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << str();
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::size_t CsvData::col(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw std::runtime_error("CSV column not found: " + name);
+}
+
+CsvData parse_csv(const std::string& text) {
+  CsvData data;
+  std::istringstream in(text);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto cells = split_line(line);
+    if (first) {
+      data.header = std::move(cells);
+      first = false;
+    } else {
+      if (cells.size() != data.header.size()) {
+        throw std::runtime_error("CSV ragged row");
+      }
+      data.rows.push_back(std::move(cells));
+    }
+  }
+  return data;
+}
+
+CsvData load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_csv(buf.str());
+}
+
+}  // namespace mn

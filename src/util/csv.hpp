@@ -1,0 +1,40 @@
+// Minimal CSV writing/reading used to persist datasets (campaign runs,
+// recorded traffic) and bench series.  Only what multinet needs: numeric
+// and simple-string cells, comma-separated, first row is the header.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mn {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Serialize to CSV text.
+  [[nodiscard]] std::string str() const;
+  /// Write to a file; throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+struct CsvData {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column; throws if absent.
+  [[nodiscard]] std::size_t col(const std::string& name) const;
+};
+
+/// Parse CSV text (no quoting/escaping — our writers never emit commas
+/// inside cells).  Throws std::runtime_error on ragged rows.
+[[nodiscard]] CsvData parse_csv(const std::string& text);
+/// Load and parse a CSV file; throws std::runtime_error on I/O failure.
+[[nodiscard]] CsvData load_csv(const std::string& path);
+
+}  // namespace mn

@@ -1,0 +1,15 @@
+// Geographic helpers for the crowdsourced-study clustering (Table 1):
+// great-circle (haversine) distance between (lat, long) pairs.
+#pragma once
+
+namespace mn {
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+/// Great-circle distance in kilometres (mean Earth radius 6371 km).
+[[nodiscard]] double haversine_km(GeoPoint a, GeoPoint b);
+
+}  // namespace mn

@@ -1,0 +1,45 @@
+#include "util/interval_set.hpp"
+
+#include <algorithm>
+
+namespace mn {
+
+std::int64_t IntervalSet::add(std::int64_t start, std::int64_t end) {
+  if (end <= start) return 0;
+  std::int64_t gained = end - start;
+
+  // Find the first interval that could overlap or touch [start, end).
+  auto it = intervals_.upper_bound(start);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) it = prev;
+  }
+  // Merge all overlapping/adjacent intervals into [start, end).
+  while (it != intervals_.end() && it->first <= end) {
+    gained -= std::min(it->second, end) - std::max(it->first, start);
+    start = std::min(start, it->first);
+    end = std::max(end, it->second);
+    it = intervals_.erase(it);
+  }
+  intervals_.emplace(start, end);
+  total_ += std::max<std::int64_t>(gained, 0);
+  return std::max<std::int64_t>(gained, 0);
+}
+
+std::int64_t IntervalSet::contiguous_from(std::int64_t from) const {
+  auto it = intervals_.upper_bound(from);
+  if (it == intervals_.begin()) return 0;
+  --it;
+  if (it->second <= from) return 0;
+  return it->second - from;
+}
+
+bool IntervalSet::covers(std::int64_t start, std::int64_t end) const {
+  if (end <= start) return true;
+  auto it = intervals_.upper_bound(start);
+  if (it == intervals_.begin()) return false;
+  --it;
+  return it->second >= end;
+}
+
+}  // namespace mn

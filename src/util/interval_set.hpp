@@ -1,0 +1,34 @@
+// A set of disjoint half-open integer intervals [start, end).
+//
+// MPTCP uses these on both ends of a connection: the receiver
+// deduplicates data-level byte ranges that may arrive twice (subflow
+// retransmissions, reinjection after path failure), and the sender
+// tracks which data-level ranges have been acknowledged across subflows.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace mn {
+
+class IntervalSet {
+ public:
+  /// Insert [start, end); overlapping/adjacent intervals are merged.
+  /// Returns the number of bytes newly covered.
+  std::int64_t add(std::int64_t start, std::int64_t end);
+
+  /// Total bytes covered.
+  [[nodiscard]] std::int64_t total() const { return total_; }
+  /// Length of the contiguous run starting at `from` (0 if uncovered).
+  [[nodiscard]] std::int64_t contiguous_from(std::int64_t from) const;
+  /// Whether [start, end) is fully covered.
+  [[nodiscard]] bool covers(std::int64_t start, std::int64_t end) const;
+  [[nodiscard]] bool empty() const { return intervals_.empty(); }
+  [[nodiscard]] std::size_t interval_count() const { return intervals_.size(); }
+
+ private:
+  std::map<std::int64_t, std::int64_t> intervals_;  // start -> end
+  std::int64_t total_ = 0;
+};
+
+}  // namespace mn

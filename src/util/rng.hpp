@@ -1,0 +1,58 @@
+// Deterministic random-number generation.
+//
+// Every stochastic component in multinet draws from an explicitly seeded
+// Rng; there is no global generator and no entropy source, so identical
+// seeds give identical experiments on every platform (we rely only on
+// distributions implemented here, not on libstdc++'s, whose outputs are
+// not specified by the standard).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace mn {
+
+/// splitmix64/xoshiro256++-based generator: small, fast, reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Derive an independent child stream (for per-component seeding).
+  [[nodiscard]] Rng fork(std::string_view label);
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box-Muller (deterministic pairing).
+  double normal(double mean = 0.0, double stddev = 1.0);
+  /// Log-normal: exp(N(mu, sigma)) — the paper-world's rate distributions.
+  double lognormal(double mu, double sigma);
+  /// Exponential with the given mean (NOT rate).
+  double exponential(double mean);
+  /// Bernoulli trial.
+  bool chance(double p);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+/// Fisher-Yates shuffle (deterministic given the Rng state).
+template <typename T>
+void shuffle(std::vector<T>& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace mn

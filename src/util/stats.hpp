@@ -1,0 +1,83 @@
+// Statistics helpers: running moments, quantiles, and empirical CDFs.
+//
+// The paper reports almost everything as a CDF or a median of a derived
+// quantity (throughput differences, relative differences, RTT deltas).
+// EmpiricalDistribution is the one-stop container benches use to build
+// those curves and read off medians / win-fractions.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mn {
+
+/// Welford running mean/variance.  O(1) space, numerically stable.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A sample set with CDF / quantile queries.  Samples are stored and
+/// sorted lazily on first query.
+class EmpiricalDistribution {
+ public:
+  EmpiricalDistribution() = default;
+  explicit EmpiricalDistribution(std::vector<double> samples);
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Quantile via linear interpolation between order statistics; q in [0,1].
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const { return quantile(0.0); }
+  [[nodiscard]] double max() const { return quantile(1.0); }
+
+  /// Empirical CDF value: fraction of samples <= x.
+  [[nodiscard]] double cdf_at(double x) const;
+  /// Fraction of samples strictly below zero — the paper's "LTE wins"
+  /// region when samples are Tput(WiFi) - Tput(LTE).
+  [[nodiscard]] double fraction_below(double x) const;
+
+  /// (value, cumulative-fraction) pairs suitable for plotting a CDF curve.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf_points() const;
+
+  [[nodiscard]] const std::vector<double>& sorted_samples() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Convenience: median of a vector (copies; fine for bench-sized data).
+[[nodiscard]] double median_of(std::vector<double> xs);
+
+/// Inverse standard-normal CDF (Acklam's rational approximation,
+/// |error| < 1.2e-9).  Used to calibrate the synthetic world's
+/// LTE-beats-WiFi probabilities.  p must be in (0, 1).
+[[nodiscard]] double normal_quantile(double p);
+
+}  // namespace mn

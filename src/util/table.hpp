@@ -1,0 +1,32 @@
+// Plain-text table rendering for bench output.
+//
+// Every table/figure bench prints its rows through Table so that the
+// regenerated artifacts are aligned, diff-able, and easy to eyeball
+// against the paper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mn {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `prec` digits after the decimal point.
+  static std::string num(double v, int prec = 2);
+  /// Formats as a percentage, e.g. 0.42 -> "42%".
+  static std::string pct(double fraction, int prec = 0);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mn

@@ -1,0 +1,69 @@
+// Simulated-time primitives for the multinet discrete-event world.
+//
+// All simulation time is integral microseconds.  We use strong types
+// (distinct from std::chrono) so that simulated time can never be
+// accidentally mixed with wall-clock time: nothing in this library ever
+// consults the host clock, which is what makes every experiment
+// bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+
+namespace mn {
+
+/// A span of simulated time, in microseconds.  Value type; totally ordered.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t usec) : usec_(usec) {}
+
+  [[nodiscard]] constexpr std::int64_t usec() const { return usec_; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(usec_) / 1e6; }
+  [[nodiscard]] constexpr double millis() const { return static_cast<double>(usec_) / 1e3; }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.usec_ + b.usec_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.usec_ - b.usec_}; }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration{a.usec_ * k}; }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) { return a * k; }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) { return Duration{a.usec_ / k}; }
+  constexpr Duration& operator+=(Duration o) { usec_ += o.usec_; return *this; }
+  constexpr Duration& operator-=(Duration o) { usec_ -= o.usec_; return *this; }
+
+ private:
+  std::int64_t usec_ = 0;
+};
+
+constexpr Duration usec(std::int64_t n) { return Duration{n}; }
+constexpr Duration msec(std::int64_t n) { return Duration{n * 1000}; }
+constexpr Duration sec(std::int64_t n) { return Duration{n * 1'000'000}; }
+/// Fractional seconds, rounded to the nearest microsecond.
+constexpr Duration secs_f(double s) { return Duration{static_cast<std::int64_t>(s * 1e6 + (s >= 0 ? 0.5 : -0.5))}; }
+
+/// An instant of simulated time (microseconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t usec) : usec_(usec) {}
+
+  [[nodiscard]] constexpr std::int64_t usec() const { return usec_; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(usec_) / 1e6; }
+
+  [[nodiscard]] static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) { return TimePoint{t.usec_ + d.usec()}; }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) { return t + d; }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) { return TimePoint{t.usec_ - d.usec()}; }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) { return Duration{a.usec_ - b.usec_}; }
+  constexpr TimePoint& operator+=(Duration d) { usec_ += d.usec(); return *this; }
+
+ private:
+  std::int64_t usec_ = 0;
+};
+
+}  // namespace mn

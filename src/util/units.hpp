@@ -1,0 +1,39 @@
+// Byte-count and data-rate helpers.
+//
+// Sizes are plain std::int64_t byte counts (the codebase moves a lot of
+// them; a strong type here buys little and costs ergonomics), but all
+// *conversions* between bytes, durations, and megabits/second go through
+// the named helpers below so the 1e6-vs-2^20 and bits-vs-bytes pitfalls
+// live in exactly one place.  Throughputs follow the paper's convention:
+// "mbps" means 1e6 bits per second, and "1 MB flow" means 1e6 bytes.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace mn {
+
+constexpr std::int64_t kKB = 1000;        // paper uses decimal KB/MB
+constexpr std::int64_t kMB = 1000 * 1000;
+
+/// Throughput in megabits/second for `bytes` transferred over `elapsed`.
+/// Returns 0 for a non-positive duration (e.g. a flow that never started).
+constexpr double throughput_mbps(std::int64_t bytes, Duration elapsed) {
+  if (elapsed.usec() <= 0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 / static_cast<double>(elapsed.usec());
+}
+
+/// Time to serialize `bytes` onto a link of `mbps` megabits/second.
+constexpr Duration transmission_time(std::int64_t bytes, double mbps) {
+  if (mbps <= 0.0) return Duration{0};
+  const double usecs = static_cast<double>(bytes) * 8.0 / mbps;
+  return Duration{static_cast<std::int64_t>(usecs + 0.5)};
+}
+
+/// Bytes deliverable at `mbps` within `elapsed`.
+constexpr std::int64_t bytes_at_rate(double mbps, Duration elapsed) {
+  return static_cast<std::int64_t>(mbps * static_cast<double>(elapsed.usec()) / 8.0);
+}
+
+}  // namespace mn

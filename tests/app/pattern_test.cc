@@ -1,0 +1,104 @@
+#include "app/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mn {
+namespace {
+
+TEST(Patterns, Figure17ProducesSixScenarios) {
+  const auto patterns = figure17_patterns(42);
+  ASSERT_EQ(patterns.size(), 6u);
+  EXPECT_EQ(patterns[0].name, "cnn-launch");
+  EXPECT_EQ(patterns[3].name, "imdb-click");
+  EXPECT_EQ(patterns[5].name, "dropbox-click");
+}
+
+TEST(Patterns, ClassificationMatchesThePaper) {
+  // Fig 17d and 17f are long-flow dominated; the rest short-flow.
+  const auto patterns = figure17_patterns(42);
+  EXPECT_EQ(classify(patterns[0]), AppClass::kShortFlowDominated);  // cnn launch
+  EXPECT_EQ(classify(patterns[1]), AppClass::kShortFlowDominated);  // cnn click
+  EXPECT_EQ(classify(patterns[2]), AppClass::kShortFlowDominated);  // imdb launch
+  EXPECT_EQ(classify(patterns[3]), AppClass::kLongFlowDominated);   // imdb click
+  EXPECT_EQ(classify(patterns[4]), AppClass::kShortFlowDominated);  // dropbox launch
+  EXPECT_EQ(classify(patterns[5]), AppClass::kLongFlowDominated);   // dropbox click
+}
+
+TEST(Patterns, FlowCountsResembleFigure17) {
+  const auto patterns = figure17_patterns(42);
+  EXPECT_NEAR(patterns[0].flow_count(), 20, 2);  // cnn launch ~20 flows
+  EXPECT_NEAR(patterns[2].flow_count(), 14, 2);  // imdb launch ~14
+  EXPECT_NEAR(patterns[5].flow_count(), 12, 2);  // dropbox click ~12
+}
+
+TEST(Patterns, LongFlowsCarryMostBytes) {
+  const auto patterns = figure17_patterns(42);
+  const auto& dropbox = patterns[5];
+  EXPECT_GT(dropbox.largest_flow_bytes(), 3'000'000);
+  EXPECT_GT(static_cast<double>(dropbox.largest_flow_bytes()) /
+                static_cast<double>(dropbox.total_bytes()),
+            0.7);
+}
+
+TEST(Patterns, DeterministicPerSeed) {
+  const auto a = figure17_patterns(7);
+  const auto b = figure17_patterns(7);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[1].total_bytes(), b[1].total_bytes());
+  const auto c = figure17_patterns(8);
+  EXPECT_NE(a[1].total_bytes(), c[1].total_bytes());
+}
+
+TEST(Patterns, StartOffsetsSortedAndBounded) {
+  for (const auto& p : figure17_patterns(42)) {
+    for (std::size_t i = 1; i < p.flows.size(); ++i) {
+      EXPECT_LE(p.flows[i - 1].start_offset.usec(), p.flows[i].start_offset.usec() +
+                                                        sec(10).usec());
+    }
+    for (const auto& f : p.flows) {
+      EXPECT_GE(f.start_offset.usec(), 0);
+      EXPECT_LE(f.start_offset.usec(), sec(10).usec());
+    }
+  }
+}
+
+TEST(Patterns, ClassifierEdgeCases) {
+  AppPattern p;
+  p.name = "empty";
+  EXPECT_EQ(classify(p), AppClass::kShortFlowDominated);
+  // One 600 KB flow: absolute threshold trips.
+  AppFlow f;
+  f.exchanges.push_back(synthetic_exchange(200, 600'000));
+  p.flows.push_back(f);
+  EXPECT_EQ(classify(p), AppClass::kLongFlowDominated);
+}
+
+TEST(Patterns, StoreRoundTripPreservesResponses) {
+  const auto patterns = figure17_patterns(42);
+  const auto& cnn = patterns[0];
+  const RecordStore store = pattern_to_store(cnn);
+  EXPECT_GT(store.size(), cnn.flow_count());  // >= 1 exchange per flow
+  const AppPattern replayed = pattern_via_store(cnn, store);
+  ASSERT_EQ(replayed.flows.size(), cnn.flows.size());
+  EXPECT_EQ(replayed.total_bytes(), cnn.total_bytes());
+}
+
+TEST(Patterns, ReplayThroughStoreMatchesDespiteChangedTimeHeaders) {
+  auto patterns = figure17_patterns(42);
+  const RecordStore store = pattern_to_store(patterns[0]);
+  // Simulate replay-time requests with a different If-Modified-Since.
+  AppPattern mutated = patterns[0];
+  for (auto& flow : mutated.flows) {
+    for (auto& e : flow.exchanges) {
+      for (auto& h : e.request.headers) {
+        if (h.name == "If-Modified-Since") h.value = "Thu, 02 Jul 2026 00:00:00 GMT";
+      }
+      e.response.body_bytes = 0;  // must be restored from the store
+    }
+  }
+  const AppPattern replayed = pattern_via_store(mutated, store);
+  EXPECT_EQ(replayed.total_bytes(), patterns[0].total_bytes());
+}
+
+}  // namespace
+}  // namespace mn

@@ -1,0 +1,82 @@
+#include "app/replay.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mn {
+namespace {
+
+LinkSpec mk(double mbps, Duration delay) {
+  LinkSpec s;
+  s.rate_mbps = mbps;
+  s.one_way_delay = delay;
+  s.queue_packets = 64;
+  return s;
+}
+
+MpNetworkSetup net(double wifi, double lte) {
+  return symmetric_setup(mk(wifi, msec(10)), mk(lte, msec(30)));
+}
+
+AppPattern small_pattern() {
+  Rng rng{1};
+  AppPattern p = dropbox_launch(rng);  // 6 small flows: cheap to replay
+  return p;
+}
+
+TEST(ReplayApp, CompletesAndReportsResponseTime) {
+  const auto r = replay_app(small_pattern(), net(10, 8),
+                            TransportConfig::single_path(PathId::kWifi));
+  EXPECT_TRUE(r.all_complete);
+  EXPECT_GT(r.response_time_s, 0.0);
+  EXPECT_LT(r.response_time_s, 30.0);
+  EXPECT_EQ(r.flows.size(), small_pattern().flow_count());
+}
+
+TEST(ReplayApp, EmptyPatternIsTrivial) {
+  AppPattern p;
+  const auto r = replay_app(p, net(10, 8), TransportConfig::single_path(PathId::kWifi));
+  EXPECT_TRUE(r.all_complete);
+  EXPECT_DOUBLE_EQ(r.response_time_s, 0.0);
+}
+
+TEST(ReplayApp, FasterNetworkGivesFasterResponse) {
+  const auto pattern = small_pattern();
+  const auto fast = replay_app(pattern, net(20, 1),
+                               TransportConfig::single_path(PathId::kWifi));
+  const auto slow = replay_app(pattern, net(20, 1),
+                               TransportConfig::single_path(PathId::kLte));
+  ASSERT_TRUE(fast.all_complete);
+  ASSERT_TRUE(slow.all_complete);
+  EXPECT_LT(fast.response_time_s, slow.response_time_s);
+}
+
+TEST(ReplayApp, MptcpCompletesLongFlowPattern) {
+  Rng rng{2};
+  const AppPattern p = dropbox_click(rng);
+  const auto r = replay_app(p, net(8, 8),
+                            TransportConfig::mptcp(PathId::kWifi, CcAlgo::kCoupled));
+  EXPECT_TRUE(r.all_complete);
+}
+
+TEST(ReplayApp, DeterministicAcrossRuns) {
+  const auto pattern = small_pattern();
+  const auto a = replay_app(pattern, net(10, 8),
+                            TransportConfig::mptcp(PathId::kLte, CcAlgo::kDecoupled));
+  const auto b = replay_app(pattern, net(10, 8),
+                            TransportConfig::mptcp(PathId::kLte, CcAlgo::kDecoupled));
+  EXPECT_DOUBLE_EQ(a.response_time_s, b.response_time_s);
+}
+
+TEST(ReplayAllConfigs, ProducesAllSixTimes) {
+  const auto times = replay_all_configs(small_pattern(), net(10, 8));
+  ASSERT_EQ(times.size(), 6u);
+  for (const auto& [name, t] : times) {
+    EXPECT_GT(t, 0.0) << name;
+  }
+  // Feed straight into the oracle machinery.
+  const auto report = make_oracle_report(times);
+  EXPECT_LE(report.single_path_oracle, report.wifi_tcp);
+}
+
+}  // namespace
+}  // namespace mn

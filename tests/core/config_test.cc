@@ -1,0 +1,41 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mn {
+namespace {
+
+TEST(TransportConfig, SinglePathNames) {
+  EXPECT_EQ(TransportConfig::single_path(PathId::kWifi).name(), "WiFi-TCP");
+  EXPECT_EQ(TransportConfig::single_path(PathId::kLte).name(), "LTE-TCP");
+}
+
+TEST(TransportConfig, MptcpNames) {
+  EXPECT_EQ(TransportConfig::mptcp(PathId::kWifi, CcAlgo::kCoupled).name(),
+            "MPTCP-Coupled-WiFi");
+  EXPECT_EQ(TransportConfig::mptcp(PathId::kLte, CcAlgo::kDecoupled).name(),
+            "MPTCP-Decoupled-LTE");
+}
+
+TEST(TransportConfig, ReplayConfigsAreTheSixFromSection5) {
+  const auto configs = replay_configs();
+  ASSERT_EQ(configs.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& c : configs) names.insert(c.name());
+  EXPECT_TRUE(names.count("WiFi-TCP"));
+  EXPECT_TRUE(names.count("LTE-TCP"));
+  EXPECT_TRUE(names.count("MPTCP-Coupled-WiFi"));
+  EXPECT_TRUE(names.count("MPTCP-Coupled-LTE"));
+  EXPECT_TRUE(names.count("MPTCP-Decoupled-WiFi"));
+  EXPECT_TRUE(names.count("MPTCP-Decoupled-LTE"));
+}
+
+TEST(PathId, OtherPathFlips) {
+  EXPECT_EQ(other_path(PathId::kWifi), PathId::kLte);
+  EXPECT_EQ(other_path(PathId::kLte), PathId::kWifi);
+}
+
+}  // namespace
+}  // namespace mn

@@ -1,0 +1,43 @@
+#include "emu/http.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mn {
+namespace {
+
+TEST(Http, RequestWireBytesIncludeEverything) {
+  HttpRequest r;
+  r.method = "GET";
+  r.uri = "/index.html";
+  r.headers = {{"Host", "example.com"}};
+  r.body_bytes = 0;
+  const auto base = r.wire_bytes();
+  EXPECT_GT(base, 20);
+  r.body_bytes = 500;
+  EXPECT_EQ(r.wire_bytes(), base + 500);
+}
+
+TEST(Http, ResponseWireBytes) {
+  HttpResponse r;
+  r.body_bytes = 1000;
+  EXPECT_GT(r.wire_bytes(), 1000);
+}
+
+TEST(Http, HeaderLookupIsCaseInsensitive) {
+  HttpRequest r;
+  r.headers = {{"If-Modified-Since", "yesterday"}};
+  EXPECT_EQ(r.header("if-modified-since").value_or(""), "yesterday");
+  EXPECT_EQ(r.header("IF-MODIFIED-SINCE").value_or(""), "yesterday");
+  EXPECT_FALSE(r.header("etag").has_value());
+}
+
+TEST(Http, TimeSensitiveHeaderList) {
+  EXPECT_TRUE(is_time_sensitive_header("If-Modified-Since"));
+  EXPECT_TRUE(is_time_sensitive_header("date"));
+  EXPECT_TRUE(is_time_sensitive_header("Cookie"));
+  EXPECT_FALSE(is_time_sensitive_header("Host"));
+  EXPECT_FALSE(is_time_sensitive_header("Content-Type"));
+}
+
+}  // namespace
+}  // namespace mn

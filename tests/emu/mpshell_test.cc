@@ -1,0 +1,148 @@
+#include "emu/mpshell.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mn {
+namespace {
+
+LinkSpec mk(double mbps, Duration delay) {
+  LinkSpec s;
+  s.rate_mbps = mbps;
+  s.one_way_delay = delay;
+  s.queue_packets = 64;
+  return s;
+}
+
+MpNetworkSetup net(double wifi = 10, double lte = 8) {
+  return symmetric_setup(mk(wifi, msec(10)), mk(lte, msec(30)));
+}
+
+TEST(MpShell, SingleExchangeOverTcpCompletes) {
+  Simulator sim;
+  MpShell shell{sim, net()};
+  HttpConnectionSim conn{shell, TransportConfig::single_path(PathId::kWifi), 1,
+                         {synthetic_exchange(300, 20'000)}};
+  bool done = false;
+  conn.on_complete = [&] { done = true; };
+  conn.start(TimePoint{0});
+  sim.run_until(TimePoint{sec(10).usec()});
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(conn.complete());
+  // handshake + request + response: a few WiFi RTTs.
+  EXPECT_LT((conn.completed_at() - conn.started_at()).seconds(), 0.5);
+}
+
+TEST(MpShell, SingleExchangeOverMptcpCompletes) {
+  Simulator sim;
+  MpShell shell{sim, net()};
+  HttpConnectionSim conn{shell, TransportConfig::mptcp(PathId::kLte, CcAlgo::kCoupled), 1,
+                         {synthetic_exchange(300, 500'000)}};
+  conn.start(TimePoint{0});
+  sim.run_until(TimePoint{sec(30).usec()});
+  EXPECT_TRUE(conn.complete());
+}
+
+TEST(MpShell, SequentialExchangesOnOneConnection) {
+  Simulator sim;
+  MpShell shell{sim, net()};
+  std::vector<HttpExchange> exchanges;
+  for (int i = 0; i < 5; ++i) {
+    exchanges.push_back(synthetic_exchange(300, 5'000, msec(10)));
+  }
+  HttpConnectionSim conn{shell, TransportConfig::single_path(PathId::kWifi), 1,
+                         exchanges};
+  conn.start(TimePoint{0});
+  sim.run_until(TimePoint{sec(30).usec()});
+  ASSERT_TRUE(conn.complete());
+  // 5 sequential request/response rounds: at least 5 RTTs + thinks.
+  EXPECT_GT((conn.completed_at() - conn.started_at()).seconds(), 0.1);
+}
+
+TEST(MpShell, ManyConcurrentConnectionsShareTheLinks) {
+  Simulator sim;
+  MpShell shell{sim, net()};
+  std::vector<std::unique_ptr<HttpConnectionSim>> conns;
+  int done = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto c = std::make_unique<HttpConnectionSim>(
+        shell, TransportConfig::single_path(PathId::kWifi),
+        static_cast<std::uint64_t>(i + 1),
+        std::vector<HttpExchange>{synthetic_exchange(300, 30'000)});
+    c->on_complete = [&done] { ++done; };
+    c->start(TimePoint{msec(i * 50).usec()});
+    conns.push_back(std::move(c));
+  }
+  sim.run_until(TimePoint{sec(30).usec()});
+  EXPECT_EQ(done, 10);
+}
+
+TEST(MpShell, MixedTransportsCoexist) {
+  Simulator sim;
+  MpShell shell{sim, net()};
+  HttpConnectionSim tcp_conn{shell, TransportConfig::single_path(PathId::kLte), 1,
+                             {synthetic_exchange(300, 40'000)}};
+  HttpConnectionSim mp_conn{shell, TransportConfig::mptcp(PathId::kWifi, CcAlgo::kDecoupled),
+                            2, {synthetic_exchange(300, 40'000)}};
+  tcp_conn.start(TimePoint{0});
+  mp_conn.start(TimePoint{0});
+  sim.run_until(TimePoint{sec(30).usec()});
+  EXPECT_TRUE(tcp_conn.complete());
+  EXPECT_TRUE(mp_conn.complete());
+}
+
+TEST(MpShell, ServerThinkTimeDelaysResponse) {
+  Simulator sim;
+  MpShell shell{sim, net()};
+  HttpConnectionSim fast{shell, TransportConfig::single_path(PathId::kWifi), 1,
+                         {synthetic_exchange(300, 1'000, Duration{0})}};
+  HttpConnectionSim slow{shell, TransportConfig::single_path(PathId::kWifi), 2,
+                         {synthetic_exchange(300, 1'000, sec(1))}};
+  fast.start(TimePoint{0});
+  slow.start(TimePoint{0});
+  sim.run_until(TimePoint{sec(10).usec()});
+  ASSERT_TRUE(fast.complete());
+  ASSERT_TRUE(slow.complete());
+  const auto fast_d = fast.completed_at() - fast.started_at();
+  const auto slow_d = slow.completed_at() - slow.started_at();
+  EXPECT_GT((slow_d - fast_d).seconds(), 0.9);
+}
+
+TEST(MpShell, EmptyExchangeListCompletesImmediately) {
+  Simulator sim;
+  MpShell shell{sim, net()};
+  HttpConnectionSim conn{shell, TransportConfig::single_path(PathId::kWifi), 1, {}};
+  conn.start(TimePoint{msec(5).usec()});
+  sim.run_until(TimePoint{sec(1).usec()});
+  EXPECT_TRUE(conn.complete());
+  EXPECT_EQ(conn.completed_at().usec(), msec(5).usec());
+}
+
+TEST(MpShell, WifiTcpIsUnaffectedByLtePathQuality) {
+  // Same WiFi, terrible LTE: a WiFi-TCP connection must perform the same.
+  auto good = net(10, 10);
+  auto bad = net(10, 0.5);
+  Duration d_good{0};
+  Duration d_bad{0};
+  {
+    Simulator sim;
+    MpShell shell{sim, good};
+    HttpConnectionSim conn{shell, TransportConfig::single_path(PathId::kWifi), 1,
+                           {synthetic_exchange(300, 100'000)}};
+    conn.start(TimePoint{0});
+    sim.run_until(TimePoint{sec(10).usec()});
+    d_good = conn.completed_at() - conn.started_at();
+  }
+  {
+    Simulator sim;
+    MpShell shell{sim, bad};
+    HttpConnectionSim conn{shell, TransportConfig::single_path(PathId::kWifi), 1,
+                           {synthetic_exchange(300, 100'000)}};
+    conn.start(TimePoint{0});
+    sim.run_until(TimePoint{sec(10).usec()});
+    d_bad = conn.completed_at() - conn.started_at();
+  }
+  EXPECT_EQ(d_good.usec(), d_bad.usec());
+}
+
+}  // namespace
+}  // namespace mn

@@ -1,0 +1,106 @@
+#include "emu/packet_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "tcp/cc.hpp"
+
+namespace mn {
+namespace {
+
+Packet data_packet(std::int64_t seq, std::int64_t payload) {
+  Packet p;
+  p.seq = seq;
+  p.payload = payload;
+  p.flags.ack = true;
+  return p;
+}
+
+TEST(PacketLog, RecordsEntries) {
+  PacketLog log;
+  log.record("wifi", TimePoint{1000}, PacketDir::kSent, data_packet(0, 100));
+  log.record("lte", TimePoint{2000}, PacketDir::kReceived, data_packet(100, 200));
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.entries()[0].iface, "wifi");
+  EXPECT_EQ(log.entries()[1].payload, 200);
+}
+
+TEST(PacketLog, EventTimesPerLane) {
+  PacketLog log;
+  log.record("wifi", TimePoint{sec(1).usec()}, PacketDir::kSent, data_packet(0, 1));
+  log.record("lte", TimePoint{sec(2).usec()}, PacketDir::kSent, data_packet(0, 1));
+  log.record("wifi", TimePoint{sec(3).usec()}, PacketDir::kReceived, data_packet(0, 1));
+  const auto wifi = log.event_times("wifi");
+  ASSERT_EQ(wifi.size(), 2u);
+  EXPECT_DOUBLE_EQ(wifi[0], 1.0);
+  EXPECT_DOUBLE_EQ(wifi[1], 3.0);
+  EXPECT_EQ(log.event_times("lte").size(), 1u);
+  EXPECT_TRUE(log.event_times("bluetooth").empty());
+}
+
+TEST(PacketLog, CumulativeReceivedBytes) {
+  PacketLog log;
+  log.record("wifi", TimePoint{1000}, PacketDir::kReceived, data_packet(0, 100));
+  log.record("wifi", TimePoint{2000}, PacketDir::kSent, data_packet(0, 999));  // sent: no
+  log.record("wifi", TimePoint{3000}, PacketDir::kReceived, data_packet(100, 50));
+  EXPECT_EQ(log.bytes_received_by("wifi", TimePoint{1500}), 100);
+  EXPECT_EQ(log.bytes_received_by("wifi", TimePoint{5000}), 150);
+  EXPECT_EQ(log.bytes_received_by("lte", TimePoint{5000}), 0);
+}
+
+TEST(PacketLog, SerializeRoundTrip) {
+  PacketLog log;
+  Packet syn;
+  syn.flags.syn = true;
+  syn.subflow_id = 1;
+  log.record("lte", TimePoint{42}, PacketDir::kSent, syn);
+  log.record("wifi", TimePoint{99}, PacketDir::kReceived, data_packet(7, 1448));
+  const auto text = log.serialize();
+  const PacketLog back = PacketLog::deserialize(text);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_TRUE(back.entries()[0].flags.syn);
+  EXPECT_EQ(back.entries()[0].subflow_id, 1);
+  EXPECT_EQ(back.entries()[1].payload, 1448);
+  EXPECT_EQ(back.entries()[1].seq, 7);
+  EXPECT_EQ(back.serialize(), text);
+}
+
+TEST(PacketLog, DeserializeRejectsGarbage) {
+  EXPECT_THROW(PacketLog::deserialize("not a packet line\n"), std::exception);
+}
+
+TEST(PacketLog, FileSaveLoad) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "mn_packet_log_test.txt").string();
+  PacketLog log;
+  log.record("wifi", TimePoint{1}, PacketDir::kSent, data_packet(0, 10));
+  log.save(path);
+  const auto back = PacketLog::load(path);
+  EXPECT_EQ(back.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(PacketLog, TapIntegratesWithInterface) {
+  Simulator sim;
+  LinkSpec spec;
+  spec.rate_mbps = 100.0;
+  spec.one_way_delay = msec(1);
+  DuplexPath path{sim, spec, spec};
+  NetworkInterface iface{"wifi", sim, path};
+  PacketLog log;
+  iface.set_tap(log.tap_for("wifi"));
+  iface.set_receiver([](Packet) {});
+  iface.send(data_packet(0, 500));
+  path.send_down(data_packet(1, 700));
+  sim.run_until_idle();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.entries()[0].dir, PacketDir::kSent);
+  EXPECT_EQ(log.entries()[1].dir, PacketDir::kReceived);
+  EXPECT_EQ(log.bytes_received_by("wifi", TimePoint{sec(1).usec()}), 700);
+}
+
+}  // namespace
+}  // namespace mn

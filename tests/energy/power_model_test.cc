@@ -1,0 +1,129 @@
+#include "energy/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mn {
+namespace {
+
+TEST(EnergyMeter, IdleRadioConsumesBaseOnly) {
+  EnergyMeter meter{lte_power_params()};
+  const auto horizon = TimePoint{sec(10).usec()};
+  EXPECT_DOUBLE_EQ(meter.energy_joules(horizon), kBasePowerWatts * 10.0);
+  EXPECT_DOUBLE_EQ(meter.radio_energy_joules(horizon), 0.0);
+  const auto tl = meter.timeline(horizon);
+  ASSERT_EQ(tl.size(), 1u);
+  EXPECT_DOUBLE_EQ(tl[0].watts, kBasePowerWatts);
+}
+
+TEST(EnergyMeter, SinglePacketCostsActivePlusTail) {
+  const RadioPowerParams p = lte_power_params();
+  EnergyMeter meter{p};
+  meter.add_activity(TimePoint{sec(1).usec()});
+  const auto horizon = TimePoint{sec(30).usec()};
+  const double radio = meter.radio_energy_joules(horizon);
+  // Active for burst_hold (0.1 s at 2.5 W) + tail (15 s at 1 W) = ~15.25 J.
+  EXPECT_NEAR(radio, p.active_watts * p.burst_hold.seconds() +
+                         p.tail_watts * p.tail_duration.seconds(),
+              0.01);
+}
+
+TEST(EnergyMeter, LteTailIs15Seconds) {
+  EnergyMeter meter{lte_power_params()};
+  meter.add_activity(TimePoint{0});
+  const auto tl = meter.timeline(TimePoint{sec(30).usec()});
+  // Steps: active, tail, idle.
+  ASSERT_EQ(tl.size(), 3u);
+  EXPECT_NEAR((tl[1].end - tl[1].start).seconds(), 15.0, 0.001);
+  EXPECT_DOUBLE_EQ(tl[1].watts, kBasePowerWatts + 1.0);  // ~2 W total (Fig 16)
+}
+
+TEST(EnergyMeter, WifiTailIsNegligible) {
+  EnergyMeter meter{wifi_power_params()};
+  meter.add_activity(TimePoint{0});
+  const double radio = meter.radio_energy_joules(TimePoint{sec(30).usec()});
+  EXPECT_LT(radio, 0.2);  // versus ~15 J for LTE
+}
+
+TEST(EnergyMeter, PacketsWithinHoldFormOneBurst) {
+  const RadioPowerParams p = lte_power_params();
+  EnergyMeter meter{p};
+  for (int i = 0; i < 10; ++i) {
+    meter.add_activity(TimePoint{i * msec(50).usec()});  // gaps < burst_hold
+  }
+  const auto tl = meter.timeline(TimePoint{sec(30).usec()});
+  int active_steps = 0;
+  for (const auto& s : tl) {
+    if (s.watts == kBasePowerWatts + p.active_watts) ++active_steps;
+  }
+  EXPECT_EQ(active_steps, 1);  // merged
+}
+
+TEST(EnergyMeter, SeparatedBurstsEachPayTail) {
+  const RadioPowerParams p = wifi_power_params();
+  EnergyMeter meter{p};
+  meter.add_activity(TimePoint{0});
+  meter.add_activity(TimePoint{sec(5).usec()});
+  const auto horizon = TimePoint{sec(10).usec()};
+  const double radio = meter.radio_energy_joules(horizon);
+  const double one_burst = p.active_watts * p.burst_hold.seconds() +
+                           p.tail_watts * p.tail_duration.seconds();
+  EXPECT_NEAR(radio, 2.0 * one_burst, 0.01);
+}
+
+TEST(EnergyMeter, NewBurstInterruptsTail) {
+  const RadioPowerParams p = lte_power_params();
+  EnergyMeter meter{p};
+  meter.add_activity(TimePoint{0});
+  meter.add_activity(TimePoint{sec(5).usec()});  // within the 15 s tail
+  const auto tl = meter.timeline(TimePoint{sec(40).usec()});
+  // The first tail must be cut short at t=5 s.
+  for (const auto& s : tl) {
+    if (s.watts == kBasePowerWatts + p.tail_watts && s.start.usec() < sec(5).usec()) {
+      EXPECT_LE(s.end.usec(), sec(5).usec());
+    }
+  }
+}
+
+TEST(EnergyMeter, TimelineIsContiguousAndCoversHorizon) {
+  EnergyMeter meter{lte_power_params()};
+  meter.add_activity(TimePoint{msec(500).usec()});
+  meter.add_activity(TimePoint{sec(20).usec()});
+  const auto horizon = TimePoint{sec(60).usec()};
+  const auto tl = meter.timeline(horizon);
+  ASSERT_FALSE(tl.empty());
+  EXPECT_EQ(tl.front().start.usec(), 0);
+  EXPECT_EQ(tl.back().end.usec(), horizon.usec());
+  for (std::size_t i = 1; i < tl.size(); ++i) {
+    EXPECT_EQ(tl[i - 1].end.usec(), tl[i].start.usec());
+  }
+}
+
+TEST(EnergyMeter, UnsortedActivityIsHandled) {
+  EnergyMeter meter{wifi_power_params()};
+  meter.add_activity(TimePoint{sec(5).usec()});
+  meter.add_activity(TimePoint{sec(1).usec()});
+  const double e = meter.energy_joules(TimePoint{sec(10).usec()});
+  EXPECT_GT(e, kBasePowerWatts * 10.0);
+}
+
+// The Section-3.6.2 headline: for flows shorter than ~15 s, an LTE
+// backup interface that only carries SYN+FIN saves almost nothing.
+TEST(EnergyMeter, ShortFlowBackupLteSavesLittle) {
+  const auto horizon = TimePoint{sec(30).usec()};
+  // Full-MPTCP: LTE active for a 10-second flow.
+  EnergyMeter full{lte_power_params()};
+  for (int ms = 0; ms <= 10'000; ms += 20) full.add_activity(TimePoint{msec(ms).usec()});
+  // Backup: LTE sees only the SYN at t=0 and the FIN at t=10 s.
+  EnergyMeter backup{lte_power_params()};
+  backup.add_activity(TimePoint{0});
+  backup.add_activity(TimePoint{sec(10).usec()});
+  const double full_j = backup.radio_energy_joules(horizon) > 0
+                            ? full.radio_energy_joules(horizon)
+                            : 0.0;
+  const double backup_j = backup.radio_energy_joules(horizon);
+  // Backup still pays two tails: savings well under half.
+  EXPECT_GT(backup_j, 0.5 * full_j);
+}
+
+}  // namespace
+}  // namespace mn

@@ -1,0 +1,120 @@
+#include "measure/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mn {
+namespace {
+
+std::vector<ClusterSpec> tiny_world() {
+  return {make_cluster("FastWiFi", {40.0, -70.0}, 12, 0.10, 14.0),
+          make_cluster("FastLTE", {10.0, 100.0}, 12, 0.85, 4.0)};
+}
+
+TEST(Campaign, ProducesRequestedRunCounts) {
+  CampaignOptions opt;
+  opt.incomplete_probability = 0.0;
+  const auto runs = run_campaign(tiny_world(), opt);
+  EXPECT_EQ(runs.size(), 24u);
+  for (const auto& r : runs) EXPECT_TRUE(r.complete());
+}
+
+TEST(Campaign, RunScaleShrinksTheCampaign) {
+  CampaignOptions opt;
+  opt.run_scale = 0.25;
+  const auto runs = run_campaign(tiny_world(), opt);
+  EXPECT_EQ(runs.size(), 6u);
+}
+
+TEST(Campaign, IncompleteRunsAreGeneratedAndFiltered) {
+  CampaignOptions opt;
+  opt.incomplete_probability = 0.5;
+  const auto runs = run_campaign(tiny_world(), opt);
+  const auto complete = complete_runs(runs);
+  EXPECT_LT(complete.size(), runs.size());
+  for (const auto& r : complete) EXPECT_TRUE(r.complete());
+}
+
+TEST(Campaign, MeasuredThroughputsArePositiveAndPlausible) {
+  CampaignOptions opt;
+  opt.incomplete_probability = 0.0;
+  opt.run_scale = 0.5;
+  for (const auto& r : complete_runs(run_campaign(tiny_world(), opt))) {
+    EXPECT_GT(r.wifi_down_mbps, 0.0);
+    EXPECT_LT(r.wifi_down_mbps, 60.0);
+    EXPECT_GT(r.lte_down_mbps, 0.0);
+    EXPECT_GT(r.wifi_rtt_ms, 1.0);
+    EXPECT_GT(r.lte_rtt_ms, 1.0);
+  }
+}
+
+TEST(Campaign, WinFractionsFollowClusterCalibration) {
+  CampaignOptions opt;
+  opt.incomplete_probability = 0.0;
+  opt.run_scale = 3.0;  // 36 runs per cluster
+  const auto runs = complete_runs(run_campaign(tiny_world(), opt));
+  int fast_wifi_wins = 0;
+  int fast_wifi_n = 0;
+  int fast_lte_wins = 0;
+  int fast_lte_n = 0;
+  for (const auto& r : runs) {
+    if (r.cluster == "FastWiFi") {
+      ++fast_wifi_n;
+      fast_wifi_wins += r.lte_wins();
+    } else {
+      ++fast_lte_n;
+      fast_lte_wins += r.lte_wins();
+    }
+  }
+  EXPECT_LT(static_cast<double>(fast_wifi_wins) / fast_wifi_n, 0.35);
+  EXPECT_GT(static_cast<double>(fast_lte_wins) / fast_lte_n, 0.6);
+}
+
+TEST(Campaign, DeterministicForSameSeed) {
+  CampaignOptions opt;
+  opt.run_scale = 0.25;
+  const auto a = run_campaign(tiny_world(), opt);
+  const auto b = run_campaign(tiny_world(), opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].wifi_down_mbps, b[i].wifi_down_mbps);
+    EXPECT_DOUBLE_EQ(a[i].lte_rtt_ms, b[i].lte_rtt_ms);
+  }
+}
+
+TEST(Campaign, CsvRoundTrip) {
+  CampaignOptions opt;
+  opt.incomplete_probability = 0.0;
+  opt.run_scale = 0.25;
+  const auto runs = complete_runs(run_campaign(tiny_world(), opt));
+  const auto csv = to_csv(runs);
+  const auto back = from_csv(parse_csv(csv.str()));
+  ASSERT_EQ(back.size(), runs.size());
+  EXPECT_EQ(back[0].cluster, runs[0].cluster);
+  EXPECT_NEAR(back[0].wifi_down_mbps, runs[0].wifi_down_mbps, 1e-4);
+}
+
+TEST(Analysis, DiffDistributionsHaveRightSigns) {
+  CampaignOptions opt;
+  opt.incomplete_probability = 0.0;
+  const auto runs = complete_runs(run_campaign(tiny_world(), opt));
+  const auto a = analyze_campaign(runs);
+  EXPECT_EQ(a.up_diff.size(), runs.size());
+  EXPECT_EQ(a.down_diff.size(), runs.size());
+  // Mixed world: both positive and negative diffs must exist.
+  EXPECT_GT(a.down_diff.max(), 0.0);
+  EXPECT_LT(a.down_diff.min(), 0.0);
+  EXPECT_GT(a.lte_win_combined(), 0.0);
+  EXPECT_LT(a.lte_win_combined(), 1.0);
+}
+
+TEST(Analysis, RttWinFractionIsSane) {
+  CampaignOptions opt;
+  opt.incomplete_probability = 0.0;
+  opt.run_scale = 2.0;
+  const auto a = analyze_campaign(complete_runs(run_campaign(tiny_world(), opt)));
+  EXPECT_GE(a.lte_rtt_win(), 0.0);
+  EXPECT_LE(a.lte_rtt_win(), 0.6);  // LTE usually has higher RTT
+}
+
+}  // namespace
+}  // namespace mn

@@ -1,0 +1,116 @@
+#include "util/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mn {
+namespace {
+
+TEST(IntervalSet, EmptyInitially) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.total(), 0);
+  EXPECT_EQ(s.contiguous_from(0), 0);
+}
+
+TEST(IntervalSet, SingleAdd) {
+  IntervalSet s;
+  EXPECT_EQ(s.add(10, 20), 10);
+  EXPECT_EQ(s.total(), 10);
+  EXPECT_EQ(s.contiguous_from(10), 10);
+  EXPECT_EQ(s.contiguous_from(0), 0);
+  EXPECT_TRUE(s.covers(10, 20));
+  EXPECT_FALSE(s.covers(10, 21));
+}
+
+TEST(IntervalSet, DuplicateAddGainsNothing) {
+  IntervalSet s;
+  s.add(0, 100);
+  EXPECT_EQ(s.add(0, 100), 0);
+  EXPECT_EQ(s.add(20, 50), 0);
+  EXPECT_EQ(s.total(), 100);
+}
+
+TEST(IntervalSet, OverlapMerges) {
+  IntervalSet s;
+  s.add(0, 10);
+  EXPECT_EQ(s.add(5, 15), 5);
+  EXPECT_EQ(s.total(), 15);
+  EXPECT_EQ(s.interval_count(), 1u);
+}
+
+TEST(IntervalSet, AdjacentMerges) {
+  IntervalSet s;
+  s.add(0, 10);
+  s.add(10, 20);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.contiguous_from(0), 20);
+}
+
+TEST(IntervalSet, GapKeepsSeparate) {
+  IntervalSet s;
+  s.add(0, 10);
+  s.add(20, 30);
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_EQ(s.total(), 20);
+  EXPECT_EQ(s.contiguous_from(0), 10);
+  // Filling the gap merges everything.
+  EXPECT_EQ(s.add(10, 20), 10);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.contiguous_from(0), 30);
+}
+
+TEST(IntervalSet, SpanningAddSwallowsMany) {
+  IntervalSet s;
+  s.add(10, 20);
+  s.add(30, 40);
+  s.add(50, 60);
+  EXPECT_EQ(s.add(0, 100), 70);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.total(), 100);
+}
+
+TEST(IntervalSet, EmptyRangeIsNoop) {
+  IntervalSet s;
+  EXPECT_EQ(s.add(5, 5), 0);
+  EXPECT_EQ(s.add(7, 3), 0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, CoversEdgeCases) {
+  IntervalSet s;
+  s.add(10, 20);
+  EXPECT_TRUE(s.covers(15, 15));  // empty range
+  EXPECT_FALSE(s.covers(5, 15));
+  EXPECT_FALSE(s.covers(15, 25));
+}
+
+// Property: total() equals brute-force coverage for random insertions.
+class IntervalSetFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSetFuzz, TotalMatchesBruteForce) {
+  Rng rng{GetParam()};
+  IntervalSet s;
+  std::vector<bool> covered(1000, false);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = rng.uniform_int(0, 999);
+    const auto b = rng.uniform_int(0, 999);
+    const auto lo = std::min(a, b);
+    const auto hi = std::max(a, b);
+    s.add(lo, hi);
+    for (std::int64_t j = lo; j < hi; ++j) covered[static_cast<std::size_t>(j)] = true;
+    std::int64_t expect = 0;
+    for (bool c : covered) expect += c;
+    ASSERT_EQ(s.total(), expect) << "after add [" << lo << "," << hi << ")";
+  }
+  // contiguous_from(0) equals the brute-force prefix run.
+  std::int64_t prefix = 0;
+  while (prefix < 1000 && covered[static_cast<std::size_t>(prefix)]) ++prefix;
+  EXPECT_EQ(s.contiguous_from(0), prefix);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetFuzz, ::testing::Values(1, 7, 42, 99, 1234));
+
+}  // namespace
+}  // namespace mn

@@ -1,0 +1,171 @@
+#include "net/path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/trace_gen.hpp"
+
+namespace mn {
+namespace {
+
+LinkSpec fast_spec() {
+  LinkSpec s;
+  s.rate_mbps = 100.0;
+  s.one_way_delay = msec(5);
+  return s;
+}
+
+Packet data_packet(std::int64_t payload) {
+  Packet p;
+  p.payload = payload;
+  return p;
+}
+
+TEST(OneWayPipe, DeliversWithLinkPlusPropagationDelay) {
+  Simulator sim;
+  LinkSpec spec;
+  spec.rate_mbps = 12.0;  // 1500B -> 1ms serialization
+  spec.one_way_delay = msec(20);
+  OneWayPipe pipe{sim, spec};
+  TimePoint arrival{};
+  pipe.set_receiver([&](Packet) { arrival = sim.now(); });
+  pipe.send(data_packet(1460));
+  sim.run_until_idle();
+  EXPECT_EQ(arrival.usec(), msec(21).usec());
+}
+
+TEST(OneWayPipe, TraceSpecUsesTraceLink) {
+  Simulator sim;
+  LinkSpec spec;
+  spec.trace = std::make_shared<DeliveryTrace>(std::vector<Duration>{msec(4)}, msec(10));
+  spec.one_way_delay = msec(1);
+  OneWayPipe pipe{sim, spec};
+  TimePoint arrival{};
+  pipe.set_receiver([&](Packet) { arrival = sim.now(); });
+  pipe.send(data_packet(100));
+  sim.run_until_idle();
+  EXPECT_EQ(arrival.usec(), msec(5).usec());
+}
+
+TEST(OneWayPipe, LossStageDrops) {
+  Simulator sim;
+  LinkSpec spec = fast_spec();
+  spec.loss_rate = 1.0;  // drop everything
+  OneWayPipe pipe{sim, spec};
+  int delivered = 0;
+  pipe.set_receiver([&](Packet) { ++delivered; });
+  for (int i = 0; i < 10; ++i) pipe.send(data_packet(100));
+  sim.run_until_idle();
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(DuplexPath, BothDirectionsIndependent) {
+  Simulator sim;
+  DuplexPath path{sim, fast_spec(), fast_spec()};
+  int at_server = 0;
+  int at_client = 0;
+  path.set_server_receiver([&](Packet) { ++at_server; });
+  path.set_client_receiver([&](Packet) { ++at_client; });
+  path.send_up(data_packet(10));
+  path.send_up(data_packet(10));
+  path.send_down(data_packet(10));
+  sim.run_until_idle();
+  EXPECT_EQ(at_server, 2);
+  EXPECT_EQ(at_client, 1);
+}
+
+TEST(NetworkInterface, PassesTrafficWhenUp) {
+  Simulator sim;
+  DuplexPath path{sim, fast_spec(), fast_spec()};
+  NetworkInterface iface{"wifi", sim, path};
+  int at_server = 0;
+  int at_client = 0;
+  path.set_server_receiver([&](Packet) { ++at_server; });
+  iface.set_receiver([&](Packet) { ++at_client; });
+  iface.send(data_packet(10));
+  path.send_down(data_packet(10));
+  sim.run_until_idle();
+  EXPECT_EQ(at_server, 1);
+  EXPECT_EQ(at_client, 1);
+}
+
+TEST(NetworkInterface, DropsAllTrafficWhenDown) {
+  Simulator sim;
+  DuplexPath path{sim, fast_spec(), fast_spec()};
+  NetworkInterface iface{"lte", sim, path};
+  int received = 0;
+  path.set_server_receiver([&](Packet) { FAIL() << "sent while down"; });
+  iface.set_receiver([&](Packet) { ++received; });
+  iface.disable_soft();
+  iface.send(data_packet(10));
+  path.send_down(data_packet(10));
+  sim.run_until_idle();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(NetworkInterface, SoftDisableNotifiesListeners) {
+  Simulator sim;
+  DuplexPath path{sim, fast_spec(), fast_spec()};
+  NetworkInterface iface{"lte", sim, path};
+  std::vector<bool> events;
+  iface.add_state_listener([&](bool up) { events.push_back(up); });
+  iface.disable_soft();
+  iface.plug_in();
+  EXPECT_EQ(events, (std::vector<bool>{false, true}));
+}
+
+TEST(NetworkInterface, SilentUnplugDoesNotNotify) {
+  Simulator sim;
+  DuplexPath path{sim, fast_spec(), fast_spec()};
+  NetworkInterface iface{"lte-usb", sim, path, /*reports_carrier_loss=*/false};
+  int notifications = 0;
+  iface.add_state_listener([&](bool) { ++notifications; });
+  iface.unplug();
+  EXPECT_FALSE(iface.is_up());
+  EXPECT_EQ(notifications, 0);
+  // Replug always notifies (the OS sees the device appear).
+  iface.plug_in();
+  EXPECT_EQ(notifications, 1);
+}
+
+TEST(NetworkInterface, CarrierReportingUnplugNotifies) {
+  Simulator sim;
+  DuplexPath path{sim, fast_spec(), fast_spec()};
+  NetworkInterface iface{"wifi", sim, path, /*reports_carrier_loss=*/true};
+  int down_events = 0;
+  iface.add_state_listener([&](bool up) { down_events += up ? 0 : 1; });
+  iface.unplug();
+  EXPECT_EQ(down_events, 1);
+}
+
+TEST(NetworkInterface, TapSeesBothDirections) {
+  Simulator sim;
+  DuplexPath path{sim, fast_spec(), fast_spec()};
+  NetworkInterface iface{"wifi", sim, path};
+  int sent = 0;
+  int received = 0;
+  iface.set_tap([&](TimePoint, PacketDir dir, const Packet&) {
+    (dir == PacketDir::kSent ? sent : received)++;
+  });
+  iface.set_receiver([](Packet) {});
+  iface.send(data_packet(10));
+  path.send_down(data_packet(10));
+  sim.run_until_idle();
+  EXPECT_EQ(sent, 1);
+  EXPECT_EQ(received, 1);
+}
+
+TEST(NetworkInterface, RedundantStateChangeIsIdempotent) {
+  Simulator sim;
+  DuplexPath path{sim, fast_spec(), fast_spec()};
+  NetworkInterface iface{"wifi", sim, path};
+  int notifications = 0;
+  iface.add_state_listener([&](bool) { ++notifications; });
+  iface.plug_in();  // already up
+  EXPECT_EQ(notifications, 0);
+  iface.disable_soft();
+  iface.disable_soft();
+  EXPECT_EQ(notifications, 1);
+}
+
+}  // namespace
+}  // namespace mn

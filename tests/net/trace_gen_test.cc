@@ -1,0 +1,74 @@
+#include "net/trace_gen.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mn {
+namespace {
+
+TEST(TraceGen, ConstantRateMatchesRequestedRate) {
+  const auto t = constant_rate_trace(12.0, sec(1));
+  EXPECT_NEAR(t.average_rate_mbps(), 12.0, 0.05);
+}
+
+TEST(TraceGen, ConstantRateRejectsNonPositive) {
+  EXPECT_THROW(constant_rate_trace(0.0, sec(1)), std::invalid_argument);
+  EXPECT_THROW(constant_rate_trace(-3.0, sec(1)), std::invalid_argument);
+}
+
+TEST(TraceGen, VeryLowRateStillHasOneOpportunity) {
+  const auto t = constant_rate_trace(0.001, msec(100));
+  EXPECT_GE(t.opportunities_per_period(), 1u);
+}
+
+TEST(TraceGen, PoissonApproximatesRate) {
+  Rng rng{42};
+  const auto t = poisson_trace(10.0, sec(10), rng);
+  EXPECT_NEAR(t.average_rate_mbps(), 10.0, 0.5);
+}
+
+TEST(TraceGen, PoissonIsDeterministicPerSeed) {
+  Rng a{7};
+  Rng b{7};
+  const auto ta = poisson_trace(5.0, sec(1), a);
+  const auto tb = poisson_trace(5.0, sec(1), b);
+  EXPECT_EQ(ta.to_mahimahi(), tb.to_mahimahi());
+}
+
+TEST(TraceGen, TwoStateAverageBetweenGoodAndBad) {
+  Rng rng{3};
+  TwoStateSpec spec;
+  spec.good_mbps = 20.0;
+  spec.bad_mbps = 2.0;
+  spec.mean_dwell = msec(200);
+  const auto t = two_state_trace(spec, sec(20), rng);
+  const double avg = t.average_rate_mbps();
+  EXPECT_GT(avg, 2.0);
+  EXPECT_LT(avg, 20.0);
+  // With equal dwell, the long-run average should be near the midpoint.
+  EXPECT_NEAR(avg, 11.0, 3.0);
+}
+
+// Parameterized property: generated traces always satisfy the
+// DeliveryTrace invariants across a rate sweep (the constructor throws on
+// violation, so construction itself is the assertion).
+class TraceGenSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TraceGenSweep, GeneratorsProduceValidTraces) {
+  const double mbps = GetParam();
+  Rng rng{99};
+  const auto c = constant_rate_trace(mbps, sec(1));
+  EXPECT_NEAR(c.average_rate_mbps(), mbps, mbps * 0.05 + 0.02);
+  const auto p = poisson_trace(mbps, sec(1), rng);
+  EXPECT_GT(p.opportunities_per_period(), 0u);
+  TwoStateSpec spec;
+  spec.good_mbps = mbps * 1.5;
+  spec.bad_mbps = mbps * 0.5;
+  const auto g = two_state_trace(spec, sec(1), rng);
+  EXPECT_GT(g.opportunities_per_period(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, TraceGenSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0));
+
+}  // namespace
+}  // namespace mn

@@ -1,0 +1,187 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mn {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now().usec(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(TimePoint{300}, [&] { order.push_back(3); });
+  sim.schedule_at(TimePoint{100}, [&] { order.push_back(1); });
+  sim.schedule_at(TimePoint{200}, [&] { order.push_back(2); });
+  sim.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().usec(), 300);
+}
+
+TEST(Simulator, TiesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(TimePoint{50}, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until_idle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  TimePoint fired{};
+  sim.schedule_at(TimePoint{100}, [&] {
+    sim.schedule_after(usec(50), [&] { fired = sim.now(); });
+  });
+  sim.run_until_idle();
+  EXPECT_EQ(fired.usec(), 150);
+}
+
+TEST(Simulator, PastScheduleClampsToNow) {
+  Simulator sim;
+  sim.run_until(TimePoint{1000});
+  bool fired = false;
+  sim.schedule_at(TimePoint{10}, [&] {
+    fired = true;
+    EXPECT_EQ(sim.now().usec(), 1000);
+  });
+  sim.run_until_idle();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(TimePoint{5}, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run_until_idle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelUnknownIdIsNoop) {
+  Simulator sim;
+  sim.cancel(9999);
+  SUCCEED();
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(TimePoint{100}, [&] { ++fired; });
+  sim.schedule_at(TimePoint{200}, [&] { ++fired; });
+  sim.run_until(TimePoint{150});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().usec(), 150);
+  sim.run_until(TimePoint{250});
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilSkipsCancelledHead) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(TimePoint{100}, [] {});
+  sim.schedule_at(TimePoint{200}, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run_until(TimePoint{300});
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_after(usec(10), chain);
+  };
+  sim.schedule_after(usec(10), chain);
+  sim.run_until_idle();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now().usec(), 1000);
+  EXPECT_EQ(sim.events_fired(), 100u);
+}
+
+TEST(Timer, FiresOnceAfterDelay) {
+  Simulator sim;
+  int fires = 0;
+  Timer t{sim, [&] { ++fires; }};
+  t.restart(msec(5));
+  EXPECT_TRUE(t.armed());
+  sim.run_until_idle();
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(t.armed());
+  EXPECT_EQ(sim.now().usec(), 5000);
+}
+
+TEST(Timer, RestartResetsDeadline) {
+  Simulator sim;
+  TimePoint fired{};
+  Timer t{sim, [&] { fired = sim.now(); }};
+  t.restart(msec(5));
+  sim.schedule_at(TimePoint{3000}, [&] { t.restart(msec(5)); });
+  sim.run_until_idle();
+  EXPECT_EQ(fired.usec(), 8000);
+}
+
+TEST(Timer, StopPreventsFiring) {
+  Simulator sim;
+  int fires = 0;
+  Timer t{sim, [&] { ++fires; }};
+  t.restart(msec(5));
+  t.stop();
+  sim.run_until_idle();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(Timer, DestructionCancelsPending) {
+  Simulator sim;
+  int fires = 0;
+  {
+    Timer t{sim, [&] { ++fires; }};
+    t.restart(msec(5));
+  }
+  sim.run_until_idle();
+  EXPECT_EQ(fires, 0);
+}
+
+// Property sweep: with random schedules and cancellations, firing order is
+// always non-decreasing in time and cancelled events never fire.
+class SimulatorFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulatorFuzzTest, OrderAndCancellationInvariants) {
+  Simulator sim;
+  std::vector<std::int64_t> fire_times;
+  std::vector<EventId> ids;
+  std::uint64_t x = GetParam();
+  auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int i = 0; i < 500; ++i) {
+    const auto at = static_cast<std::int64_t>(next() % 10000);
+    ids.push_back(sim.schedule_at(TimePoint{at}, [&fire_times, &sim] {
+      fire_times.push_back(sim.now().usec());
+    }));
+  }
+  int cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    sim.cancel(ids[i]);
+    ++cancelled;
+  }
+  sim.run_until_idle();
+  EXPECT_EQ(fire_times.size(), 500u - static_cast<std::size_t>(cancelled));
+  EXPECT_TRUE(std::is_sorted(fire_times.begin(), fire_times.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorFuzzTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace mn

@@ -1,0 +1,259 @@
+#include "tcp/cc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+
+namespace mn {
+namespace {
+
+constexpr std::int64_t kMss = Packet::kMss;
+
+TEST(RenoCc, StartsAtIw10) {
+  RenoCc cc;
+  cc.on_established();
+  EXPECT_EQ(cc.cwnd_bytes(), 10 * kMss);
+  EXPECT_TRUE(cc.in_slow_start());
+}
+
+TEST(RenoCc, SlowStartDoublesPerWindow) {
+  RenoCc cc;
+  cc.on_established();
+  const auto before = cc.cwnd_bytes();
+  cc.on_ack(before, msec(50));  // ack a full window
+  EXPECT_EQ(cc.cwnd_bytes(), 2 * before);
+}
+
+TEST(RenoCc, CongestionAvoidanceAddsOneMssPerWindow) {
+  RenoCc cc;
+  cc.on_established();
+  cc.on_enter_recovery(20 * kMss);
+  cc.on_exit_recovery();  // now cwnd == ssthresh: CA
+  ASSERT_FALSE(cc.in_slow_start());
+  const auto cwnd = cc.cwnd_bytes();
+  // Ack one full window in MSS pieces.
+  std::int64_t acked = 0;
+  while (acked < cwnd) {
+    cc.on_ack(kMss, msec(50));
+    acked += kMss;
+  }
+  EXPECT_NEAR(static_cast<double>(cc.cwnd_bytes() - cwnd), static_cast<double>(kMss),
+              static_cast<double>(kMss) * 0.2);
+}
+
+TEST(RenoCc, RecoveryHalvesWindow) {
+  RenoCc cc;
+  cc.on_established();
+  const auto flight = 20 * kMss;
+  cc.on_enter_recovery(flight);
+  EXPECT_EQ(cc.ssthresh_bytes(), flight / 2);
+  // SACK pipe-style recovery: no window inflation.
+  EXPECT_EQ(cc.cwnd_bytes(), flight / 2);
+  cc.on_dupack_in_recovery();
+  EXPECT_EQ(cc.cwnd_bytes(), flight / 2);
+  cc.on_exit_recovery();
+  EXPECT_EQ(cc.cwnd_bytes(), flight / 2);
+}
+
+TEST(RenoCc, RtoCollapsesToOneMss) {
+  RenoCc cc;
+  cc.on_established();
+  cc.on_retransmit_timeout();
+  EXPECT_EQ(cc.cwnd_bytes(), kMss);
+  EXPECT_EQ(cc.ssthresh_bytes(), 5 * kMss);  // half of IW10
+  EXPECT_TRUE(cc.in_slow_start());
+}
+
+TEST(RenoCc, SsthreshFloorsAtTwoMss) {
+  RenoCc cc;
+  cc.on_established();
+  cc.on_retransmit_timeout();
+  cc.on_retransmit_timeout();
+  cc.on_retransmit_timeout();
+  EXPECT_GE(cc.ssthresh_bytes(), 2 * kMss);
+}
+
+TEST(LiaCc, SingleSubflowBehavesLikeRenoInSlowStart) {
+  CoupledGroup group;
+  LiaCc cc{group};
+  cc.on_established();
+  const auto before = cc.cwnd_bytes();
+  cc.on_ack(before, msec(50));
+  EXPECT_EQ(cc.cwnd_bytes(), 2 * before);
+}
+
+TEST(LiaCc, CoupledIncreaseIsAtMostUncoupled) {
+  CoupledGroup group;
+  LiaCc a{group};
+  LiaCc b{group};
+  a.on_established();
+  b.on_established();
+  // Push both into CA.
+  a.on_enter_recovery(20 * kMss);
+  a.on_exit_recovery();
+  b.on_enter_recovery(20 * kMss);
+  b.on_exit_recovery();
+  const auto a_before = a.cwnd_bytes();
+  a.on_ack(kMss, msec(50));
+  const auto lia_gain = a.cwnd_bytes() - a_before;
+
+  RenoCc solo;
+  solo.on_established();
+  solo.on_enter_recovery(20 * kMss);
+  solo.on_exit_recovery();
+  const auto solo_before = solo.cwnd_bytes();
+  solo.on_ack(kMss, msec(50));
+  const auto reno_gain = solo.cwnd_bytes() - solo_before;
+
+  EXPECT_LE(lia_gain, reno_gain);
+}
+
+TEST(LiaCc, TwoEqualSubflowsGrowSlowerThanTwoRenos) {
+  // The essence of coupling: total aggressiveness ~ one TCP, not two.
+  CoupledGroup group;
+  LiaCc a{group};
+  LiaCc b{group};
+  for (LiaCc* cc : {&a, &b}) {
+    cc->on_established();
+    cc->on_enter_recovery(20 * kMss);
+    cc->on_exit_recovery();
+  }
+  std::int64_t lia_total_before = a.cwnd_bytes() + b.cwnd_bytes();
+  for (int i = 0; i < 10; ++i) {
+    a.on_ack(kMss, msec(50));
+    b.on_ack(kMss, msec(50));
+  }
+  const auto lia_growth = a.cwnd_bytes() + b.cwnd_bytes() - lia_total_before;
+
+  RenoCc ra;
+  RenoCc rb;
+  for (RenoCc* cc : {&ra, &rb}) {
+    cc->on_established();
+    cc->on_enter_recovery(20 * kMss);
+    cc->on_exit_recovery();
+  }
+  std::int64_t reno_total_before = ra.cwnd_bytes() + rb.cwnd_bytes();
+  for (int i = 0; i < 10; ++i) {
+    ra.on_ack(kMss, msec(50));
+    rb.on_ack(kMss, msec(50));
+  }
+  const auto reno_growth = ra.cwnd_bytes() + rb.cwnd_bytes() - reno_total_before;
+
+  EXPECT_LT(lia_growth, reno_growth);
+}
+
+TEST(LiaCc, PrefersLowerRttPathViaAlpha) {
+  CoupledGroup group;
+  LiaCc fast{group};
+  LiaCc slow{group};
+  for (LiaCc* cc : {&fast, &slow}) {
+    cc->on_established();
+    cc->on_enter_recovery(20 * kMss);
+    cc->on_exit_recovery();
+  }
+  // Feed RTT samples: alpha favours the path with the better cwnd/rtt^2.
+  fast.on_ack(kMss, msec(10));
+  slow.on_ack(kMss, msec(200));
+  const double alpha = group.alpha();
+  EXPECT_GT(alpha, 0.0);
+  // With one fast path dominating, alpha approaches total/fast ~ 2.
+  EXPECT_GT(alpha, 1.0);
+}
+
+TEST(LiaCc, RemovedMemberLeavesGroupConsistent) {
+  CoupledGroup group;
+  auto a = std::make_unique<LiaCc>(group);
+  LiaCc b{group};
+  a->on_established();
+  b.on_established();
+  const auto total_with_two = group.total_cwnd_bytes();
+  a.reset();
+  EXPECT_LT(group.total_cwnd_bytes(), total_with_two);
+  EXPECT_EQ(group.total_cwnd_bytes(), b.cwnd_bytes());
+}
+
+TEST(OliaCc, SingleSubflowBehavesLikeRenoInSlowStart) {
+  OliaGroup group;
+  OliaCc cc{group};
+  cc.on_established();
+  const auto before = cc.cwnd_bytes();
+  cc.on_ack(before, msec(50));
+  EXPECT_EQ(cc.cwnd_bytes(), 2 * before);
+}
+
+TEST(OliaCc, NeverMoreAggressiveThanReno) {
+  OliaGroup group;
+  OliaCc a{group};
+  OliaCc b{group};
+  for (OliaCc* cc : {&a, &b}) {
+    cc->on_established();
+    cc->on_enter_recovery(20 * kMss);
+    cc->on_exit_recovery();
+  }
+  RenoCc reno;
+  reno.on_established();
+  reno.on_enter_recovery(20 * kMss);
+  reno.on_exit_recovery();
+  const auto olia_before = a.cwnd_bytes();
+  const auto reno_before = reno.cwnd_bytes();
+  a.on_ack(kMss, msec(50));
+  reno.on_ack(kMss, msec(50));
+  EXPECT_LE(a.cwnd_bytes() - olia_before, reno.cwnd_bytes() - reno_before);
+}
+
+TEST(OliaCc, ShiftsCapacityTowardBetterPath) {
+  // One path clearly better (lower RTT): after CA rounds its window must
+  // grow at least as fast as the worse path's.
+  OliaGroup group;
+  OliaCc fast{group};
+  OliaCc slow{group};
+  for (OliaCc* cc : {&fast, &slow}) {
+    cc->on_established();
+    cc->on_enter_recovery(20 * kMss);
+    cc->on_exit_recovery();
+  }
+  const auto f0 = fast.cwnd_bytes();
+  const auto s0 = slow.cwnd_bytes();
+  for (int i = 0; i < 200; ++i) {
+    fast.on_ack(kMss, msec(20));
+    slow.on_ack(kMss, msec(200));
+  }
+  EXPECT_GE(fast.cwnd_bytes() - f0, slow.cwnd_bytes() - s0);
+}
+
+TEST(OliaCc, RemovedMemberLeavesGroupConsistent) {
+  OliaGroup group;
+  auto a = std::make_unique<OliaCc>(group);
+  OliaCc b{group};
+  a->on_established();
+  b.on_established();
+  EXPECT_EQ(group.members().size(), 2u);
+  a.reset();
+  EXPECT_EQ(group.members().size(), 1u);
+  // Surviving member still works.
+  b.on_enter_recovery(20 * kMss);
+  b.on_exit_recovery();
+  b.on_ack(kMss, msec(50));
+  SUCCEED();
+}
+
+TEST(CubicLiteCc, DecreaseUsesBeta07) {
+  CubicLiteCc cc;
+  cc.on_established();
+  const auto flight = 20 * kMss;
+  cc.on_enter_recovery(flight);
+  EXPECT_EQ(cc.ssthresh_bytes(), static_cast<std::int64_t>(flight * 0.7));
+}
+
+TEST(CubicLiteCc, GrowsBackTowardWmax) {
+  CubicLiteCc cc;
+  cc.on_established();
+  cc.on_enter_recovery(20 * kMss);
+  cc.on_exit_recovery();
+  const auto start = cc.cwnd_bytes();
+  for (int i = 0; i < 400; ++i) cc.on_ack(kMss, msec(50));
+  EXPECT_GT(cc.cwnd_bytes(), start);
+}
+
+}  // namespace
+}  // namespace mn

@@ -1,0 +1,40 @@
+#include "util/geo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mn {
+namespace {
+
+TEST(Geo, ZeroDistance) {
+  const GeoPoint p{42.4, -71.1};
+  EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+}
+
+TEST(Geo, BostonToNewYork) {
+  // Paper Table 1 coordinates: Boston (42.4,-71.1), New York (40.9,-73.8).
+  const double d = haversine_km({42.4, -71.1}, {40.9, -73.8});
+  EXPECT_GT(d, 250.0);
+  EXPECT_LT(d, 320.0);
+}
+
+TEST(Geo, Symmetric) {
+  const GeoPoint a{31.8, 35.0};   // Israel
+  const GeoPoint b{59.4, 27.4};   // Estonia
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(Geo, Antipodal) {
+  // Half Earth circumference is about 20015 km.
+  const double d = haversine_km({0.0, 0.0}, {0.0, 180.0});
+  EXPECT_NEAR(d, 20015.0, 30.0);
+}
+
+TEST(Geo, SmallOffsetsAreLocal) {
+  // ~0.1 degree latitude is ~11 km; well within the paper's 100 km radius.
+  const double d = haversine_km({42.4, -71.1}, {42.5, -71.1});
+  EXPECT_GT(d, 10.0);
+  EXPECT_LT(d, 12.5);
+}
+
+}  // namespace
+}  // namespace mn

@@ -1,0 +1,108 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace mn {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+  Rng parent{9};
+  Rng child = parent.fork("link");
+  // Child stream must differ from the parent's continued stream.
+  Rng parent_copy{9};
+  (void)parent_copy.next_u64();  // parent consumed one draw for the fork
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (child.next_u64() == parent_copy.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkLabelMatters) {
+  Rng p1{9};
+  Rng p2{9};
+  Rng a = p1.fork("wifi");
+  Rng b = p2.fork("lte");
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{3};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng{4};
+  std::vector<int> seen(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    const auto v = rng.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++seen[static_cast<std::size_t>(v)];
+  }
+  for (int count : seen) EXPECT_GT(count, 800);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{5};
+  OnlineStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{6};
+  OnlineStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 4.0, 0.1);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng{8};
+  EmpiricalDistribution d;
+  for (int i = 0; i < 50000; ++i) d.add(rng.lognormal(1.0, 0.5));
+  EXPECT_NEAR(d.median(), std::exp(1.0), 0.05);
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng{10};
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Shuffle, PreservesElements) {
+  Rng rng{11};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  shuffle(v, rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+}  // namespace
+}  // namespace mn

@@ -1,0 +1,115 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace mn {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, SingleSample) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(EmpiricalDistribution, QuantileInterpolates) {
+  EmpiricalDistribution d{{1.0, 2.0, 3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(d.median(), 2.5);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0 / 3.0), 2.0);
+}
+
+TEST(EmpiricalDistribution, QuantileOfEmptyThrows) {
+  EmpiricalDistribution d;
+  EXPECT_THROW((void)d.quantile(0.5), std::runtime_error);
+}
+
+TEST(EmpiricalDistribution, CdfAt) {
+  EmpiricalDistribution d{{1.0, 2.0, 2.0, 5.0}};
+  EXPECT_DOUBLE_EQ(d.cdf_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf_at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(d.cdf_at(10.0), 1.0);
+}
+
+TEST(EmpiricalDistribution, FractionBelowZeroIsLteWinRegion) {
+  // Samples model Tput(WiFi) - Tput(LTE): negative means LTE wins.
+  EmpiricalDistribution d{{-3.0, -1.0, 0.0, 2.0, 5.0}};
+  EXPECT_DOUBLE_EQ(d.fraction_below(0.0), 0.4);
+}
+
+TEST(EmpiricalDistribution, AddAfterQueryResorts) {
+  EmpiricalDistribution d{{3.0, 1.0}};
+  EXPECT_DOUBLE_EQ(d.median(), 2.0);
+  d.add(100.0);
+  EXPECT_DOUBLE_EQ(d.median(), 3.0);
+}
+
+TEST(EmpiricalDistribution, CdfPointsMonotone) {
+  EmpiricalDistribution d{{5.0, 1.0, 3.0}};
+  const auto pts = d.cdf_points();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i - 1].first, pts[i].first);
+    EXPECT_LT(pts[i - 1].second, pts[i].second);
+  }
+}
+
+TEST(EmpiricalDistribution, MedianOfGaussianSamples) {
+  Rng rng{7};
+  EmpiricalDistribution d;
+  for (int i = 0; i < 20000; ++i) d.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(d.median(), 10.0, 0.1);
+  EXPECT_NEAR(d.mean(), 10.0, 0.1);
+  EXPECT_NEAR(d.cdf_at(12.0), 0.8413, 0.02);
+}
+
+TEST(MedianOf, OddCount) {
+  EXPECT_DOUBLE_EQ(median_of({3.0, 1.0, 2.0}), 2.0);
+}
+
+// Property sweep: quantile() must be monotone in q for arbitrary sample sets.
+class QuantileMonotoneTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantileMonotoneTest, MonotoneInQ) {
+  Rng rng{GetParam()};
+  EmpiricalDistribution d;
+  const int n = static_cast<int>(rng.uniform_int(1, 200));
+  for (int i = 0; i < n; ++i) d.add(rng.uniform(-100.0, 100.0));
+  double prev = d.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double v = d.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotoneTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace mn

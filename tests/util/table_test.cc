@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/ascii_plot.hpp"
+
+namespace mn {
+namespace {
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t{{"Location", "Runs"}};
+  t.add_row({"US (Boston, MA)", "884"});
+  t.add_row({"Israel", "276"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("US (Boston, MA)"), std::string::npos);
+  EXPECT_NE(out.find("| Runs"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(0.42), "42%");
+  EXPECT_EQ(Table::pct(0.425, 1), "42.5%");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t{{"a", "b", "c"}};
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.print(os);
+  SUCCEED();  // must not crash; width logic handles the padding
+}
+
+TEST(AsciiPlot, RendersSeriesAndLegend) {
+  Series s{"cdf", {{0.0, 0.0}, {1.0, 0.5}, {2.0, 1.0}}};
+  PlotOptions opt;
+  opt.x_label = "mbps";
+  opt.y_label = "CDF";
+  const std::string out = render_plot({s}, opt);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("cdf"), std::string::npos);
+  EXPECT_NE(out.find("mbps"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptySeriesDoesNotCrash) {
+  const std::string out = render_plot({Series{"empty", {}}}, PlotOptions{});
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(AsciiPlot, TimelineMarksEvents) {
+  const std::string out =
+      render_timeline({{"LTE", {0.0, 1.0, 2.0}}, {"WiFi", {5.0}}}, 10.0, 40);
+  EXPECT_NE(out.find("LTE"), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mn

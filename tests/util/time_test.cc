@@ -1,0 +1,64 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace mn {
+namespace {
+
+TEST(Time, Constructors) {
+  EXPECT_EQ(usec(5).usec(), 5);
+  EXPECT_EQ(msec(5).usec(), 5000);
+  EXPECT_EQ(sec(5).usec(), 5'000'000);
+  EXPECT_EQ(secs_f(1.5).usec(), 1'500'000);
+  EXPECT_EQ(secs_f(-0.5).usec(), -500'000);
+}
+
+TEST(Time, Arithmetic) {
+  const TimePoint t{1000};
+  EXPECT_EQ((t + msec(1)).usec(), 2000);
+  EXPECT_EQ((t - usec(500)).usec(), 500);
+  EXPECT_EQ((TimePoint{3000} - t).usec(), 2000);
+  EXPECT_EQ((msec(2) * 3).usec(), 6000);
+  EXPECT_EQ((msec(6) / 3).usec(), 2000);
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(TimePoint{1}, TimePoint{2});
+  EXPECT_LE(msec(1), usec(1000));
+  EXPECT_GT(TimePoint::max(), TimePoint{1});
+}
+
+TEST(Time, SecondsConversion) {
+  EXPECT_DOUBLE_EQ(msec(1500).seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(msec(1500).millis(), 1500.0);
+  EXPECT_DOUBLE_EQ(TimePoint{250000}.seconds(), 0.25);
+}
+
+TEST(Units, ThroughputMbps) {
+  // 1 MB over 1 second = 8 Mbit/s.
+  EXPECT_DOUBLE_EQ(throughput_mbps(1'000'000, sec(1)), 8.0);
+  EXPECT_DOUBLE_EQ(throughput_mbps(1'000'000, Duration{0}), 0.0);
+  EXPECT_DOUBLE_EQ(throughput_mbps(0, sec(1)), 0.0);
+}
+
+TEST(Units, TransmissionTime) {
+  // 1500 bytes at 12 Mbit/s = 1 ms.
+  EXPECT_EQ(transmission_time(1500, 12.0).usec(), 1000);
+  EXPECT_EQ(transmission_time(1500, 0.0).usec(), 0);
+}
+
+TEST(Units, BytesAtRate) {
+  EXPECT_EQ(bytes_at_rate(8.0, sec(1)), 1'000'000);
+  EXPECT_EQ(bytes_at_rate(8.0, msec(500)), 500'000);
+}
+
+TEST(Units, RoundTrip) {
+  // transmission_time and throughput_mbps are inverse up to rounding.
+  const auto t = transmission_time(123456, 7.5);
+  EXPECT_NEAR(throughput_mbps(123456, t), 7.5, 0.01);
+}
+
+}  // namespace
+}  // namespace mn
