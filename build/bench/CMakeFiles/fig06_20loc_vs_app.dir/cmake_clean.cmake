@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_20loc_vs_app.dir/fig06_20loc_vs_app.cc.o"
+  "CMakeFiles/fig06_20loc_vs_app.dir/fig06_20loc_vs_app.cc.o.d"
+  "fig06_20loc_vs_app"
+  "fig06_20loc_vs_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_20loc_vs_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_20loc_vs_app.
+# This may be replaced when dependencies are built.

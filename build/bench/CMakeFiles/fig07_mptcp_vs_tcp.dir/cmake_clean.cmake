@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_mptcp_vs_tcp.dir/fig07_mptcp_vs_tcp.cc.o"
+  "CMakeFiles/fig07_mptcp_vs_tcp.dir/fig07_mptcp_vs_tcp.cc.o.d"
+  "fig07_mptcp_vs_tcp"
+  "fig07_mptcp_vs_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_mptcp_vs_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

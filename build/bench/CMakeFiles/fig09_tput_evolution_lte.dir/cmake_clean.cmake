@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_tput_evolution_lte.dir/fig09_tput_evolution_lte.cc.o"
+  "CMakeFiles/fig09_tput_evolution_lte.dir/fig09_tput_evolution_lte.cc.o.d"
+  "fig09_tput_evolution_lte"
+  "fig09_tput_evolution_lte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_tput_evolution_lte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

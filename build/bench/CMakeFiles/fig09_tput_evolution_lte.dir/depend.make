@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_tput_evolution_lte.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tput_evolution_wifi.dir/fig10_tput_evolution_wifi.cc.o"
+  "CMakeFiles/fig10_tput_evolution_wifi.dir/fig10_tput_evolution_wifi.cc.o.d"
+  "fig10_tput_evolution_wifi"
+  "fig10_tput_evolution_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tput_evolution_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_tput_evolution_wifi.
+# This may be replaced when dependencies are built.

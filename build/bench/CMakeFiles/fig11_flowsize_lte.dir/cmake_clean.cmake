@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_flowsize_lte.dir/fig11_flowsize_lte.cc.o"
+  "CMakeFiles/fig11_flowsize_lte.dir/fig11_flowsize_lte.cc.o.d"
+  "fig11_flowsize_lte"
+  "fig11_flowsize_lte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_flowsize_lte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

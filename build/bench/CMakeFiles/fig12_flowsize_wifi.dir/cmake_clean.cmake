@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_flowsize_wifi.dir/fig12_flowsize_wifi.cc.o"
+  "CMakeFiles/fig12_flowsize_wifi.dir/fig12_flowsize_wifi.cc.o.d"
+  "fig12_flowsize_wifi"
+  "fig12_flowsize_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_flowsize_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

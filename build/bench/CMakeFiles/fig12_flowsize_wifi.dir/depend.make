@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_flowsize_wifi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_cc_cdf.cc" "bench/CMakeFiles/fig13_cc_cdf.dir/fig13_cc_cdf.cc.o" "gcc" "bench/CMakeFiles/fig13_cc_cdf.dir/fig13_cc_cdf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/mn_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/mn_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/mn_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/mn_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mptcp/CMakeFiles/mn_mptcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mn_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

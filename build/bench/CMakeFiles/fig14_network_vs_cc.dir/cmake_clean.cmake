@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_network_vs_cc.dir/fig14_network_vs_cc.cc.o"
+  "CMakeFiles/fig14_network_vs_cc.dir/fig14_network_vs_cc.cc.o.d"
+  "fig14_network_vs_cc"
+  "fig14_network_vs_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_network_vs_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_packet_patterns.dir/fig15_packet_patterns.cc.o"
+  "CMakeFiles/fig15_packet_patterns.dir/fig15_packet_patterns.cc.o.d"
+  "fig15_packet_patterns"
+  "fig15_packet_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_packet_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_app_patterns.dir/fig17_app_patterns.cc.o"
+  "CMakeFiles/fig17_app_patterns.dir/fig17_app_patterns.cc.o.d"
+  "fig17_app_patterns"
+  "fig17_app_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_app_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_shortflow_replay.dir/fig18_shortflow_replay.cc.o"
+  "CMakeFiles/fig18_shortflow_replay.dir/fig18_shortflow_replay.cc.o.d"
+  "fig18_shortflow_replay"
+  "fig18_shortflow_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_shortflow_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

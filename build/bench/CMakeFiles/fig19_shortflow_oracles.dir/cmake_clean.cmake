@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_shortflow_oracles.dir/fig19_shortflow_oracles.cc.o"
+  "CMakeFiles/fig19_shortflow_oracles.dir/fig19_shortflow_oracles.cc.o.d"
+  "fig19_shortflow_oracles"
+  "fig19_shortflow_oracles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_shortflow_oracles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

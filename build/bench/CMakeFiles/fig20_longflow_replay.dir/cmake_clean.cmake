@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_longflow_replay.dir/fig20_longflow_replay.cc.o"
+  "CMakeFiles/fig20_longflow_replay.dir/fig20_longflow_replay.cc.o.d"
+  "fig20_longflow_replay"
+  "fig20_longflow_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_longflow_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

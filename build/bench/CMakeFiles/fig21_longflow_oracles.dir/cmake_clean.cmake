@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_longflow_oracles.dir/fig21_longflow_oracles.cc.o"
+  "CMakeFiles/fig21_longflow_oracles.dir/fig21_longflow_oracles.cc.o.d"
+  "fig21_longflow_oracles"
+  "fig21_longflow_oracles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_longflow_oracles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

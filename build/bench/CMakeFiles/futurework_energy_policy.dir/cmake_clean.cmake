@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/futurework_energy_policy.dir/futurework_energy_policy.cc.o"
+  "CMakeFiles/futurework_energy_policy.dir/futurework_energy_policy.cc.o.d"
+  "futurework_energy_policy"
+  "futurework_energy_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/futurework_energy_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

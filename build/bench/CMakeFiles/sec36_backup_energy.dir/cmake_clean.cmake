@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec36_backup_energy.dir/sec36_backup_energy.cc.o"
+  "CMakeFiles/sec36_backup_energy.dir/sec36_backup_energy.cc.o.d"
+  "sec36_backup_energy"
+  "sec36_backup_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec36_backup_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_geo_clusters.dir/table1_geo_clusters.cc.o"
+  "CMakeFiles/table1_geo_clusters.dir/table1_geo_clusters.cc.o.d"
+  "table1_geo_clusters"
+  "table1_geo_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_geo_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

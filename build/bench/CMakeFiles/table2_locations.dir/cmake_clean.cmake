@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_locations.dir/table2_locations.cc.o"
+  "CMakeFiles/table2_locations.dir/table2_locations.cc.o.d"
+  "table2_locations"
+  "table2_locations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_replay.dir/app_replay.cpp.o"
+  "CMakeFiles/app_replay.dir/app_replay.cpp.o.d"
+  "app_replay"
+  "app_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

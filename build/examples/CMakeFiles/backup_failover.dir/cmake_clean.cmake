@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_failover.dir/backup_failover.cpp.o"
+  "CMakeFiles/backup_failover.dir/backup_failover.cpp.o.d"
+  "backup_failover"
+  "backup_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdsense.dir/crowdsense.cpp.o"
+  "CMakeFiles/crowdsense.dir/crowdsense.cpp.o.d"
+  "crowdsense"
+  "crowdsense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdsense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for crowdsense.
+# This may be replaced when dependencies are built.

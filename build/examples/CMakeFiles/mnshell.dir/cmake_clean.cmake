@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnshell.dir/mnshell.cpp.o"
+  "CMakeFiles/mnshell.dir/mnshell.cpp.o.d"
+  "mnshell"
+  "mnshell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnshell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

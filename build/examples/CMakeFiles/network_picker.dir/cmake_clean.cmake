@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_picker.dir/network_picker.cpp.o"
+  "CMakeFiles/network_picker.dir/network_picker.cpp.o.d"
+  "network_picker"
+  "network_picker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_picker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_app.dir/pattern.cc.o"
+  "CMakeFiles/mn_app.dir/pattern.cc.o.d"
+  "CMakeFiles/mn_app.dir/replay.cc.o"
+  "CMakeFiles/mn_app.dir/replay.cc.o.d"
+  "libmn_app.a"
+  "libmn_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

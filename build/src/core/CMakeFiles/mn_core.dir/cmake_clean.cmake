@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_core.dir/energy_policy.cc.o"
+  "CMakeFiles/mn_core.dir/energy_policy.cc.o.d"
+  "CMakeFiles/mn_core.dir/experiment.cc.o"
+  "CMakeFiles/mn_core.dir/experiment.cc.o.d"
+  "CMakeFiles/mn_core.dir/policy.cc.o"
+  "CMakeFiles/mn_core.dir/policy.cc.o.d"
+  "libmn_core.a"
+  "libmn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

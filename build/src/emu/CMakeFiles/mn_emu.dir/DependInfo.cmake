@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emu/http.cc" "src/emu/CMakeFiles/mn_emu.dir/http.cc.o" "gcc" "src/emu/CMakeFiles/mn_emu.dir/http.cc.o.d"
+  "/root/repo/src/emu/mpshell.cc" "src/emu/CMakeFiles/mn_emu.dir/mpshell.cc.o" "gcc" "src/emu/CMakeFiles/mn_emu.dir/mpshell.cc.o.d"
+  "/root/repo/src/emu/packet_log.cc" "src/emu/CMakeFiles/mn_emu.dir/packet_log.cc.o" "gcc" "src/emu/CMakeFiles/mn_emu.dir/packet_log.cc.o.d"
+  "/root/repo/src/emu/record.cc" "src/emu/CMakeFiles/mn_emu.dir/record.cc.o" "gcc" "src/emu/CMakeFiles/mn_emu.dir/record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mptcp/CMakeFiles/mn_mptcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mn_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

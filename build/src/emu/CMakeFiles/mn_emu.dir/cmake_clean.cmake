@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_emu.dir/http.cc.o"
+  "CMakeFiles/mn_emu.dir/http.cc.o.d"
+  "CMakeFiles/mn_emu.dir/mpshell.cc.o"
+  "CMakeFiles/mn_emu.dir/mpshell.cc.o.d"
+  "CMakeFiles/mn_emu.dir/packet_log.cc.o"
+  "CMakeFiles/mn_emu.dir/packet_log.cc.o.d"
+  "CMakeFiles/mn_emu.dir/record.cc.o"
+  "CMakeFiles/mn_emu.dir/record.cc.o.d"
+  "libmn_emu.a"
+  "libmn_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

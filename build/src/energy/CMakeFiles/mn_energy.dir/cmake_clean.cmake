@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_energy.dir/power_model.cc.o"
+  "CMakeFiles/mn_energy.dir/power_model.cc.o.d"
+  "libmn_energy.a"
+  "libmn_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/campaign.cc" "src/measure/CMakeFiles/mn_measure.dir/campaign.cc.o" "gcc" "src/measure/CMakeFiles/mn_measure.dir/campaign.cc.o.d"
+  "/root/repo/src/measure/clustering.cc" "src/measure/CMakeFiles/mn_measure.dir/clustering.cc.o" "gcc" "src/measure/CMakeFiles/mn_measure.dir/clustering.cc.o.d"
+  "/root/repo/src/measure/locations20.cc" "src/measure/CMakeFiles/mn_measure.dir/locations20.cc.o" "gcc" "src/measure/CMakeFiles/mn_measure.dir/locations20.cc.o.d"
+  "/root/repo/src/measure/world.cc" "src/measure/CMakeFiles/mn_measure.dir/world.cc.o" "gcc" "src/measure/CMakeFiles/mn_measure.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mptcp/CMakeFiles/mn_mptcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mn_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_measure.dir/campaign.cc.o"
+  "CMakeFiles/mn_measure.dir/campaign.cc.o.d"
+  "CMakeFiles/mn_measure.dir/clustering.cc.o"
+  "CMakeFiles/mn_measure.dir/clustering.cc.o.d"
+  "CMakeFiles/mn_measure.dir/locations20.cc.o"
+  "CMakeFiles/mn_measure.dir/locations20.cc.o.d"
+  "CMakeFiles/mn_measure.dir/world.cc.o"
+  "CMakeFiles/mn_measure.dir/world.cc.o.d"
+  "libmn_measure.a"
+  "libmn_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

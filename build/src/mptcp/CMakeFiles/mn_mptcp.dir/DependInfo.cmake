@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mptcp/mptcp_agent.cc" "src/mptcp/CMakeFiles/mn_mptcp.dir/mptcp_agent.cc.o" "gcc" "src/mptcp/CMakeFiles/mn_mptcp.dir/mptcp_agent.cc.o.d"
+  "/root/repo/src/mptcp/testbed.cc" "src/mptcp/CMakeFiles/mn_mptcp.dir/testbed.cc.o" "gcc" "src/mptcp/CMakeFiles/mn_mptcp.dir/testbed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/mn_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_mptcp.dir/mptcp_agent.cc.o"
+  "CMakeFiles/mn_mptcp.dir/mptcp_agent.cc.o.d"
+  "CMakeFiles/mn_mptcp.dir/testbed.cc.o"
+  "CMakeFiles/mn_mptcp.dir/testbed.cc.o.d"
+  "libmn_mptcp.a"
+  "libmn_mptcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_mptcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

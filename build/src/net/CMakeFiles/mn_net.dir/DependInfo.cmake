@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/delivery_trace.cc" "src/net/CMakeFiles/mn_net.dir/delivery_trace.cc.o" "gcc" "src/net/CMakeFiles/mn_net.dir/delivery_trace.cc.o.d"
+  "/root/repo/src/net/links.cc" "src/net/CMakeFiles/mn_net.dir/links.cc.o" "gcc" "src/net/CMakeFiles/mn_net.dir/links.cc.o.d"
+  "/root/repo/src/net/path.cc" "src/net/CMakeFiles/mn_net.dir/path.cc.o" "gcc" "src/net/CMakeFiles/mn_net.dir/path.cc.o.d"
+  "/root/repo/src/net/trace_gen.cc" "src/net/CMakeFiles/mn_net.dir/trace_gen.cc.o" "gcc" "src/net/CMakeFiles/mn_net.dir/trace_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

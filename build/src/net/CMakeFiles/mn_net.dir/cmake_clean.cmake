@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_net.dir/delivery_trace.cc.o"
+  "CMakeFiles/mn_net.dir/delivery_trace.cc.o.d"
+  "CMakeFiles/mn_net.dir/links.cc.o"
+  "CMakeFiles/mn_net.dir/links.cc.o.d"
+  "CMakeFiles/mn_net.dir/path.cc.o"
+  "CMakeFiles/mn_net.dir/path.cc.o.d"
+  "CMakeFiles/mn_net.dir/trace_gen.cc.o"
+  "CMakeFiles/mn_net.dir/trace_gen.cc.o.d"
+  "libmn_net.a"
+  "libmn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_sim.dir/simulator.cc.o"
+  "CMakeFiles/mn_sim.dir/simulator.cc.o.d"
+  "libmn_sim.a"
+  "libmn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

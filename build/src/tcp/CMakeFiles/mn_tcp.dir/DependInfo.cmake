@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/cc.cc" "src/tcp/CMakeFiles/mn_tcp.dir/cc.cc.o" "gcc" "src/tcp/CMakeFiles/mn_tcp.dir/cc.cc.o.d"
+  "/root/repo/src/tcp/flow.cc" "src/tcp/CMakeFiles/mn_tcp.dir/flow.cc.o" "gcc" "src/tcp/CMakeFiles/mn_tcp.dir/flow.cc.o.d"
+  "/root/repo/src/tcp/mux.cc" "src/tcp/CMakeFiles/mn_tcp.dir/mux.cc.o" "gcc" "src/tcp/CMakeFiles/mn_tcp.dir/mux.cc.o.d"
+  "/root/repo/src/tcp/tcp_endpoint.cc" "src/tcp/CMakeFiles/mn_tcp.dir/tcp_endpoint.cc.o" "gcc" "src/tcp/CMakeFiles/mn_tcp.dir/tcp_endpoint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_tcp.dir/cc.cc.o"
+  "CMakeFiles/mn_tcp.dir/cc.cc.o.d"
+  "CMakeFiles/mn_tcp.dir/flow.cc.o"
+  "CMakeFiles/mn_tcp.dir/flow.cc.o.d"
+  "CMakeFiles/mn_tcp.dir/mux.cc.o"
+  "CMakeFiles/mn_tcp.dir/mux.cc.o.d"
+  "CMakeFiles/mn_tcp.dir/tcp_endpoint.cc.o"
+  "CMakeFiles/mn_tcp.dir/tcp_endpoint.cc.o.d"
+  "libmn_tcp.a"
+  "libmn_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

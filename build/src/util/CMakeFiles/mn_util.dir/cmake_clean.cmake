@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_util.dir/ascii_plot.cc.o"
+  "CMakeFiles/mn_util.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/mn_util.dir/csv.cc.o"
+  "CMakeFiles/mn_util.dir/csv.cc.o.d"
+  "CMakeFiles/mn_util.dir/geo.cc.o"
+  "CMakeFiles/mn_util.dir/geo.cc.o.d"
+  "CMakeFiles/mn_util.dir/interval_set.cc.o"
+  "CMakeFiles/mn_util.dir/interval_set.cc.o.d"
+  "CMakeFiles/mn_util.dir/rng.cc.o"
+  "CMakeFiles/mn_util.dir/rng.cc.o.d"
+  "CMakeFiles/mn_util.dir/stats.cc.o"
+  "CMakeFiles/mn_util.dir/stats.cc.o.d"
+  "CMakeFiles/mn_util.dir/table.cc.o"
+  "CMakeFiles/mn_util.dir/table.cc.o.d"
+  "libmn_util.a"
+  "libmn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

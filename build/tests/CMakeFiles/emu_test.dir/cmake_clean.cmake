@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emu_test.dir/emu/http_test.cc.o"
+  "CMakeFiles/emu_test.dir/emu/http_test.cc.o.d"
+  "CMakeFiles/emu_test.dir/emu/mpshell_test.cc.o"
+  "CMakeFiles/emu_test.dir/emu/mpshell_test.cc.o.d"
+  "CMakeFiles/emu_test.dir/emu/packet_log_test.cc.o"
+  "CMakeFiles/emu_test.dir/emu/packet_log_test.cc.o.d"
+  "CMakeFiles/emu_test.dir/emu/record_test.cc.o"
+  "CMakeFiles/emu_test.dir/emu/record_test.cc.o.d"
+  "emu_test"
+  "emu_test.pdb"
+  "emu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

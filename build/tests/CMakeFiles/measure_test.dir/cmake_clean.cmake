@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_test.dir/measure/campaign_test.cc.o"
+  "CMakeFiles/measure_test.dir/measure/campaign_test.cc.o.d"
+  "CMakeFiles/measure_test.dir/measure/clustering_test.cc.o"
+  "CMakeFiles/measure_test.dir/measure/clustering_test.cc.o.d"
+  "CMakeFiles/measure_test.dir/measure/locations20_test.cc.o"
+  "CMakeFiles/measure_test.dir/measure/locations20_test.cc.o.d"
+  "CMakeFiles/measure_test.dir/measure/world_test.cc.o"
+  "CMakeFiles/measure_test.dir/measure/world_test.cc.o.d"
+  "measure_test"
+  "measure_test.pdb"
+  "measure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

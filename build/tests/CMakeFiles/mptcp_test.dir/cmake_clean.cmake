@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mptcp_test.dir/mptcp/interval_set_test.cc.o"
+  "CMakeFiles/mptcp_test.dir/mptcp/interval_set_test.cc.o.d"
+  "CMakeFiles/mptcp_test.dir/mptcp/mptcp_agent_test.cc.o"
+  "CMakeFiles/mptcp_test.dir/mptcp/mptcp_agent_test.cc.o.d"
+  "CMakeFiles/mptcp_test.dir/mptcp/mptcp_mechanisms_test.cc.o"
+  "CMakeFiles/mptcp_test.dir/mptcp/mptcp_mechanisms_test.cc.o.d"
+  "mptcp_test"
+  "mptcp_test.pdb"
+  "mptcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mptcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

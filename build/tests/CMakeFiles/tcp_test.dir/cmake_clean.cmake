@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_test.dir/tcp/cc_test.cc.o"
+  "CMakeFiles/tcp_test.dir/tcp/cc_test.cc.o.d"
+  "CMakeFiles/tcp_test.dir/tcp/flow_test.cc.o"
+  "CMakeFiles/tcp_test.dir/tcp/flow_test.cc.o.d"
+  "CMakeFiles/tcp_test.dir/tcp/mux_test.cc.o"
+  "CMakeFiles/tcp_test.dir/tcp/mux_test.cc.o.d"
+  "CMakeFiles/tcp_test.dir/tcp/reordering_test.cc.o"
+  "CMakeFiles/tcp_test.dir/tcp/reordering_test.cc.o.d"
+  "CMakeFiles/tcp_test.dir/tcp/tcp_endpoint_test.cc.o"
+  "CMakeFiles/tcp_test.dir/tcp/tcp_endpoint_test.cc.o.d"
+  "tcp_test"
+  "tcp_test.pdb"
+  "tcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
