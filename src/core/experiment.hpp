@@ -4,9 +4,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/config.hpp"
+#include "faults/fault_plan.hpp"
 #include "mptcp/testbed.hpp"
 #include "tcp/flow.hpp"
 
@@ -22,10 +24,31 @@ struct TransportFlowResult {
   /// MPTCP only: per-subflow client timelines (empty for single path).
   std::array<std::vector<TimelinePoint>, 2> subflow_timelines;
   std::array<PathId, 2> subflow_paths{PathId::kWifi, PathId::kLte};
+  /// Longest gap between progress events seen by the watchdog.
+  Duration stall_time{0};
+  /// Why the flow did not complete ("" when it did): "stall: ...",
+  /// "timeout", or "idle: ...".
+  std::string failure_reason;
+};
+
+/// Knobs for run_transport_flow beyond the flow itself.
+struct TransportRunOptions {
+  Duration timeout = sec(120);
+  /// Watchdog bound: abort once no progress is made for this long.
+  Duration stall_limit = sec(30);
+  /// Optional fault schedule, armed against the flow's path(s) at start
+  /// (not owned; must outlive the call).
+  const FaultPlan* faults = nullptr;
 };
 
 /// Run `bytes` under `config` over `net`.  A fresh Simulator should be
 /// used per call for reproducibility (pass one in; it is advanced).
+[[nodiscard]] TransportFlowResult run_transport_flow(Simulator& sim,
+                                                     const MpNetworkSetup& net,
+                                                     const TransportConfig& config,
+                                                     std::int64_t bytes, Direction dir,
+                                                     const TransportRunOptions& options);
+
 [[nodiscard]] TransportFlowResult run_transport_flow(Simulator& sim,
                                                      const MpNetworkSetup& net,
                                                      const TransportConfig& config,

@@ -1,0 +1,160 @@
+#include "faults/chaos.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "faults/fault_injector.hpp"
+#include "net/trace_gen.hpp"
+#include "util/rng.hpp"
+
+namespace mn {
+namespace {
+
+/// A random emulated access link: fixed-rate or trace-driven, optional
+/// random loss, varied queue depth — the whole space the real campaign
+/// links live in.
+LinkSpec random_link(Rng& rng, bool lte) {
+  LinkSpec s;
+  s.one_way_delay = msec(rng.uniform_int(5, lte ? 60 : 30));
+  s.queue_packets = static_cast<int>(rng.uniform_int(16, 200));
+  s.loss_rate = rng.chance(0.5) ? rng.uniform(0.0, 0.02) : 0.0;
+  s.loss_seed = rng.next_u64();
+  if (rng.chance(0.3)) {
+    const Duration period = sec(2);
+    if (lte) {
+      TwoStateSpec ts;
+      ts.good_mbps = rng.uniform(5.0, 30.0);
+      ts.bad_mbps = rng.uniform(0.5, 3.0);
+      ts.mean_dwell = msec(rng.uniform_int(100, 600));
+      s.trace = std::make_shared<DeliveryTrace>(two_state_trace(ts, period, rng));
+    } else {
+      s.trace = std::make_shared<DeliveryTrace>(poisson_trace(rng.uniform(2.0, 30.0), period, rng));
+    }
+  } else {
+    s.rate_mbps = rng.uniform(1.0, 50.0);
+  }
+  return s;
+}
+
+MpNetworkSetup random_setup(Rng& rng) {
+  MpNetworkSetup setup;
+  setup.wifi_up = random_link(rng, /*lte=*/false);
+  setup.wifi_down = random_link(rng, /*lte=*/false);
+  setup.lte_up = random_link(rng, /*lte=*/true);
+  setup.lte_down = random_link(rng, /*lte=*/true);
+  return setup;
+}
+
+MptcpSpec random_spec(Rng& rng) {
+  MptcpSpec spec;
+  spec.primary = rng.chance(0.5) ? PathId::kWifi : PathId::kLte;
+  switch (rng.uniform_int(0, 2)) {
+    case 0: spec.cc = CcAlgo::kDecoupled; break;
+    case 1: spec.cc = CcAlgo::kCoupled; break;
+    default: spec.cc = CcAlgo::kOlia; break;
+  }
+  switch (rng.uniform_int(0, 2)) {
+    case 0: spec.mode = MpMode::kFull; break;
+    case 1: spec.mode = MpMode::kBackup; break;
+    default: spec.mode = MpMode::kSinglePath; break;
+  }
+  spec.scheduler = rng.chance(0.5) ? MpScheduler::kLowestRtt : MpScheduler::kRoundRobin;
+  return spec;
+}
+
+void check_counters(ChaosRunReport& report, DuplexPath& path, const char* name) {
+  if (!path.uplink().counters_consistent()) {
+    report.violations.push_back(std::string{"stage counters inconsistent: "} + name + " uplink");
+  }
+  if (!path.downlink().counters_consistent()) {
+    report.violations.push_back(std::string{"stage counters inconsistent: "} + name +
+                                " downlink");
+  }
+}
+
+}  // namespace
+
+ChaosRunReport run_chaos_run(std::uint64_t seed, const ChaosSoakOptions& options) {
+  ChaosRunReport report;
+  report.seed = seed;
+
+  Rng rng{mix_seed(seed, "chaos-run")};
+  const MpNetworkSetup setup = random_setup(rng);
+  const MptcpSpec spec = random_spec(rng);
+  const Direction dir = rng.chance(0.5) ? Direction::kDownload : Direction::kUpload;
+  report.bytes_requested = rng.uniform_int(options.min_bytes, options.max_bytes);
+  const FaultPlan plan = random_fault_plan(rng.next_u64(), options.plan);
+  report.plan_text = plan.serialize();
+
+  Simulator sim;
+  MptcpTestbed bed{sim, setup, spec};
+  FaultInjector injector{sim};
+  injector.set_target(PathId::kWifi, &bed.path(PathId::kWifi), &bed.iface(PathId::kWifi));
+  injector.set_target(PathId::kLte, &bed.path(PathId::kLte), &bed.iface(PathId::kLte));
+  injector.arm(plan);
+
+  bed.start_transfer(report.bytes_requested, dir);
+  const WatchdogResult watchdog = bed.run_with_watchdog(options.timeout, options.stall_limit);
+  report.completed = watchdog.completed;
+  report.failure_reason = watchdog.reason;
+  report.max_stall = watchdog.max_stall;
+  report.faults_applied = injector.events_applied();
+  report.faults_skipped = injector.events_skipped();
+
+  // Invariant 3: the watchdog bound held.
+  if (watchdog.max_stall > options.stall_limit) {
+    report.violations.push_back("stall " + std::to_string(watchdog.max_stall.millis()) +
+                                " ms exceeds watchdog bound");
+  }
+
+  // Invariant 1: byte conservation on both ends, in both roles.
+  MptcpAgent& sender = (dir == Direction::kUpload) ? bed.client() : bed.server();
+  MptcpAgent& receiver = (dir == Direction::kUpload) ? bed.server() : bed.client();
+  report.bytes_observed = receiver.data_delivered();
+  if (sender.data_acked() > report.bytes_requested) {
+    report.violations.push_back("sender acked more than it sent");
+  }
+  if (receiver.data_delivered() > report.bytes_requested) {
+    report.violations.push_back("receiver delivered more than was sent");
+  }
+  if (receiver.data_delivered_in_order() > receiver.data_delivered()) {
+    report.violations.push_back("in-order delivery exceeds total delivery");
+  }
+  if (report.completed && receiver.data_delivered_in_order() < report.bytes_requested) {
+    report.violations.push_back("completed run delivered less than requested");
+  }
+
+  // Invariant 2: quiesce and drain — nothing may keep the queue alive.
+  bed.shutdown();
+  injector.disarm();
+  sim.run_until_idle();
+  if (sim.pending_events() != 0) {
+    report.violations.push_back("event-queue leak: " + std::to_string(sim.pending_events()) +
+                                " pending after idle");
+  }
+
+  // Invariant 4: per-stage conservation, checked after the drain so
+  // queued packets have either been delivered or dropped.
+  check_counters(report, bed.path(PathId::kWifi), "wifi");
+  check_counters(report, bed.path(PathId::kLte), "lte");
+  return report;
+}
+
+ChaosSoakSummary run_chaos_soak(const ChaosSoakOptions& options) {
+  ChaosSoakSummary summary;
+  for (int i = 0; i < options.runs; ++i) {
+    const ChaosRunReport report = run_chaos_run(options.seed + static_cast<std::uint64_t>(i),
+                                                options);
+    ++summary.runs;
+    if (report.completed) {
+      ++summary.completed;
+    } else {
+      ++summary.aborted;
+    }
+    summary.max_stall = std::max(summary.max_stall, report.max_stall);
+    if (!report.ok()) summary.violating.push_back(report);
+  }
+  return summary;
+}
+
+}  // namespace mn

@@ -1,0 +1,73 @@
+// Chaos soak harness: N seeded random fault plans over randomized
+// WiFi+LTE setups, each run checked against the stack's safety
+// invariants.
+//
+// A run is allowed to fail to complete (that is the point of injecting
+// unrestored blackholes), but it must fail *well*:
+//   1. byte conservation — no endpoint ever observes more data than was
+//      sent, and in-order delivery never exceeds total delivery;
+//   2. no event-queue leak — after shutdown the simulator drains to an
+//      empty queue;
+//   3. bounded stall — the watchdog caps the longest progress gap;
+//   4. stage-counter consistency — accepted == delivered + dropped +
+//      queued on every pipeline stage of all four one-way pipes.
+// Any violation is reported with the serialized plan so the exact run
+// can be replayed from its seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "mptcp/testbed.hpp"
+
+namespace mn {
+
+struct ChaosSoakOptions {
+  int runs = 200;
+  std::uint64_t seed = 20140814;
+  std::int64_t min_bytes = 50'000;
+  std::int64_t max_bytes = 2'000'000;
+  Duration timeout = sec(120);
+  /// Watchdog bound asserted by invariant 3.
+  Duration stall_limit = sec(10);
+  RandomPlanOptions plan;
+};
+
+/// Everything observed in one chaos run (reproducible from `seed`).
+struct ChaosRunReport {
+  std::uint64_t seed = 0;
+  bool completed = false;
+  std::string failure_reason;  // watchdog verdict when !completed
+  Duration max_stall{0};
+  int faults_applied = 0;
+  int faults_skipped = 0;
+  std::int64_t bytes_requested = 0;
+  std::int64_t bytes_observed = 0;  // receiver's data-level total
+  std::string plan_text;            // serialized FaultPlan (replay aid)
+  /// One entry per violated invariant; empty means the run was safe.
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Execute one seeded chaos run and check all four invariants.
+[[nodiscard]] ChaosRunReport run_chaos_run(std::uint64_t seed,
+                                           const ChaosSoakOptions& options = {});
+
+struct ChaosSoakSummary {
+  int runs = 0;
+  int completed = 0;
+  int aborted = 0;  // watchdog/timeout aborts — expected under chaos
+  /// Reports that violated an invariant (must be empty for a green soak).
+  std::vector<ChaosRunReport> violating;
+  Duration max_stall{0};
+
+  [[nodiscard]] bool ok() const { return violating.empty(); }
+};
+
+/// Run `options.runs` seeded chaos runs (seeds options.seed + i).
+[[nodiscard]] ChaosSoakSummary run_chaos_soak(const ChaosSoakOptions& options = {});
+
+}  // namespace mn

@@ -1,0 +1,80 @@
+#include "faults/fault_injector.hpp"
+
+namespace mn {
+
+void FaultInjector::set_target(PathId path, DuplexPath* duplex, NetworkInterface* iface) {
+  Target& t = targets_[static_cast<std::size_t>(path)];
+  t.duplex = duplex;
+  t.iface = iface;
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  pending_.reserve(pending_.size() + plan.size());
+  for (const FaultEvent& ev : plan.events()) {
+    pending_.push_back(sim_.schedule_after(ev.at, [this, ev] { apply(ev); }));
+  }
+}
+
+void FaultInjector::disarm() {
+  for (const EventId id : pending_) sim_.cancel(id);
+  pending_.clear();
+}
+
+void FaultInjector::for_each_pipe(const Target& t, LinkDir dir,
+                                  const std::function<void(OneWayPipe&)>& fn) {
+  if (dir != LinkDir::kDown) fn(t.duplex->uplink());
+  if (dir != LinkDir::kUp) fn(t.duplex->downlink());
+}
+
+void FaultInjector::apply(const FaultEvent& ev) {
+  Target& t = targets_[static_cast<std::size_t>(ev.path)];
+  const bool needs_iface = ev.kind == FaultKind::kSoftDown ||
+                           ev.kind == FaultKind::kSoftUp ||
+                           ev.kind == FaultKind::kUnplug || ev.kind == FaultKind::kReplug;
+  if ((needs_iface && !t.iface) || (!needs_iface && !t.duplex)) {
+    ++skipped_;
+    return;
+  }
+  switch (ev.kind) {
+    case FaultKind::kBlackhole:
+      for_each_pipe(t, ev.dir, [](OneWayPipe& p) { p.set_blackhole(true); });
+      break;
+    case FaultKind::kRestore:
+      for_each_pipe(t, ev.dir, [](OneWayPipe& p) { p.set_blackhole(false); });
+      break;
+    case FaultKind::kSoftDown:
+      t.iface->disable_soft();
+      break;
+    case FaultKind::kSoftUp:
+      t.iface->enable();
+      break;
+    case FaultKind::kUnplug:
+      t.iface->unplug();
+      break;
+    case FaultKind::kReplug:
+      t.iface->plug_in();
+      break;
+    case FaultKind::kBurstOn:
+      for_each_pipe(t, ev.dir, [&ev](OneWayPipe& p) { p.set_burst_loss(ev.ge); });
+      break;
+    case FaultKind::kBurstOff:
+      for_each_pipe(t, ev.dir, [](OneWayPipe& p) { p.clear_burst_loss(); });
+      break;
+    case FaultKind::kRateCrash:
+      for_each_pipe(t, ev.dir, [&ev](OneWayPipe& p) { p.set_rate_mbps(ev.rate_mbps); });
+      break;
+    case FaultKind::kRateRestore:
+      for_each_pipe(t, ev.dir, [](OneWayPipe& p) { p.restore_rate(); });
+      break;
+    case FaultKind::kDelaySpike:
+      for_each_pipe(t, ev.dir, [&ev](OneWayPipe& p) { p.set_delay_spike(ev.extra_delay); });
+      break;
+    case FaultKind::kDelayClear:
+      for_each_pipe(t, ev.dir, [](OneWayPipe& p) { p.clear_delay_spike(); });
+      break;
+  }
+  ++applied_;
+  log_.push_back(ev.describe());
+}
+
+}  // namespace mn

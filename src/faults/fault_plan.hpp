@@ -1,0 +1,132 @@
+// FaultPlan: a deterministic, serializable schedule of timed fault
+// events for the multi-homed stack.
+//
+// A plan is an ordered list of (time, kind, target, params) entries.
+// Times are relative to the moment a FaultInjector arms the plan, so the
+// same plan can be replayed against any experiment.  Plans serialize to
+// a line-oriented text format (one event per line, microsecond times)
+// and parse back losslessly — the campaign and the chaos-soak harness
+// persist them for reproduction of failing seeds.
+//
+// The taxonomy maps to the paper's failure experiments (Sections
+// 3.5-3.6): kBlackhole is the Figure-15g silent stall, kSoftDown/kSoftUp
+// the iproute "multipath off/on", kUnplug/kReplug the physical removal,
+// and the burst/rate/delay events the path-degradation regimes that
+// dominate real multi-path deployments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mptcp/mptcp.hpp"
+#include "net/links.hpp"
+#include "util/rng.hpp"
+
+namespace mn {
+
+enum class FaultKind {
+  kBlackhole,   // OneWayPipe: packets vanish silently
+  kRestore,     // OneWayPipe: lift a blackhole
+  kSoftDown,    // NetworkInterface::disable_soft (notifies the endpoint)
+  kSoftUp,      // NetworkInterface::enable
+  kUnplug,      // NetworkInterface::unplug (silent unless carrier loss reported)
+  kReplug,      // NetworkInterface::plug_in
+  kBurstOn,     // Gilbert-Elliott burst loss on (params in `ge`)
+  kBurstOff,    // burst loss off
+  kRateCrash,   // RateLink rate -> `rate_mbps` (no-op on trace links)
+  kRateRestore, // back to the spec rate
+  kDelaySpike,  // extra one-way delay of `extra_delay`
+  kDelayClear,  // back to the spec delay
+};
+
+[[nodiscard]] std::string to_string(FaultKind k);
+
+/// Which direction(s) of the target path a link-level fault applies to.
+enum class LinkDir { kUp, kDown, kBoth };
+
+[[nodiscard]] std::string to_string(LinkDir d);
+
+struct FaultEvent {
+  Duration at{0};      // relative to FaultInjector::arm()
+  FaultKind kind = FaultKind::kBlackhole;
+  PathId path = PathId::kWifi;
+  LinkDir dir = LinkDir::kBoth;  // ignored by interface events
+  double rate_mbps = 0.0;        // kRateCrash
+  Duration extra_delay{0};       // kDelaySpike
+  GeLossSpec ge;                 // kBurstOn
+
+  [[nodiscard]] std::string describe() const;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Append an event; the plan keeps itself sorted by time (stable for
+  /// equal times, preserving insertion order).
+  FaultPlan& add(FaultEvent ev);
+
+  // Convenience builders for the common scenarios.
+  FaultPlan& blackhole(Duration at, PathId path, LinkDir dir = LinkDir::kBoth);
+  FaultPlan& restore(Duration at, PathId path, LinkDir dir = LinkDir::kBoth);
+  FaultPlan& soft_down(Duration at, PathId path);
+  FaultPlan& soft_up(Duration at, PathId path);
+  FaultPlan& unplug(Duration at, PathId path);
+  FaultPlan& replug(Duration at, PathId path);
+  FaultPlan& burst_loss(Duration at, PathId path, const GeLossSpec& ge,
+                        LinkDir dir = LinkDir::kBoth);
+  FaultPlan& burst_loss_off(Duration at, PathId path, LinkDir dir = LinkDir::kBoth);
+  FaultPlan& rate_crash(Duration at, PathId path, double mbps,
+                        LinkDir dir = LinkDir::kBoth);
+  FaultPlan& rate_restore(Duration at, PathId path, LinkDir dir = LinkDir::kBoth);
+  FaultPlan& delay_spike(Duration at, PathId path, Duration extra,
+                         LinkDir dir = LinkDir::kBoth);
+  FaultPlan& delay_clear(Duration at, PathId path, LinkDir dir = LinkDir::kBoth);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// One event per line: "<at_us> <kind> <path> <dir> [params...]".
+  /// Round-trips exactly through parse().
+  [[nodiscard]] std::string serialize() const;
+  /// Throws std::runtime_error on malformed input (bad kind, junk
+  /// fields, negative times) — corrupt plan files must fail loudly,
+  /// never half-apply.
+  [[nodiscard]] static FaultPlan parse(const std::string& text);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Knobs for random_fault_plan (the chaos-soak input distribution).
+struct RandomPlanOptions {
+  Duration horizon = sec(8);  // events land in [0, horizon]
+  int max_events = 6;         // 1..max_events events per plan
+  /// Probability that a degrading event gets a matching restore later in
+  /// the plan; unrestored faults exercise the watchdog/abort paths.
+  double restore_probability = 0.7;
+};
+
+/// Deterministic random plan: same (seed, options) -> same plan.
+[[nodiscard]] FaultPlan random_fault_plan(std::uint64_t seed,
+                                          const RandomPlanOptions& options = {});
+
+/// Ways to corrupt a Mahimahi trace file mid-stream (the DeliveryTrace
+/// loading paths must reject all of them with an exception rather than
+/// crash, hang, or construct a bogus link).
+enum class TraceCorruption {
+  kTruncate,   // cut the text at a random byte
+  kUnsort,     // swap two timestamps out of order
+  kJunkLine,   // splice a non-numeric line into the middle
+  kNegative,   // negate a timestamp
+  kEmpty,      // replace the whole trace with nothing
+  kBinary,     // overwrite a span with non-ASCII bytes
+};
+
+/// Apply `mode` to Mahimahi trace text.  Deterministic in `rng`.
+[[nodiscard]] std::string corrupt_mahimahi(const std::string& text, TraceCorruption mode,
+                                           Rng& rng);
+
+}  // namespace mn

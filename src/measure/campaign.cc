@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 
+#include "faults/fault_injector.hpp"
+#include "faults/fault_plan.hpp"
 #include "net/trace_gen.hpp"
 #include "tcp/flow.hpp"
 
@@ -14,6 +17,7 @@ struct ProbeResult {
   double up_mbps = 0.0;
   double down_mbps = 0.0;
   double rtt_ms = 0.0;
+  std::string failure;  // non-empty when a transfer stalled or timed out
 };
 
 LinkSpec make_link(double mbps, Duration delay, bool lte, Rng& rng) {
@@ -37,23 +41,42 @@ LinkSpec make_link(double mbps, Duration delay, bool lte, Rng& rng) {
 }
 
 ProbeResult probe_network(double rate_mbps, Duration one_way, bool lte, Rng& rng,
-                          const CampaignOptions& opt) {
+                          const CampaignOptions& opt, const FaultPlan* faults) {
   ProbeResult res;
+  const PathId path_id = lte ? PathId::kLte : PathId::kWifi;
+  BulkFlowOptions flow_options;
+  flow_options.timeout = sec(60);
+  // Unfaulted probes keep the legacy wall-clock-only contract; faulted
+  // ones get the tight watchdog so an unrestored blackhole fails the run
+  // quickly instead of burning the full timeout.
+  flow_options.stall_limit = faults ? opt.fault_stall_limit : sec(60);
   {
     Simulator sim;
     DuplexPath path{sim, make_link(rate_mbps, one_way, lte, rng),
                     make_link(rate_mbps, one_way, lte, rng)};
+    FaultInjector injector{sim};
+    if (faults) {
+      injector.set_target(path_id, &path);
+      injector.arm(*faults);
+    }
     const auto up = run_bulk_flow(sim, path, opt.transfer_bytes, Direction::kUpload,
-                                  reno_factory(), sec(60));
+                                  reno_factory(), flow_options);
     res.up_mbps = up.throughput_mbps;
+    if (!up.completed) res.failure = "uplink " + up.failure_reason;
   }
   {
     Simulator sim;
     DuplexPath path{sim, make_link(rate_mbps, one_way, lte, rng),
                     make_link(rate_mbps, one_way, lte, rng)};
+    FaultInjector injector{sim};
+    if (faults) {
+      injector.set_target(path_id, &path);
+      injector.arm(*faults);
+    }
     const auto down = run_bulk_flow(sim, path, opt.transfer_bytes, Direction::kDownload,
-                                    reno_factory(), sec(60));
+                                    reno_factory(), flow_options);
     res.down_mbps = down.throughput_mbps;
+    if (!down.completed && res.failure.empty()) res.failure = "downlink " + down.failure_reason;
   }
   {
     Simulator sim;
@@ -87,23 +110,55 @@ std::vector<RunRecord> run_campaign(const std::vector<ClusterSpec>& world,
       const bool skip_wifi = skip_one && crng.chance(0.5);
       const bool skip_lte = skip_one && !skip_wifi;
 
-      if (!skip_wifi) {
-        const double rate = cluster.wifi_rate.sample(crng);
-        const Duration delay = cluster.wifi_delay.sample(crng);
-        const auto p = probe_network(rate, delay, /*lte=*/false, crng, options);
-        rec.wifi_measured = true;
-        rec.wifi_up_mbps = p.up_mbps;
-        rec.wifi_down_mbps = p.down_mbps;
-        rec.wifi_rtt_ms = p.rtt_ms;
+      // Chaos-in-the-campaign: some runs execute under a random fault
+      // plan.  All draws are gated on the knob so the legacy rng stream
+      // (and every seeded campaign statistic) is untouched at 0.0.
+      FaultPlan plan;
+      const FaultPlan* faults = nullptr;
+      if (options.fault_probability > 0.0 && crng.chance(options.fault_probability)) {
+        RandomPlanOptions plan_options;
+        plan_options.horizon = sec(4);
+        // Campaign chaos is meant to bite: more events, fewer restores
+        // than the soak default, so a faulted probe has a real chance of
+        // hitting the watchdog instead of sailing through.
+        plan_options.max_events = 8;
+        plan_options.restore_probability = 0.35;
+        plan = random_fault_plan(crng.fork("faults").next_u64(), plan_options);
+        faults = &plan;
       }
-      if (!skip_lte) {
-        const double rate = cluster.lte_rate.sample(crng);
-        const Duration delay = cluster.lte_delay.sample(crng);
-        const auto p = probe_network(rate, delay, /*lte=*/true, crng, options);
-        rec.lte_measured = true;
-        rec.lte_up_mbps = p.up_mbps;
-        rec.lte_down_mbps = p.down_mbps;
-        rec.lte_rtt_ms = p.rtt_ms;
+
+      // Per-run isolation: a throwing or stalling run becomes a failed
+      // record; the campaign itself never aborts.
+      try {
+        if (!skip_wifi) {
+          const double rate = cluster.wifi_rate.sample(crng);
+          const Duration delay = cluster.wifi_delay.sample(crng);
+          const auto p = probe_network(rate, delay, /*lte=*/false, crng, options, faults);
+          rec.wifi_measured = true;
+          rec.wifi_up_mbps = p.up_mbps;
+          rec.wifi_down_mbps = p.down_mbps;
+          rec.wifi_rtt_ms = p.rtt_ms;
+          if (!p.failure.empty() && !rec.failed) {
+            rec.failed = true;
+            rec.failure_reason = "wifi " + p.failure;
+          }
+        }
+        if (!skip_lte) {
+          const double rate = cluster.lte_rate.sample(crng);
+          const Duration delay = cluster.lte_delay.sample(crng);
+          const auto p = probe_network(rate, delay, /*lte=*/true, crng, options, faults);
+          rec.lte_measured = true;
+          rec.lte_up_mbps = p.up_mbps;
+          rec.lte_down_mbps = p.down_mbps;
+          rec.lte_rtt_ms = p.rtt_ms;
+          if (!p.failure.empty() && !rec.failed) {
+            rec.failed = true;
+            rec.failure_reason = "lte " + p.failure;
+          }
+        }
+      } catch (const std::exception& e) {
+        rec.failed = true;
+        rec.failure_reason = e.what();
       }
       records.push_back(std::move(rec));
     }

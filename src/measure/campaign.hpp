@@ -15,6 +15,7 @@
 #include "measure/world.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
+#include "util/time.hpp"
 
 namespace mn {
 
@@ -29,8 +30,13 @@ struct RunRecord {
   double lte_down_mbps = 0.0;
   double wifi_rtt_ms = 0.0;  // 10-ping average
   double lte_rtt_ms = 0.0;
+  /// The run aborted (probe threw or its flow stalled/timed out).  Failed
+  /// runs stay in the record list — the campaign never aborts wholesale —
+  /// but are excluded from the analysis like the paper's filtered runs.
+  bool failed = false;
+  std::string failure_reason;
 
-  [[nodiscard]] bool complete() const { return wifi_measured && lte_measured; }
+  [[nodiscard]] bool complete() const { return wifi_measured && lte_measured && !failed; }
   /// The Table-1 win criterion: LTE faster on the downlink.
   [[nodiscard]] bool lte_wins() const { return lte_down_mbps > wifi_down_mbps; }
 };
@@ -43,6 +49,11 @@ struct CampaignOptions {
   /// Scale factor on each cluster's run count (1.0 = full Table 1).
   double run_scale = 1.0;
   std::uint64_t seed = 20130901;  // the app's launch month
+  /// Probability a run's probes execute under a random FaultPlan
+  /// (chaos-in-the-campaign; 0 keeps the legacy deterministic stream).
+  double fault_probability = 0.0;
+  /// Watchdog bound for fault-injected probes.
+  Duration fault_stall_limit = sec(5);
 };
 
 /// Execute the campaign over `world`; returns one record per attempted

@@ -80,6 +80,13 @@ struct MptcpSpec {
   /// (bench/ablation_mptcp_mechanisms studies them).
   bool opportunistic_reinjection = true;
   bool penalization = true;
+  /// Per-subflow retransmission timer bounds (RFC 6298 / Linux
+  /// TCP_RTO_MIN..TCP_RTO_MAX).  Exposed so fault experiments can
+  /// tighten the backoff ceiling: on a blackholed subflow the RTO
+  /// doubles per expiry but must never exceed subflow_max_rto.
+  Duration subflow_min_rto = msec(200);
+  Duration subflow_initial_rto = sec(1);
+  Duration subflow_max_rto = sec(60);
 };
 
 }  // namespace mn

@@ -32,6 +32,9 @@ void MptcpAgent::setup_subflow(int id, PathId path, MpOption syn_option) {
   cfg.connection_id = connection_id_;
   cfg.subflow_id = id;
   cfg.syn_option = syn_option;
+  cfg.min_rto = spec_.subflow_min_rto;
+  cfg.initial_rto = spec_.subflow_initial_rto;
+  cfg.max_rto = spec_.subflow_max_rto;
   sf.ep = std::make_unique<TcpEndpoint>(sim_, cfg, make_cc());
   sf.ep->set_source(this);
   sf.ep->on_send_possible = [this] { pump_all(); };
@@ -113,6 +116,12 @@ void MptcpAgent::notify_path_state(PathId path, bool up) {
     }
     // A *dead* subflow stays dead (Linux v0.88 does not resurrect
     // closed subflows).
+  }
+}
+
+void MptcpAgent::shutdown() {
+  for (auto& sf : subflows_) {
+    if (sf.ep) sf.ep->freeze();
   }
 }
 
@@ -300,6 +309,7 @@ void MptcpAgent::maybe_close_subflows() {
 }
 
 bool MptcpAgent::finished() const {
+  bool any_done = false;
   for (const auto& sf : subflows_) {
     if (sf.dead) continue;
     if (sf.ep->state() == TcpState::kListen && !is_client_) continue;  // unused accept slot
@@ -307,8 +317,12 @@ bool MptcpAgent::finished() const {
       continue;  // never opened (Single-Path backup)
     }
     if (sf.ep->state() != TcpState::kDone) return false;
+    any_done = true;
   }
-  return true;
+  // A connection whose every subflow died (RST, both paths down) never
+  // finished — it failed.  Without this, killing both paths mid-transfer
+  // would read as a clean close with data still undelivered.
+  return any_done;
 }
 
 void MptcpAgent::maybe_fire_closed() {

@@ -50,6 +50,10 @@ class MptcpAgent final : public DataSource {
   /// Interface state change on `path` (from NetworkInterface listeners).
   /// Soft failures arrive here; silent unplugs do not.
   void notify_path_state(PathId path, bool up);
+  /// Freeze every subflow (stop all timers, go quiescent).  Used by the
+  /// watchdog/abort paths so an aborted flow cannot keep rescheduling
+  /// RTO timers and leak simulator events.
+  void shutdown();
 
   // ---- DataSource (called by subflow endpoints) -------------------------
   std::optional<Chunk> take(std::int64_t max_bytes, int subflow_id) override;

@@ -76,16 +76,87 @@ bool MptcpTestbed::run_until_finished(Duration timeout) {
   return client_->finished() && server_->finished();
 }
 
+std::uint64_t MptcpTestbed::progress_signature() const {
+  // Order-sensitive hash of every monotone transfer counter plus the
+  // subflow states (handshake transitions count as progress too).
+  std::uint64_t sig = 1469598103934665603ULL;
+  const auto mix = [&sig](std::uint64_t v) {
+    sig ^= v + 0x9e3779b97f4a7c15ULL + (sig << 6) + (sig >> 2);
+  };
+  for (const MptcpAgent* agent : {client_.get(), server_.get()}) {
+    mix(static_cast<std::uint64_t>(agent->data_acked()));
+    mix(static_cast<std::uint64_t>(agent->data_delivered()));
+    for (int id = 0; id < 2; ++id) {
+      const TcpEndpoint& ep = agent->subflow(id);
+      mix(static_cast<std::uint64_t>(ep.bytes_acked()));
+      mix(static_cast<std::uint64_t>(ep.bytes_delivered()));
+      mix(static_cast<std::uint64_t>(ep.state()));
+    }
+  }
+  return sig;
+}
+
+WatchdogResult MptcpTestbed::run_with_watchdog(Duration timeout, Duration stall_limit) {
+  WatchdogResult result;
+  const TimePoint deadline = sim_.now() + timeout;
+  // The watchdog is a *simulator* event, so the stall bound holds even
+  // when the next real event is far away (exponential RTO backoff can
+  // leave minute-long gaps in the queue).
+  bool stalled = false;
+  Timer watchdog{sim_, [&stalled] { stalled = true; }};
+  watchdog.restart(stall_limit);
+  std::uint64_t last_sig = progress_signature();
+  TimePoint last_progress = sim_.now();
+
+  while (!(client_->finished() && server_->finished())) {
+    if (stalled || sim_.now() >= deadline) break;
+    if (!sim_.step()) break;
+    const std::uint64_t sig = progress_signature();
+    if (sig != last_sig) {
+      result.max_stall = std::max(result.max_stall, sim_.now() - last_progress);
+      last_sig = sig;
+      last_progress = sim_.now();
+      watchdog.restart(stall_limit);
+    }
+  }
+  result.max_stall = std::max(result.max_stall, sim_.now() - last_progress);
+
+  if (client_->finished() && server_->finished()) {
+    result.completed = true;
+  } else if (stalled) {
+    result.reason = "stall: no progress for " + std::to_string(stall_limit.usec() / 1000) +
+                    " ms";
+  } else if (sim_.now() >= deadline) {
+    result.reason = "timeout";
+  } else {
+    result.reason = "idle: event queue drained before completion";
+  }
+  return result;
+}
+
+void MptcpTestbed::shutdown() {
+  client_->shutdown();
+  server_->shutdown();
+}
+
 MptcpFlowResult run_mptcp_flow(Simulator& sim, const MpNetworkSetup& setup,
                                const MptcpSpec& spec, std::int64_t bytes, Direction dir,
-                               Duration timeout, std::uint64_t connection_id) {
-  MptcpTestbed bed{sim, setup, spec, connection_id};
+                               const FlowRunOptions& options) {
+  MptcpTestbed bed{sim, setup, spec, options.connection_id};
   const TimePoint start = sim.now();
   MptcpFlowResult result;
 
   bed.client().on_established = [&] { result.primary_established = sim.now() - start; };
+  if (options.on_testbed) options.on_testbed(bed);
   bed.start_transfer(bytes, dir);
-  bed.run_until_finished(timeout);
+  const WatchdogResult watchdog = bed.run_with_watchdog(options.timeout, options.stall_limit);
+  result.max_stall = watchdog.max_stall;
+  if (!watchdog.completed) {
+    result.failure_reason = watchdog.reason;
+    // Quiesce the agents so the caller can drain the simulator without
+    // RTO timers rescheduling forever.
+    bed.shutdown();
+  }
 
   // Client-observed data-level clock: delivered for downloads, acked for
   // uploads (the paper measures at the phone's tcpdump).
@@ -118,10 +189,24 @@ MptcpFlowResult run_mptcp_flow(Simulator& sim, const MpNetworkSetup& setup,
     }
     result.throughput_mbps = throughput_mbps(bytes, result.completion_time);
   } else {
-    result.completion_time = timeout;
-    result.throughput_mbps = throughput_mbps(observed, timeout);
+    result.completion_time = options.timeout;
+    result.throughput_mbps = throughput_mbps(observed, options.timeout);
+    if (result.failure_reason.empty()) result.failure_reason = "incomplete";
   }
   return result;
+}
+
+MptcpFlowResult run_mptcp_flow(Simulator& sim, const MpNetworkSetup& setup,
+                               const MptcpSpec& spec, std::int64_t bytes, Direction dir,
+                               Duration timeout, std::uint64_t connection_id) {
+  FlowRunOptions options;
+  options.timeout = timeout;
+  // Preserve the legacy contract: a plain wall-clock cap.  The paper's
+  // scripted failure experiments deliberately hold a flow stalled for
+  // tens of seconds (Figure 15g), so no stall bound here.
+  options.stall_limit = timeout;
+  options.connection_id = connection_id;
+  return run_mptcp_flow(sim, setup, spec, bytes, dir, options);
 }
 
 }  // namespace mn

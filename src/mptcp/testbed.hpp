@@ -10,7 +10,9 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mptcp/mptcp_agent.hpp"
@@ -42,6 +44,17 @@ struct PacketEvent {
   std::int64_t payload = 0;
 };
 
+/// Outcome of MptcpTestbed::run_with_watchdog.
+struct WatchdogResult {
+  bool completed = false;
+  /// Longest observed gap between two progress-signature changes.  The
+  /// watchdog guarantees max_stall <= stall_limit even when the event
+  /// queue is sparse (60s RTO-backoff gaps on a blackholed path).
+  Duration max_stall{0};
+  /// Empty on success; "stall", "timeout" or "idle" otherwise.
+  std::string reason;
+};
+
 class MptcpTestbed {
  public:
   MptcpTestbed(Simulator& sim, const MpNetworkSetup& setup, MptcpSpec spec,
@@ -55,6 +68,10 @@ class MptcpTestbed {
   [[nodiscard]] NetworkInterface& iface(PathId path) {
     return *ifaces_[static_cast<std::size_t>(path)];
   }
+  /// The emulated duplex path behind `path` (fault-injection target).
+  [[nodiscard]] DuplexPath& path(PathId path) {
+    return path == PathId::kWifi ? *wifi_path_ : *lte_path_;
+  }
   [[nodiscard]] const std::vector<PacketEvent>& events(PathId path) const {
     return events_[static_cast<std::size_t>(path)];
   }
@@ -64,6 +81,17 @@ class MptcpTestbed {
   /// Step the simulator until both agents finish or `timeout` elapses.
   /// Returns true when the transfer completed cleanly.
   bool run_until_finished(Duration timeout);
+  /// Like run_until_finished, but also aborts when no *progress* has been
+  /// made for `stall_limit` — wall-clock caps alone let a blackholed flow
+  /// burn the whole timeout retransmitting into the void.
+  [[nodiscard]] WatchdogResult run_with_watchdog(Duration timeout, Duration stall_limit);
+  /// Hash of the monotone transfer counters on both ends.  Changes iff
+  /// the flow made real progress; retransmit/RTO counts are deliberately
+  /// excluded (endless retransmission into a blackhole is not progress).
+  [[nodiscard]] std::uint64_t progress_signature() const;
+  /// Freeze both agents (all subflow timers stopped).  After an aborted
+  /// run this lets the simulator drain to an empty queue.
+  void shutdown();
 
  private:
   Simulator& sim_;
@@ -81,6 +109,10 @@ struct MptcpFlowResult {
   Duration completion_time{0};  // first SYN -> all data observed at client
   double throughput_mbps = 0.0;
   Duration primary_established{0};
+  /// Longest progress gap observed by the watchdog.
+  Duration max_stall{0};
+  /// Why the flow did not complete ("" when it did).
+  std::string failure_reason;
   /// Client-observed MPTCP data-level timeline (relative to first SYN).
   std::vector<TimelinePoint> timeline;
   /// Client-observed per-subflow byte timelines (index = subflow id;
@@ -88,6 +120,22 @@ struct MptcpFlowResult {
   std::array<std::vector<TimelinePoint>, 2> subflow_timelines;
   std::array<PathId, 2> subflow_paths{PathId::kWifi, PathId::kLte};
 };
+
+/// Knobs for run_mptcp_flow beyond the flow itself.
+struct FlowRunOptions {
+  Duration timeout = sec(120);
+  /// Abort when no progress for this long (watchdog bound).
+  Duration stall_limit = sec(30);
+  std::uint64_t connection_id = 1;
+  /// Called after the testbed is wired but before the transfer starts;
+  /// the fault layer uses this to arm a FaultInjector against the bed's
+  /// paths/interfaces without mptcp depending on the faults library.
+  std::function<void(MptcpTestbed&)> on_testbed;
+};
+
+[[nodiscard]] MptcpFlowResult run_mptcp_flow(Simulator& sim, const MpNetworkSetup& setup,
+                                             const MptcpSpec& spec, std::int64_t bytes,
+                                             Direction dir, const FlowRunOptions& options);
 
 [[nodiscard]] MptcpFlowResult run_mptcp_flow(Simulator& sim, const MpNetworkSetup& setup,
                                              const MptcpSpec& spec, std::int64_t bytes,

@@ -8,7 +8,11 @@ namespace mn {
 
 void DelayBox::accept(Packet p) {
   ++counters_.accepted;
-  sim_.schedule_after(delay_, [this, p = std::move(p)]() mutable { forward(std::move(p)); });
+  ++in_flight_;
+  sim_.schedule_after(delay_, [this, p = std::move(p)]() mutable {
+    --in_flight_;
+    forward(std::move(p));
+  });
 }
 
 void LossBox::accept(Packet p) {
@@ -18,6 +22,35 @@ void LossBox::accept(Packet p) {
     return;
   }
   forward(std::move(p));
+}
+
+void GilbertElliottLossBox::accept(Packet p) {
+  ++counters_.accepted;
+  if (enabled_) {
+    // Step the chain first, then draw the loss from the new state: a
+    // burst begins with the packet that triggers the transition.
+    if (bad_) {
+      if (rng_.chance(spec_.p_bad_to_good)) bad_ = false;
+    } else {
+      if (rng_.chance(spec_.p_good_to_bad)) bad_ = true;
+    }
+    if (rng_.chance(bad_ ? spec_.loss_bad : spec_.loss_good)) {
+      ++counters_.dropped;
+      return;
+    }
+  }
+  forward(std::move(p));
+}
+
+void GilbertElliottLossBox::set_spec(const GeLossSpec& spec) {
+  spec_ = spec;
+  enabled_ = true;
+  bad_ = false;
+}
+
+void GilbertElliottLossBox::disable() {
+  enabled_ = false;
+  bad_ = false;
 }
 
 void ReorderBox::accept(Packet p) {
@@ -37,6 +70,11 @@ RateLink::RateLink(Simulator& sim, double mbps, int queue_packets)
     : sim_(sim), mbps_(mbps), queue_limit_(queue_packets) {
   if (mbps <= 0.0) throw std::invalid_argument("RateLink: rate must be positive");
   if (queue_packets <= 0) throw std::invalid_argument("RateLink: queue must hold >= 1 packet");
+}
+
+void RateLink::set_rate(double mbps) {
+  if (mbps <= 0.0) throw std::invalid_argument("RateLink: rate must be positive");
+  mbps_ = mbps;
 }
 
 void RateLink::accept(Packet p) {

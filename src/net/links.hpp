@@ -39,6 +39,11 @@ class PacketStage {
   void set_next(PacketHandler next) { next_ = std::move(next); }
 
   [[nodiscard]] const StageCounters& counters() const { return counters_; }
+  /// Packets accepted but neither delivered nor dropped yet (queued or
+  /// in flight inside the stage).  Every stage maintains the invariant
+  ///   accepted == delivered + dropped + queued_packets()
+  /// which the fault-injection soak harness asserts after every run.
+  [[nodiscard]] virtual std::int64_t queued_packets() const { return 0; }
 
  protected:
   void forward(Packet p) {
@@ -57,9 +62,18 @@ class DelayBox final : public PacketStage {
   DelayBox(Simulator& sim, Duration delay) : sim_(sim), delay_(delay) {}
   void accept(Packet p) override;
 
+  /// Change the propagation delay for packets accepted from now on
+  /// (fault injection: delay spikes).  In-flight packets keep their
+  /// original delivery time, so reordering across the change is possible
+  /// only when the delay shrinks — exactly as on a real route change.
+  void set_delay(Duration delay) { delay_ = delay; }
+  [[nodiscard]] Duration delay() const { return delay_; }
+  [[nodiscard]] std::int64_t queued_packets() const override { return in_flight_; }
+
  private:
   Simulator& sim_;
   Duration delay_;
+  std::int64_t in_flight_ = 0;
 };
 
 /// Independent (Bernoulli) packet loss.
@@ -73,19 +87,59 @@ class LossBox final : public PacketStage {
   double loss_rate_;
 };
 
+/// Gilbert-Elliott burst loss: a two-state (Good/Bad) Markov chain
+/// stepped per packet, with an independent loss probability in each
+/// state.  Models the correlated loss episodes of wireless links (deep
+/// fades, handovers) that Bernoulli loss cannot produce; the fault
+/// injector flips it on mid-run for burst-loss faults.
+struct GeLossSpec {
+  double loss_good = 0.0;     // loss probability in the Good state
+  double loss_bad = 0.5;      // loss probability in the Bad state
+  double p_good_to_bad = 0.01;  // per-packet Good -> Bad transition
+  double p_bad_to_good = 0.1;   // per-packet Bad -> Good transition
+  std::uint64_t seed = 1;
+};
+
+class GilbertElliottLossBox final : public PacketStage {
+ public:
+  /// Constructed disabled (pure pass-through) until a spec is set.
+  explicit GilbertElliottLossBox(std::uint64_t seed) : rng_(seed) {}
+  void accept(Packet p) override;
+
+  /// Enable (or live-reconfigure) burst loss.  The chain restarts in the
+  /// Good state; the RNG stream continues (no reseed mid-run).
+  void set_spec(const GeLossSpec& spec);
+  /// Back to pass-through; state resets to Good.
+  void disable();
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] bool in_bad_state() const { return bad_; }
+
+ private:
+  Rng rng_;
+  GeLossSpec spec_;
+  bool enabled_ = false;
+  bool bad_ = false;
+};
+
 /// Fixed-rate serializing link with a DropTail queue of `queue_packets`.
 class RateLink final : public PacketStage {
  public:
   RateLink(Simulator& sim, double mbps, int queue_packets);
   void accept(Packet p) override;
 
-  [[nodiscard]] int queued_packets() const { return queued_; }
+  [[nodiscard]] std::int64_t queued_packets() const override { return queued_; }
+
+  /// Change the link rate for packets accepted from now on (fault
+  /// injection: rate crashes/recoveries).  Packets already serializing
+  /// keep their scheduled finish time.  Throws on non-positive rates.
+  void set_rate(double mbps);
+  [[nodiscard]] double rate_mbps() const { return mbps_; }
 
  private:
   Simulator& sim_;
   double mbps_;
   int queue_limit_;
-  int queued_ = 0;
+  std::int64_t queued_ = 0;
   TimePoint busy_until_{0};
 };
 
@@ -117,7 +171,9 @@ class TraceLink final : public PacketStage {
   TraceLink(Simulator& sim, TracePtr trace, int queue_packets);
   void accept(Packet p) override;
 
-  [[nodiscard]] std::size_t queued_packets() const { return queue_.size(); }
+  [[nodiscard]] std::int64_t queued_packets() const override {
+    return static_cast<std::int64_t>(queue_.size());
+  }
 
  private:
   void arm_drain();

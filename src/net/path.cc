@@ -6,28 +6,80 @@ OneWayPipe::OneWayPipe(Simulator& sim, const LinkSpec& spec) {
   if (spec.trace) {
     link_ = std::make_unique<TraceLink>(sim, spec.trace, spec.queue_packets);
   } else {
-    link_ = std::make_unique<RateLink>(sim, spec.rate_mbps.value_or(10.0),
-                                       spec.queue_packets);
+    base_rate_mbps_ = spec.rate_mbps.value_or(10.0);
+    auto rl = std::make_unique<RateLink>(sim, base_rate_mbps_, spec.queue_packets);
+    rate_link_ = rl.get();
+    link_ = std::move(rl);
   }
-  delay_ = std::make_unique<DelayBox>(sim, spec.one_way_delay);
+  base_delay_ = spec.one_way_delay;
+  delay_ = std::make_unique<DelayBox>(sim, base_delay_);
   link_->set_next([d = delay_.get()](Packet p) { d->accept(std::move(p)); });
+  const std::uint64_t burst_seed =
+      spec.burst_loss ? spec.burst_loss->seed : mix_seed(spec.loss_seed, "burst");
+  burst_ = std::make_unique<GilbertElliottLossBox>(burst_seed);
+  if (spec.burst_loss) burst_->set_spec(*spec.burst_loss);
+  burst_->set_next([l = link_.get()](Packet p) { l->accept(std::move(p)); });
   if (spec.loss_rate > 0.0) {
     loss_ = std::make_unique<LossBox>(Rng{spec.loss_seed}, spec.loss_rate);
-    loss_->set_next([l = link_.get()](Packet p) { l->accept(std::move(p)); });
+    loss_->set_next([b = burst_.get()](Packet p) { b->accept(std::move(p)); });
     entry_ = loss_.get();
   } else {
-    entry_ = link_.get();
+    entry_ = burst_.get();
   }
 }
 
-void OneWayPipe::send(Packet p) { entry_->accept(std::move(p)); }
+void OneWayPipe::send(Packet p) {
+  if (blackholed_) {
+    ++blackholed_drops_;
+    return;
+  }
+  entry_->accept(std::move(p));
+}
 
 void OneWayPipe::set_receiver(PacketHandler h) { delay_->set_next(std::move(h)); }
 
 const StageCounters& OneWayPipe::link_counters() const { return link_->counters(); }
 
+bool OneWayPipe::set_rate_mbps(double mbps) {
+  if (!rate_link_) return false;
+  rate_link_->set_rate(mbps);
+  return true;
+}
+
+bool OneWayPipe::restore_rate() {
+  if (!rate_link_) return false;
+  rate_link_->set_rate(base_rate_mbps_);
+  return true;
+}
+
+void OneWayPipe::set_delay_spike(Duration extra) { delay_->set_delay(base_delay_ + extra); }
+
+void OneWayPipe::clear_delay_spike() { delay_->set_delay(base_delay_); }
+
+bool OneWayPipe::counters_consistent() const {
+  const auto ok = [](const PacketStage& s) {
+    const StageCounters& c = s.counters();
+    return c.accepted == c.delivered + c.dropped +
+                             static_cast<std::uint64_t>(s.queued_packets());
+  };
+  if (loss_ && !ok(*loss_)) return false;
+  return ok(*burst_) && ok(*link_) && ok(*delay_);
+}
+
+namespace {
+
+/// Per-direction spec: fork the loss seeds so up/down streams are
+/// independent even when both directions were built from one LinkSpec.
+LinkSpec direction_spec(LinkSpec s, std::string_view dir) {
+  s.loss_seed = mix_seed(s.loss_seed, dir);
+  if (s.burst_loss) s.burst_loss->seed = mix_seed(s.burst_loss->seed, dir);
+  return s;
+}
+
+}  // namespace
+
 DuplexPath::DuplexPath(Simulator& sim, const LinkSpec& uplink, const LinkSpec& downlink)
-    : up_(sim, uplink), down_(sim, downlink) {}
+    : up_(sim, direction_spec(uplink, "up")), down_(sim, direction_spec(downlink, "down")) {}
 
 NetworkInterface::NetworkInterface(std::string name, Simulator& sim, DuplexPath& path,
                                    bool reports_carrier_loss)
@@ -71,6 +123,8 @@ void NetworkInterface::disable_soft() {
   for (auto& l : listeners_) l(false);
   up_ = false;
 }
+
+void NetworkInterface::enable() { set_state(true, /*notify=*/true); }
 
 void NetworkInterface::unplug() { set_state(false, /*notify=*/reports_carrier_loss_); }
 

@@ -22,10 +22,23 @@ struct LinkSpec {
   Duration one_way_delay = msec(10);
   double loss_rate = 0.0;
   int queue_packets = 256;
-  std::uint64_t loss_seed = 1;  // seed for the Bernoulli loss stage
+  /// Seed for the Bernoulli loss stage.  When the spec is used through
+  /// DuplexPath, each direction derives its own stream from this value
+  /// via mix_seed(loss_seed, "up"/"down"), so a symmetric setup (same
+  /// spec both ways) still gets independent up/down loss processes.  A
+  /// standalone OneWayPipe uses the seed as given.
+  std::uint64_t loss_seed = 1;
+  /// Correlated (Gilbert-Elliott) loss active from t=0.  Usually left
+  /// unset and switched on mid-run by the fault injector instead.
+  std::optional<GeLossSpec> burst_loss;
 };
 
-/// One direction: [loss] -> capacity link -> propagation delay -> receiver.
+/// One direction: [blackhole gate] -> burst loss -> [loss] -> capacity
+/// link -> propagation delay -> receiver.
+///
+/// The fault hooks (set_blackhole, set_burst_loss, set_rate_mbps,
+/// set_delay_spike) exist for the FaultInjector but are plain public
+/// API: tests may drive them directly.
 class OneWayPipe {
  public:
   OneWayPipe(Simulator& sim, const LinkSpec& spec);
@@ -37,14 +50,53 @@ class OneWayPipe {
 
   [[nodiscard]] const StageCounters& link_counters() const;
 
+  // ---- fault hooks ----------------------------------------------------
+  /// Silent blackhole: packets entering the pipe vanish without error.
+  /// Packets already inside the pipeline still deliver (as on a real
+  /// route withdrawal).  Restore with set_blackhole(false).
+  void set_blackhole(bool on) { blackholed_ = on; }
+  [[nodiscard]] bool blackholed() const { return blackholed_; }
+  [[nodiscard]] std::uint64_t blackholed_packets() const { return blackholed_drops_; }
+
+  /// Enable / reconfigure / clear Gilbert-Elliott burst loss mid-run.
+  void set_burst_loss(const GeLossSpec& spec) { burst_->set_spec(spec); }
+  void clear_burst_loss() { burst_->disable(); }
+  [[nodiscard]] const GilbertElliottLossBox& burst_stage() const { return *burst_; }
+
+  /// Crash or restore the link rate (fixed-rate links only; returns
+  /// false for trace-driven links, which have no scalar rate to change).
+  bool set_rate_mbps(double mbps);
+  bool restore_rate();
+
+  /// Add / clear an extra propagation delay on top of the spec's
+  /// one-way delay (fault injection: delay spikes / route flaps).
+  void set_delay_spike(Duration extra);
+  void clear_delay_spike();
+
+  // ---- introspection for invariant checks ------------------------------
+  [[nodiscard]] std::int64_t link_queued() const { return link_->queued_packets(); }
+  /// Per-stage conservation: accepted == delivered + dropped + queued
+  /// for every stage in the pipeline (the chaos-soak invariant).
+  [[nodiscard]] bool counters_consistent() const;
+
  private:
+  std::unique_ptr<GilbertElliottLossBox> burst_;  // pass-through until enabled
   std::unique_ptr<LossBox> loss_;       // null when loss_rate == 0
   std::unique_ptr<PacketStage> link_;   // RateLink or TraceLink
   std::unique_ptr<DelayBox> delay_;
   PacketStage* entry_ = nullptr;
+  RateLink* rate_link_ = nullptr;       // link_ downcast when fixed-rate
+  Duration base_delay_{0};
+  double base_rate_mbps_ = 0.0;
+  bool blackholed_ = false;
+  std::uint64_t blackholed_drops_ = 0;
 };
 
 /// A bidirectional path between a client and a server.
+///
+/// Loss seeds: the two directions fork independent streams from each
+/// spec's loss_seed (mix_seed with "up"/"down") so that duplex loss is
+/// uncorrelated even when both directions share one LinkSpec.
 class DuplexPath {
  public:
   DuplexPath(Simulator& sim, const LinkSpec& uplink, const LinkSpec& downlink);
@@ -101,6 +153,9 @@ class NetworkInterface {
   void add_state_listener(std::function<void(bool)> listener);
 
   void disable_soft();
+  /// "multipath on" via iproute: the interface comes back up and the
+  /// endpoint is notified (counterpart of disable_soft()).
+  void enable();
   void unplug();
   void plug_in();
 

@@ -1,6 +1,8 @@
 #include "tcp/flow.hpp"
 
 #include <algorithm>
+#include <string>
+#include <tuple>
 
 #include "util/units.hpp"
 
@@ -21,10 +23,10 @@ double timeline_throughput_at(const std::vector<TimelinePoint>& timeline, Durati
 }
 
 FlowResult run_bulk_flow(Simulator& sim, DuplexPath& path, std::int64_t bytes,
-                         Direction dir, const CcFactory& cc_factory, Duration timeout,
-                         std::uint64_t connection_id) {
+                         Direction dir, const CcFactory& cc_factory,
+                         const BulkFlowOptions& options) {
   TcpConfig client_cfg;
-  client_cfg.connection_id = connection_id;
+  client_cfg.connection_id = options.connection_id;
   TcpConfig server_cfg = client_cfg;
 
   TcpEndpoint client{sim, client_cfg, cc_factory()};
@@ -46,13 +48,37 @@ FlowResult run_bulk_flow(Simulator& sim, DuplexPath& path, std::int64_t bytes,
   server.listen();
   client.connect();
 
-  const TimePoint deadline = start + timeout;
+  const TimePoint deadline = start + options.timeout;
   auto finished = [&] {
     return client.state() == TcpState::kDone && server.state() == TcpState::kDone;
   };
-  while (!finished() && sim.now() < deadline) {
+  // Progress = bytes moving or connection state changing; retransmit
+  // counters are deliberately excluded so a blackholed flow trips the
+  // watchdog instead of burning the whole timeout.
+  auto signature = [&] {
+    return std::tuple{client.bytes_acked() + client.bytes_delivered(),
+                      server.bytes_acked() + server.bytes_delivered(),
+                      client.state(), server.state()};
+  };
+  // Simulator-event watchdog: bounds the stall even when the next queued
+  // event (an exponentially backed-off RTO) is minutes away.
+  bool stalled = false;
+  Timer watchdog{sim, [&stalled] { stalled = true; }};
+  watchdog.restart(options.stall_limit);
+  auto last_sig = signature();
+  TimePoint last_progress = sim.now();
+  while (!finished()) {
+    if (stalled || sim.now() >= deadline) break;
     if (!sim.step()) break;
+    const auto sig = signature();
+    if (sig != last_sig) {
+      result.max_stall = std::max(result.max_stall, sim.now() - last_progress);
+      last_sig = sig;
+      last_progress = sim.now();
+      watchdog.restart(options.stall_limit);
+    }
   }
+  result.max_stall = std::max(result.max_stall, sim.now() - last_progress);
 
   // The client-observed byte clock: delivered bytes for a download, acked
   // bytes for an upload (what tcpdump at the phone would show).
@@ -77,15 +103,38 @@ FlowResult run_bulk_flow(Simulator& sim, DuplexPath& path, std::int64_t bytes,
     }
     result.throughput_mbps = throughput_mbps(bytes, result.completion_time);
   } else {
-    result.completion_time = timeout;
-    result.throughput_mbps = throughput_mbps(observed, timeout);
+    result.completion_time = options.timeout;
+    result.throughput_mbps = throughput_mbps(observed, options.timeout);
+    if (stalled) {
+      result.failure_reason = "stall: no progress for " +
+                              std::to_string(options.stall_limit.usec() / 1000) + " ms";
+    } else if (sim.now() >= deadline) {
+      result.failure_reason = "timeout";
+    } else {
+      result.failure_reason = "idle: event queue drained before completion";
+    }
   }
 
-  // Detach path handlers: packets still in flight after this run must not
-  // call into the endpoints we are about to destroy.
+  // Freeze both ends so an aborted flow stops rescheduling RTO timers,
+  // then detach path handlers: packets still in flight after this run
+  // must not call into the endpoints we are about to destroy.
+  client.freeze();
+  server.freeze();
   path.set_client_receiver({});
   path.set_server_receiver({});
   return result;
+}
+
+FlowResult run_bulk_flow(Simulator& sim, DuplexPath& path, std::int64_t bytes,
+                         Direction dir, const CcFactory& cc_factory, Duration timeout,
+                         std::uint64_t connection_id) {
+  BulkFlowOptions options;
+  options.timeout = timeout;
+  // Legacy contract: wall-clock cap only (scripted failure experiments
+  // hold flows stalled deliberately).
+  options.stall_limit = timeout;
+  options.connection_id = connection_id;
+  return run_bulk_flow(sim, path, bytes, dir, cc_factory, options);
 }
 
 Duration measure_ping_rtt(Simulator& sim, DuplexPath& path, int count) {

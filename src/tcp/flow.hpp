@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/path.hpp"
@@ -33,6 +34,19 @@ struct FlowResult {
   /// Client-observed cumulative byte timeline (times relative to SYN).
   std::vector<TimelinePoint> timeline;
   std::uint64_t retransmits = 0;
+  /// Longest gap between progress events (bytes moving or state changes).
+  Duration max_stall{0};
+  /// Why the flow did not complete ("" when it did).
+  std::string failure_reason;
+};
+
+/// Knobs for run_bulk_flow beyond the flow itself.
+struct BulkFlowOptions {
+  Duration timeout = sec(120);
+  /// Abort when no progress for this long; a blackholed path otherwise
+  /// burns the whole timeout retransmitting into the void.
+  Duration stall_limit = sec(30);
+  std::uint64_t connection_id = 1;
 };
 
 /// Average throughput implied by a timeline at time `t` since flow start
@@ -43,6 +57,11 @@ struct FlowResult {
 /// Runs one bulk transfer of `bytes` over `path` and returns its result.
 /// The simulator is advanced as a side effect (run one flow per Simulator
 /// instance, or accept serialized flows).
+[[nodiscard]] FlowResult run_bulk_flow(Simulator& sim, DuplexPath& path,
+                                       std::int64_t bytes, Direction dir,
+                                       const CcFactory& cc_factory,
+                                       const BulkFlowOptions& options);
+
 [[nodiscard]] FlowResult run_bulk_flow(Simulator& sim, DuplexPath& path,
                                        std::int64_t bytes, Direction dir,
                                        const CcFactory& cc_factory = reno_factory(),

@@ -30,6 +30,11 @@ std::uint64_t fnv1a(std::string_view s) {
 
 }  // namespace
 
+std::uint64_t mix_seed(std::uint64_t seed, std::string_view label) {
+  std::uint64_t x = seed ^ fnv1a(label);
+  return splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t x = seed;
   for (auto& word : s_) word = splitmix64(x);

@@ -45,6 +45,12 @@ class Rng {
   double spare_normal_ = 0.0;
 };
 
+/// Derive an independent seed from (seed, label) without constructing an
+/// Rng — splitmix64 over seed XOR FNV-1a(label).  Used wherever one
+/// user-facing seed must fan out into uncorrelated component streams
+/// (e.g. the two directions of a duplex path).
+[[nodiscard]] std::uint64_t mix_seed(std::uint64_t seed, std::string_view label);
+
 /// Fisher-Yates shuffle (deterministic given the Rng state).
 template <typename T>
 void shuffle(std::vector<T>& v, Rng& rng) {

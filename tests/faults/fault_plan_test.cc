@@ -1,0 +1,173 @@
+#include "faults/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "net/delivery_trace.hpp"
+#include "net/trace_gen.hpp"
+
+namespace mn {
+namespace {
+
+FaultPlan every_kind_plan() {
+  GeLossSpec ge;
+  ge.loss_good = 0.01;
+  ge.loss_bad = 0.4;
+  ge.p_good_to_bad = 0.02;
+  ge.p_bad_to_good = 0.15;
+  ge.seed = 77;
+  FaultPlan plan;
+  plan.blackhole(msec(100), PathId::kWifi, LinkDir::kBoth)
+      .restore(msec(900), PathId::kWifi, LinkDir::kBoth)
+      .soft_down(msec(200), PathId::kLte)
+      .soft_up(msec(800), PathId::kLte)
+      .unplug(msec(300), PathId::kWifi)
+      .replug(msec(700), PathId::kWifi)
+      .burst_loss(msec(400), PathId::kLte, ge, LinkDir::kDown)
+      .burst_loss_off(msec(600), PathId::kLte, LinkDir::kDown)
+      .rate_crash(msec(450), PathId::kWifi, 0.25, LinkDir::kUp)
+      .rate_restore(msec(650), PathId::kWifi, LinkDir::kUp)
+      .delay_spike(msec(500), PathId::kLte, msec(120), LinkDir::kBoth)
+      .delay_clear(msec(550), PathId::kLte, LinkDir::kBoth);
+  return plan;
+}
+
+TEST(FaultPlan, KeepsEventsSortedByTime) {
+  const FaultPlan plan = every_kind_plan();
+  ASSERT_EQ(plan.size(), 12u);
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_LE(plan.events()[i - 1].at.usec(), plan.events()[i].at.usec());
+  }
+}
+
+TEST(FaultPlan, StableForSimultaneousEvents) {
+  FaultPlan plan;
+  plan.blackhole(msec(5), PathId::kWifi);
+  plan.soft_down(msec(5), PathId::kLte);
+  plan.unplug(msec(5), PathId::kWifi);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kBlackhole);
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::kSoftDown);
+  EXPECT_EQ(plan.events()[2].kind, FaultKind::kUnplug);
+}
+
+TEST(FaultPlan, SerializeParseRoundTripsEveryKind) {
+  const FaultPlan plan = every_kind_plan();
+  const std::string text = plan.serialize();
+  const FaultPlan back = FaultPlan::parse(text);
+  ASSERT_EQ(back.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const FaultEvent& a = plan.events()[i];
+    const FaultEvent& b = back.events()[i];
+    EXPECT_EQ(a.at.usec(), b.at.usec());
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.path, b.path);
+    EXPECT_EQ(a.dir, b.dir);
+    EXPECT_DOUBLE_EQ(a.rate_mbps, b.rate_mbps);
+    EXPECT_EQ(a.extra_delay.usec(), b.extra_delay.usec());
+    EXPECT_DOUBLE_EQ(a.ge.loss_good, b.ge.loss_good);
+    EXPECT_DOUBLE_EQ(a.ge.loss_bad, b.ge.loss_bad);
+    EXPECT_EQ(a.ge.seed, b.ge.seed);
+  }
+  // The round trip is a fixed point.
+  EXPECT_EQ(back.serialize(), text);
+}
+
+TEST(FaultPlan, ParseSkipsCommentsAndBlankLines) {
+  const FaultPlan plan =
+      FaultPlan::parse("# a comment\n\n1000 blackhole wifi both\n");
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kBlackhole);
+}
+
+TEST(FaultPlan, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)FaultPlan::parse("oops\n"), std::runtime_error);
+  EXPECT_THROW((void)FaultPlan::parse("-5 blackhole wifi both\n"), std::runtime_error);
+  EXPECT_THROW((void)FaultPlan::parse("10 explode wifi both\n"), std::runtime_error);
+  EXPECT_THROW((void)FaultPlan::parse("10 blackhole ethernet both\n"), std::runtime_error);
+  EXPECT_THROW((void)FaultPlan::parse("10 blackhole wifi sideways\n"), std::runtime_error);
+  EXPECT_THROW((void)FaultPlan::parse("10 rate_crash wifi both -3\n"), std::runtime_error);
+  EXPECT_THROW((void)FaultPlan::parse("10 delay_spike wifi both -1\n"), std::runtime_error);
+  EXPECT_THROW((void)FaultPlan::parse("10 burst_on wifi both 0.1 0.5\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)FaultPlan::parse("10 blackhole wifi both junk\n"), std::runtime_error);
+}
+
+TEST(RandomFaultPlan, DeterministicPerSeed) {
+  const FaultPlan a = random_fault_plan(42);
+  const FaultPlan b = random_fault_plan(42);
+  EXPECT_EQ(a.serialize(), b.serialize());
+  const FaultPlan c = random_fault_plan(43);
+  EXPECT_NE(a.serialize(), c.serialize());
+}
+
+TEST(RandomFaultPlan, EventsLieWithinHorizonPlusSlack) {
+  RandomPlanOptions options;
+  options.horizon = sec(3);
+  options.max_events = 8;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const FaultPlan plan = random_fault_plan(seed, options);
+    EXPECT_GE(plan.size(), 1u);
+    for (const FaultEvent& ev : plan.events()) {
+      EXPECT_GE(ev.at.usec(), 0);
+      // Restores may land up to 2s past the horizon.
+      EXPECT_LE(ev.at.usec(), (options.horizon + sec(2) + msec(50)).usec());
+    }
+    // Serialization of every generated plan must round-trip.
+    EXPECT_EQ(FaultPlan::parse(plan.serialize()).serialize(), plan.serialize());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Mid-trace corruption: the DeliveryTrace loading path must reject every
+// corrupted variant with an exception (or, for truncation, accept a
+// still-valid prefix) — never crash and never build a nonsense link.
+// ---------------------------------------------------------------------
+
+class TraceCorruptionTest : public ::testing::TestWithParam<TraceCorruption> {};
+
+TEST_P(TraceCorruptionTest, LoaderThrowsOrYieldsValidTrace) {
+  const std::string base = constant_rate_trace(12.0, msec(60)).to_mahimahi();
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng{seed};
+    const std::string bad = corrupt_mahimahi(base, GetParam(), rng);
+    try {
+      const DeliveryTrace t = DeliveryTrace::from_mahimahi(bad);
+      // If it parsed, it must be a usable trace.
+      EXPECT_GT(t.opportunities_per_period(), 0u);
+      EXPECT_GT(t.period().usec(), 0);
+    } catch (const std::runtime_error&) {
+      // Loud rejection is the expected outcome.
+    } catch (const std::invalid_argument&) {
+      // Construction-level rejection is equally acceptable.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, TraceCorruptionTest,
+                         ::testing::Values(TraceCorruption::kTruncate,
+                                           TraceCorruption::kUnsort,
+                                           TraceCorruption::kJunkLine,
+                                           TraceCorruption::kNegative,
+                                           TraceCorruption::kEmpty,
+                                           TraceCorruption::kBinary));
+
+TEST(TraceCorruption, DefiniteRejections) {
+  // No zero timestamps: negating any line must yield a negative number.
+  const std::string base =
+      DeliveryTrace{{msec(5), msec(10), msec(20)}, msec(40)}.to_mahimahi();
+  Rng rng{7};
+  EXPECT_THROW((void)DeliveryTrace::from_mahimahi(
+                   corrupt_mahimahi(base, TraceCorruption::kEmpty, rng)),
+               std::runtime_error);
+  EXPECT_ANY_THROW((void)DeliveryTrace::from_mahimahi(
+      corrupt_mahimahi(base, TraceCorruption::kUnsort, rng)));
+  EXPECT_ANY_THROW((void)DeliveryTrace::from_mahimahi(
+      corrupt_mahimahi(base, TraceCorruption::kNegative, rng)));
+  EXPECT_ANY_THROW((void)DeliveryTrace::from_mahimahi(
+      corrupt_mahimahi(base, TraceCorruption::kJunkLine, rng)));
+}
+
+}  // namespace
+}  // namespace mn

@@ -93,6 +93,44 @@ TEST(Campaign, CsvRoundTrip) {
   EXPECT_NEAR(back[0].wifi_down_mbps, runs[0].wifi_down_mbps, 1e-4);
 }
 
+// Acceptance gate of the fault-injection PR: a campaign with 10% of its
+// runs fault-injected finishes end to end — a faulted probe becomes a
+// failed RunRecord with a reason, never an aborted campaign.
+TEST(Campaign, SurvivesInjectedFaultsAndRecordsFailures) {
+  CampaignOptions opt;
+  opt.seed = 2;  // deterministic: this seed faults several of the 72 runs
+  opt.incomplete_probability = 0.0;
+  opt.run_scale = 3.0;
+  opt.fault_probability = 0.10;
+  const auto runs = run_campaign(tiny_world(), opt);
+  EXPECT_EQ(runs.size(), 72u);
+  int failed = 0;
+  for (const auto& r : runs) {
+    if (!r.failed) continue;
+    ++failed;
+    EXPECT_FALSE(r.failure_reason.empty());
+    EXPECT_FALSE(r.complete());
+  }
+  EXPECT_GT(failed, 0);
+  EXPECT_LT(failed, 72);
+  EXPECT_EQ(complete_runs(runs).size(), runs.size() - static_cast<std::size_t>(failed));
+}
+
+TEST(Campaign, ZeroFaultProbabilityPreservesLegacyResults) {
+  CampaignOptions legacy;
+  legacy.run_scale = 0.5;
+  CampaignOptions with_knob = legacy;
+  with_knob.fault_probability = 0.0;  // default, spelled out
+  const auto a = run_campaign(tiny_world(), legacy);
+  const auto b = run_campaign(tiny_world(), with_knob);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].wifi_down_mbps, b[i].wifi_down_mbps);
+    EXPECT_DOUBLE_EQ(a[i].lte_down_mbps, b[i].lte_down_mbps);
+    EXPECT_FALSE(b[i].failed);
+  }
+}
+
 TEST(Analysis, DiffDistributionsHaveRightSigns) {
   CampaignOptions opt;
   opt.incomplete_probability = 0.0;

@@ -167,5 +167,140 @@ TEST(NetworkInterface, RedundantStateChangeIsIdempotent) {
   EXPECT_EQ(notifications, 1);
 }
 
+TEST(NetworkInterface, EnableNotifiesAndRestoresTraffic) {
+  Simulator sim;
+  DuplexPath path{sim, fast_spec(), fast_spec()};
+  NetworkInterface iface{"lte", sim, path};
+  std::vector<bool> events;
+  iface.add_state_listener([&](bool up) { events.push_back(up); });
+  int at_server = 0;
+  path.set_server_receiver([&](Packet) { ++at_server; });
+  iface.disable_soft();
+  iface.send(data_packet(10));  // dropped: interface is down
+  iface.enable();
+  iface.send(data_packet(10));
+  sim.run_until_idle();
+  EXPECT_EQ(events, (std::vector<bool>{false, true}));
+  EXPECT_EQ(at_server, 1);
+}
+
+TEST(OneWayPipe, BlackholeSwallowsNewPacketsButDeliversInFlight) {
+  Simulator sim;
+  OneWayPipe pipe{sim, fast_spec()};
+  int delivered = 0;
+  pipe.set_receiver([&](Packet) { ++delivered; });
+  pipe.send(data_packet(100));   // enters the pipeline before the fault
+  pipe.set_blackhole(true);
+  pipe.send(data_packet(100));   // vanishes silently
+  pipe.send(data_packet(100));   // vanishes silently
+  pipe.set_blackhole(false);
+  pipe.send(data_packet(100));   // resumed
+  sim.run_until_idle();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(pipe.blackholed_packets(), 2u);
+  EXPECT_TRUE(pipe.counters_consistent());
+}
+
+TEST(OneWayPipe, RateChangeRejectedOnTraceDrivenLink) {
+  Simulator sim;
+  LinkSpec spec;
+  spec.trace = std::make_shared<DeliveryTrace>(std::vector<Duration>{msec(4)}, msec(10));
+  OneWayPipe pipe{sim, spec};
+  EXPECT_FALSE(pipe.set_rate_mbps(1.0));
+  EXPECT_FALSE(pipe.restore_rate());
+  // Fixed-rate links accept the change.
+  OneWayPipe fixed{sim, fast_spec()};
+  EXPECT_TRUE(fixed.set_rate_mbps(1.0));
+  EXPECT_TRUE(fixed.restore_rate());
+}
+
+TEST(OneWayPipe, BurstLossChainEntersAndLeavesBadState) {
+  Simulator sim;
+  OneWayPipe pipe{sim, fast_spec()};
+  int delivered = 0;
+  pipe.set_receiver([&](Packet) { ++delivered; });
+  EXPECT_FALSE(pipe.burst_stage().enabled());
+
+  GeLossSpec ge;  // deterministic: first packet flips Good -> Bad, drops
+  ge.loss_good = 0.0;
+  ge.loss_bad = 1.0;
+  ge.p_good_to_bad = 1.0;
+  ge.p_bad_to_good = 0.0;
+  pipe.set_burst_loss(ge);
+  for (int i = 0; i < 5; ++i) pipe.send(data_packet(100));
+  sim.run_until_idle();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_TRUE(pipe.burst_stage().in_bad_state());
+
+  pipe.clear_burst_loss();
+  EXPECT_FALSE(pipe.burst_stage().enabled());
+  EXPECT_FALSE(pipe.burst_stage().in_bad_state());
+  pipe.send(data_packet(100));
+  sim.run_until_idle();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_TRUE(pipe.counters_consistent());
+}
+
+TEST(OneWayPipe, CountersStayConsistentUnderCombinedFaults) {
+  Simulator sim;
+  LinkSpec spec = fast_spec();
+  spec.loss_rate = 0.3;
+  spec.queue_packets = 4;
+  OneWayPipe pipe{sim, spec};
+  pipe.set_receiver([](Packet) {});
+  GeLossSpec ge;
+  ge.loss_bad = 0.8;
+  ge.p_good_to_bad = 0.2;
+  for (int i = 0; i < 200; ++i) {
+    if (i == 40) pipe.set_burst_loss(ge);
+    if (i == 80) pipe.set_blackhole(true);
+    if (i == 120) pipe.set_blackhole(false);
+    if (i == 160) pipe.clear_burst_loss();
+    pipe.send(data_packet(1460));
+    if (i % 3 == 0) sim.run_until_idle();
+  }
+  sim.run_until_idle();
+  EXPECT_TRUE(pipe.counters_consistent());
+  EXPECT_EQ(pipe.link_queued(), 0);
+}
+
+// Satellite of the fault-injection PR: the two directions of a duplex
+// path must not replay the same loss pattern when built from one spec.
+TEST(DuplexPath, DirectionsDeriveIndependentLossStreams) {
+  Simulator sim;
+  LinkSpec lossy = fast_spec();
+  lossy.loss_rate = 0.5;
+  lossy.loss_seed = 9;
+
+  // Standalone pipes use the seed as given: identical patterns.
+  OneWayPipe a{sim, lossy};
+  OneWayPipe b{sim, lossy};
+  std::vector<std::int64_t> ids_a;
+  std::vector<std::int64_t> ids_b;
+  a.set_receiver([&](Packet p) { ids_a.push_back(p.payload); });
+  b.set_receiver([&](Packet p) { ids_b.push_back(p.payload); });
+  for (std::int64_t i = 0; i < 32; ++i) {
+    a.send(data_packet(i));
+    b.send(data_packet(i));
+  }
+  sim.run_until_idle();
+  EXPECT_EQ(ids_a, ids_b);
+  EXPECT_FALSE(ids_a.empty());
+  EXPECT_LT(ids_a.size(), 32u);
+
+  // Through DuplexPath each direction forks its own stream.
+  DuplexPath path{sim, lossy, lossy};
+  std::vector<std::int64_t> up_ids;
+  std::vector<std::int64_t> down_ids;
+  path.set_server_receiver([&](Packet p) { up_ids.push_back(p.payload); });
+  path.set_client_receiver([&](Packet p) { down_ids.push_back(p.payload); });
+  for (std::int64_t i = 0; i < 32; ++i) {
+    path.send_up(data_packet(i));
+    path.send_down(data_packet(i));
+  }
+  sim.run_until_idle();
+  EXPECT_NE(up_ids, down_ids);
+}
+
 }  // namespace
 }  // namespace mn

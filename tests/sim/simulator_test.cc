@@ -149,6 +149,67 @@ TEST(Timer, DestructionCancelsPending) {
   EXPECT_EQ(fires, 0);
 }
 
+// Cancel edge cases exercised by the fault injector's disarm path: an
+// EventId may be cancelled after it fired, twice, or never — none of
+// which may corrupt the pending_events() accounting.
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  int fires = 0;
+  const EventId id = sim.schedule_at(TimePoint{5}, [&] { ++fires; });
+  sim.run_until_idle();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.cancel(id);  // already fired: must not resurrect a phantom entry
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.schedule_at(TimePoint{10}, [&] { ++fires; });
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until_idle();
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, DoubleCancelCountsOnce) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(TimePoint{5}, [&] { fired = true; });
+  sim.schedule_at(TimePoint{6}, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.cancel(id);  // second cancel of the same id must not double-count
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until_idle();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, PendingEventsNeverUnderflows) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(sim.schedule_at(TimePoint{i * 10}, [] {}));
+  }
+  // Cancel everything twice, plus ids that never existed.
+  for (const EventId id : ids) sim.cancel(id);
+  for (const EventId id : ids) sim.cancel(id);
+  sim.cancel(123456);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.run_until_idle();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.events_fired(), 0u);
+}
+
+TEST(Simulator, CancelledHeadDoesNotAdvanceClockInRunUntil) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(TimePoint{100}, [] {});
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.run_until(TimePoint{50});
+  EXPECT_EQ(sim.now().usec(), 50);
+  sim.run_until_idle();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 // Property sweep: with random schedules and cancellations, firing order is
 // always non-decreasing in time and cancelled events never fire.
 class SimulatorFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
