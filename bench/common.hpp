@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "util/ascii_plot.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -39,6 +40,11 @@ inline double env_scale(const char* name = "MN_RUN_SCALE", double fallback = 1.0
   }
   return fallback;
 }
+
+/// MN_THREADS worker count for the replicated-run harnesses (0 = serial).
+/// Results are bit-identical at any value — the drivers pre-draw every
+/// random input serially before fanning out (see util/parallel.hpp).
+inline int env_threads() { return mn::env_threads(); }
 
 /// Downsampled CDF curve of a distribution, ready for render_plot.
 inline Series cdf_series(const EmpiricalDistribution& dist, std::string name,

@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include "faults/fault_injector.hpp"
+#include "util/parallel.hpp"
 
 namespace mn {
 
@@ -72,15 +73,23 @@ TransportFlowResult run_transport_flow(Simulator& sim, const MpNetworkSetup& net
 std::vector<SweepPoint> sweep_flow_sizes(const MpNetworkSetup& net,
                                          const TransportConfig& config,
                                          const std::vector<std::int64_t>& sizes,
-                                         Direction dir) {
-  std::vector<SweepPoint> points;
-  points.reserve(sizes.size());
-  for (const std::int64_t bytes : sizes) {
+                                         const SweepOptions& options) {
+  // Each point is a pure function of (net, config, bytes, dir): a fresh
+  // private Simulator per point, the shared setup read-only.
+  return parallel_map(sizes.size(), options.parallelism, [&](std::size_t i) {
     Simulator sim;  // fresh world per point: identical starting conditions
-    const auto r = run_transport_flow(sim, net, config, bytes, dir);
-    points.push_back({bytes, r.throughput_mbps, r.completion_time});
-  }
-  return points;
+    const auto r = run_transport_flow(sim, net, config, sizes[i], options.dir);
+    return SweepPoint{sizes[i], r.throughput_mbps, r.completion_time};
+  });
+}
+
+std::vector<SweepPoint> sweep_flow_sizes(const MpNetworkSetup& net,
+                                         const TransportConfig& config,
+                                         const std::vector<std::int64_t>& sizes,
+                                         Direction dir) {
+  SweepOptions options;
+  options.dir = dir;
+  return sweep_flow_sizes(net, config, sizes, options);
 }
 
 }  // namespace mn

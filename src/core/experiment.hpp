@@ -62,7 +62,21 @@ struct SweepPoint {
   Duration completion_time{0};
 };
 
+/// Knobs for sweep_flow_sizes.
+struct SweepOptions {
+  Direction dir = Direction::kDownload;
+  /// Worker threads for the per-size runs: 0/1 = serial, negative =
+  /// follow MN_THREADS.  Each point builds a private Simulator from the
+  /// shared-immutable setup, so results are bit-identical at any value.
+  int parallelism = -1;
+};
+
 /// Throughput as a function of flow size for one config (Figure 7 axes).
+[[nodiscard]] std::vector<SweepPoint> sweep_flow_sizes(const MpNetworkSetup& net,
+                                                       const TransportConfig& config,
+                                                       const std::vector<std::int64_t>& sizes,
+                                                       const SweepOptions& options);
+
 [[nodiscard]] std::vector<SweepPoint> sweep_flow_sizes(
     const MpNetworkSetup& net, const TransportConfig& config,
     const std::vector<std::int64_t>& sizes, Direction dir = Direction::kDownload);

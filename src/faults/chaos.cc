@@ -5,6 +5,7 @@
 
 #include "faults/fault_injector.hpp"
 #include "net/trace_gen.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace mn {
@@ -141,10 +142,16 @@ ChaosRunReport run_chaos_run(std::uint64_t seed, const ChaosSoakOptions& options
 }
 
 ChaosSoakSummary run_chaos_soak(const ChaosSoakOptions& options) {
+  // Parallel execute phase: each run is seeded independently and owns
+  // all of its state; the serial reduction below keeps the summary (and
+  // the order of violation reports) identical at any worker count.
+  const std::size_t n = options.runs > 0 ? static_cast<std::size_t>(options.runs) : 0;
+  const std::vector<ChaosRunReport> reports =
+      parallel_map(n, options.parallelism, [&](std::size_t i) {
+        return run_chaos_run(options.seed + static_cast<std::uint64_t>(i), options);
+      });
   ChaosSoakSummary summary;
-  for (int i = 0; i < options.runs; ++i) {
-    const ChaosRunReport report = run_chaos_run(options.seed + static_cast<std::uint64_t>(i),
-                                                options);
+  for (const ChaosRunReport& report : reports) {
     ++summary.runs;
     if (report.completed) {
       ++summary.completed;

@@ -33,6 +33,10 @@ struct ChaosSoakOptions {
   /// Watchdog bound asserted by invariant 3.
   Duration stall_limit = sec(10);
   RandomPlanOptions plan;
+  /// Worker threads for the soak: 0/1 = serial, negative = follow
+  /// MN_THREADS.  Each run is a pure function of its seed, so the
+  /// summary is identical for every value.
+  int parallelism = -1;
 };
 
 /// Everything observed in one chaos run (reproducible from `seed`).

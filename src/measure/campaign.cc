@@ -8,6 +8,7 @@
 #include "faults/fault_plan.hpp"
 #include "net/trace_gen.hpp"
 #include "tcp/flow.hpp"
+#include "util/parallel.hpp"
 
 namespace mn {
 namespace {
@@ -89,32 +90,30 @@ ProbeResult probe_network(double rate_mbps, Duration one_way, bool lte, Rng& rng
 
 }  // namespace
 
-std::vector<RunRecord> run_campaign(const std::vector<ClusterSpec>& world,
-                                    const CampaignOptions& options) {
+std::vector<RunPlan> plan_campaign(const std::vector<ClusterSpec>& world,
+                                   const CampaignOptions& options) {
   Rng rng{options.seed};
-  std::vector<RunRecord> records;
+  std::vector<RunPlan> plans;
   for (const ClusterSpec& cluster : world) {
     Rng crng = rng.fork(cluster.name);
     const int n = std::max(1, static_cast<int>(std::lround(
                                   cluster.runs * options.run_scale)));
     for (int i = 0; i < n; ++i) {
-      RunRecord rec;
-      rec.cluster = cluster.name;
+      RunPlan plan;
+      plan.cluster = cluster.name;
       // Users wander near the cluster centre (well inside the paper's
       // 100 km grouping radius).
-      rec.pos.lat_deg = cluster.centre.lat_deg + crng.uniform(-0.3, 0.3);
-      rec.pos.lon_deg = cluster.centre.lon_deg + crng.uniform(-0.3, 0.3);
+      plan.pos.lat_deg = cluster.centre.lat_deg + crng.uniform(-0.3, 0.3);
+      plan.pos.lon_deg = cluster.centre.lon_deg + crng.uniform(-0.3, 0.3);
 
       // Figure-2 flowchart: some runs can't measure one of the networks.
       const bool skip_one = crng.chance(options.incomplete_probability);
-      const bool skip_wifi = skip_one && crng.chance(0.5);
-      const bool skip_lte = skip_one && !skip_wifi;
+      plan.skip_wifi = skip_one && crng.chance(0.5);
+      plan.skip_lte = skip_one && !plan.skip_wifi;
 
       // Chaos-in-the-campaign: some runs execute under a random fault
-      // plan.  All draws are gated on the knob so the legacy rng stream
-      // (and every seeded campaign statistic) is untouched at 0.0.
-      FaultPlan plan;
-      const FaultPlan* faults = nullptr;
+      // plan.  All draws are gated on the knob so the seeded campaign
+      // stream (and every campaign statistic) is untouched at 0.0.
       if (options.fault_probability > 0.0 && crng.chance(options.fault_probability)) {
         RandomPlanOptions plan_options;
         plan_options.horizon = sec(4);
@@ -123,47 +122,73 @@ std::vector<RunRecord> run_campaign(const std::vector<ClusterSpec>& world,
         // hitting the watchdog instead of sailing through.
         plan_options.max_events = 8;
         plan_options.restore_probability = 0.35;
-        plan = random_fault_plan(crng.fork("faults").next_u64(), plan_options);
-        faults = &plan;
+        plan.faults = random_fault_plan(crng.fork("faults").next_u64(), plan_options);
+        plan.has_faults = true;
       }
 
-      // Per-run isolation: a throwing or stalling run becomes a failed
-      // record; the campaign itself never aborts.
-      try {
-        if (!skip_wifi) {
-          const double rate = cluster.wifi_rate.sample(crng);
-          const Duration delay = cluster.wifi_delay.sample(crng);
-          const auto p = probe_network(rate, delay, /*lte=*/false, crng, options, faults);
-          rec.wifi_measured = true;
-          rec.wifi_up_mbps = p.up_mbps;
-          rec.wifi_down_mbps = p.down_mbps;
-          rec.wifi_rtt_ms = p.rtt_ms;
-          if (!p.failure.empty() && !rec.failed) {
-            rec.failed = true;
-            rec.failure_reason = "wifi " + p.failure;
-          }
-        }
-        if (!skip_lte) {
-          const double rate = cluster.lte_rate.sample(crng);
-          const Duration delay = cluster.lte_delay.sample(crng);
-          const auto p = probe_network(rate, delay, /*lte=*/true, crng, options, faults);
-          rec.lte_measured = true;
-          rec.lte_up_mbps = p.up_mbps;
-          rec.lte_down_mbps = p.down_mbps;
-          rec.lte_rtt_ms = p.rtt_ms;
-          if (!p.failure.empty() && !rec.failed) {
-            rec.failed = true;
-            rec.failure_reason = "lte " + p.failure;
-          }
-        }
-      } catch (const std::exception& e) {
-        rec.failed = true;
-        rec.failure_reason = e.what();
+      if (!plan.skip_wifi) {
+        plan.wifi_rate_mbps = cluster.wifi_rate.sample(crng);
+        plan.wifi_delay = cluster.wifi_delay.sample(crng);
       }
-      records.push_back(std::move(rec));
+      if (!plan.skip_lte) {
+        plan.lte_rate_mbps = cluster.lte_rate.sample(crng);
+        plan.lte_delay = cluster.lte_delay.sample(crng);
+      }
+      // The execute phase draws only link-trace noise, from a stream
+      // forked per run — run i's draw count can never shift run i+1.
+      plan.probe_seed = crng.fork("probe").next_u64();
+      plans.push_back(std::move(plan));
     }
   }
-  return records;
+  return plans;
+}
+
+RunRecord execute_run(const RunPlan& plan, const CampaignOptions& options) {
+  RunRecord rec;
+  rec.cluster = plan.cluster;
+  rec.pos = plan.pos;
+  Rng rng{plan.probe_seed};
+  const FaultPlan* faults = plan.has_faults ? &plan.faults : nullptr;
+
+  // Per-run isolation: a throwing or stalling run becomes a failed
+  // record; the campaign itself never aborts.
+  try {
+    if (!plan.skip_wifi) {
+      const auto p = probe_network(plan.wifi_rate_mbps, plan.wifi_delay, /*lte=*/false,
+                                   rng, options, faults);
+      rec.wifi_measured = true;
+      rec.wifi_up_mbps = p.up_mbps;
+      rec.wifi_down_mbps = p.down_mbps;
+      rec.wifi_rtt_ms = p.rtt_ms;
+      if (!p.failure.empty() && !rec.failed) {
+        rec.failed = true;
+        rec.failure_reason = "wifi " + p.failure;
+      }
+    }
+    if (!plan.skip_lte) {
+      const auto p = probe_network(plan.lte_rate_mbps, plan.lte_delay, /*lte=*/true,
+                                   rng, options, faults);
+      rec.lte_measured = true;
+      rec.lte_up_mbps = p.up_mbps;
+      rec.lte_down_mbps = p.down_mbps;
+      rec.lte_rtt_ms = p.rtt_ms;
+      if (!p.failure.empty() && !rec.failed) {
+        rec.failed = true;
+        rec.failure_reason = "lte " + p.failure;
+      }
+    }
+  } catch (const std::exception& e) {
+    rec.failed = true;
+    rec.failure_reason = e.what();
+  }
+  return rec;
+}
+
+std::vector<RunRecord> run_campaign(const std::vector<ClusterSpec>& world,
+                                    const CampaignOptions& options) {
+  const std::vector<RunPlan> plans = plan_campaign(world, options);
+  return parallel_map(plans.size(), options.parallelism,
+                      [&](std::size_t i) { return execute_run(plans[i], options); });
 }
 
 std::vector<RunRecord> complete_runs(const std::vector<RunRecord>& all) {
@@ -180,10 +205,12 @@ CsvWriter to_csv(const std::vector<RunRecord>& runs) {
                "wifi_rtt_ms", "lte_rtt_ms"}};
   for (const auto& r : runs) {
     if (!r.complete()) continue;
-    w.add_row({r.cluster, std::to_string(r.pos.lat_deg), std::to_string(r.pos.lon_deg),
-               std::to_string(r.wifi_up_mbps), std::to_string(r.wifi_down_mbps),
-               std::to_string(r.lte_up_mbps), std::to_string(r.lte_down_mbps),
-               std::to_string(r.wifi_rtt_ms), std::to_string(r.lte_rtt_ms)});
+    // format_double (shortest round-trip form): from_csv(to_csv(runs))
+    // must reproduce every value bit-for-bit.
+    w.add_row({r.cluster, format_double(r.pos.lat_deg), format_double(r.pos.lon_deg),
+               format_double(r.wifi_up_mbps), format_double(r.wifi_down_mbps),
+               format_double(r.lte_up_mbps), format_double(r.lte_down_mbps),
+               format_double(r.wifi_rtt_ms), format_double(r.lte_rtt_ms)});
   }
   return w;
 }
@@ -199,18 +226,31 @@ std::vector<RunRecord> from_csv(const CsvData& data) {
   const auto c_ld = data.col("lte_down");
   const auto c_wr = data.col("wifi_rtt_ms");
   const auto c_lr = data.col("lte_rtt_ms");
-  for (const auto& row : data.rows) {
-    RunRecord r;
-    r.cluster = row[c_cluster];
-    r.pos = {std::stod(row[c_lat]), std::stod(row[c_lon])};
-    r.wifi_up_mbps = std::stod(row[c_wu]);
-    r.wifi_down_mbps = std::stod(row[c_wd]);
-    r.lte_up_mbps = std::stod(row[c_lu]);
-    r.lte_down_mbps = std::stod(row[c_ld]);
-    r.wifi_rtt_ms = std::stod(row[c_wr]);
-    r.lte_rtt_ms = std::stod(row[c_lr]);
-    r.wifi_measured = r.lte_measured = true;
-    out.push_back(std::move(r));
+  for (std::size_t i = 0; i < data.rows.size(); ++i) {
+    const auto& row = data.rows[i];
+    // Rows can come from hand-built CsvData, not just parse_csv (which
+    // already rejects ragged rows) — never index past a short row, and
+    // name the offending row in every error.
+    try {
+      if (row.size() != data.header.size()) {
+        throw std::runtime_error("expected " + std::to_string(data.header.size()) +
+                                 " fields, got " + std::to_string(row.size()));
+      }
+      RunRecord r;
+      r.cluster = row[c_cluster];
+      r.pos = {parse_double(row[c_lat]), parse_double(row[c_lon])};
+      r.wifi_up_mbps = parse_double(row[c_wu]);
+      r.wifi_down_mbps = parse_double(row[c_wd]);
+      r.lte_up_mbps = parse_double(row[c_lu]);
+      r.lte_down_mbps = parse_double(row[c_ld]);
+      r.wifi_rtt_ms = parse_double(row[c_wr]);
+      r.lte_rtt_ms = parse_double(row[c_lr]);
+      r.wifi_measured = r.lte_measured = true;
+      out.push_back(std::move(r));
+    } catch (const std::exception& e) {
+      throw std::runtime_error("campaign CSV row " + std::to_string(i + 1) + ": " +
+                               e.what());
+    }
   }
   return out;
 }

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
 #include "measure/world.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
@@ -54,10 +55,44 @@ struct CampaignOptions {
   double fault_probability = 0.0;
   /// Watchdog bound for fault-injected probes.
   Duration fault_stall_limit = sec(5);
+  /// Worker threads for the execute phase: 0/1 = serial, negative =
+  /// follow MN_THREADS.  Output is bit-identical for every value —
+  /// the plan phase pre-draws all randomness serially and each run
+  /// executes against a private forked Rng.
+  int parallelism = -1;
 };
 
+/// One pre-planned campaign run: every random input the run needs,
+/// drawn serially from the seed, so execution is a pure function of the
+/// plan (and therefore safe and deterministic to run on any thread).
+struct RunPlan {
+  std::string cluster;
+  GeoPoint pos;
+  bool skip_wifi = false;
+  bool skip_lte = false;
+  double wifi_rate_mbps = 0.0;
+  Duration wifi_delay{0};
+  double lte_rate_mbps = 0.0;
+  Duration lte_delay{0};
+  bool has_faults = false;
+  FaultPlan faults;
+  /// Seed of the run-private Rng (link-trace generation noise).
+  std::uint64_t probe_seed = 0;
+};
+
+/// Serial plan phase: pre-draw every per-run parameter from the seeded
+/// campaign stream.  Cheap (no simulation).
+[[nodiscard]] std::vector<RunPlan> plan_campaign(const std::vector<ClusterSpec>& world,
+                                                 const CampaignOptions& options = {});
+
+/// Execute one pre-drawn run.  Touches no shared mutable state: safe to
+/// call concurrently for distinct plans.
+[[nodiscard]] RunRecord execute_run(const RunPlan& plan, const CampaignOptions& options = {});
+
 /// Execute the campaign over `world`; returns one record per attempted
-/// run (incomplete ones included — filter with complete()).
+/// run (incomplete ones included — filter with complete()).  Equivalent
+/// to plan_campaign + execute_run per plan; records are in plan order
+/// and bit-identical for every options.parallelism value.
 [[nodiscard]] std::vector<RunRecord> run_campaign(const std::vector<ClusterSpec>& world,
                                                   const CampaignOptions& options = {});
 

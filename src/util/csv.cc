@@ -1,8 +1,10 @@
 #include "util/csv.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 namespace mn {
 namespace {
@@ -80,6 +82,24 @@ CsvData parse_csv(const std::string& text) {
     }
   }
   return data;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) throw std::runtime_error("format_double: to_chars failed");
+  return std::string(buf, end);
+}
+
+double parse_double(const std::string& cell) {
+  double v = 0.0;
+  const char* first = cell.data();
+  const char* last = first + cell.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last || cell.empty()) {
+    throw std::runtime_error("not a number: \"" + cell + "\"");
+  }
+  return v;
 }
 
 CsvData load_csv(const std::string& path) {

@@ -37,4 +37,15 @@ struct CsvData {
 /// Load and parse a CSV file; throws std::runtime_error on I/O failure.
 [[nodiscard]] CsvData load_csv(const std::string& path);
 
+/// Shortest decimal representation that parses back to exactly the same
+/// double (std::to_chars round-trip guarantee).  Every writer that
+/// persists doubles must use this — std::to_string truncates to six
+/// fixed decimals and silently corrupts reload-and-analyze pipelines.
+[[nodiscard]] std::string format_double(double v);
+
+/// Strict double parse of a whole cell: rejects empty cells, leading
+/// junk, and trailing junk ("1.2x" is an error, not 1.2).  Throws
+/// std::runtime_error naming the offending cell.
+[[nodiscard]] double parse_double(const std::string& cell);
+
 }  // namespace mn

@@ -28,28 +28,27 @@ double OnlineStats::variance() const {
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
 
 EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
-    : samples_(std::move(samples)) {}
+    : samples_(std::move(samples)) {
+  std::sort(samples_.begin(), samples_.end());
+}
 
 void EmpiricalDistribution::add(double x) {
-  samples_.push_back(x);
-  sorted_ = false;
+  // Sorted insert: O(n) moves, but eager sorting keeps every const
+  // accessor mutation-free (safe for concurrent readers).  Bulk loads
+  // should prefer add_all or the vector constructor.
+  samples_.insert(std::upper_bound(samples_.begin(), samples_.end(), x), x);
 }
 
 void EmpiricalDistribution::add_all(const std::vector<double>& xs) {
+  const auto mid = samples_.size();
   samples_.insert(samples_.end(), xs.begin(), xs.end());
-  sorted_ = false;
-}
-
-void EmpiricalDistribution::ensure_sorted() const {
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
+  std::sort(samples_.begin() + static_cast<std::ptrdiff_t>(mid), samples_.end());
+  std::inplace_merge(samples_.begin(), samples_.begin() + static_cast<std::ptrdiff_t>(mid),
+                     samples_.end());
 }
 
 double EmpiricalDistribution::quantile(double q) const {
   if (samples_.empty()) throw std::runtime_error("quantile of empty distribution");
-  ensure_sorted();
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
@@ -66,20 +65,17 @@ double EmpiricalDistribution::mean() const {
 
 double EmpiricalDistribution::cdf_at(double x) const {
   if (samples_.empty()) return 0.0;
-  ensure_sorted();
   const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
   return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
 }
 
 double EmpiricalDistribution::fraction_below(double x) const {
   if (samples_.empty()) return 0.0;
-  ensure_sorted();
   const auto it = std::lower_bound(samples_.begin(), samples_.end(), x);
   return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
 }
 
 std::vector<std::pair<double, double>> EmpiricalDistribution::cdf_points() const {
-  ensure_sorted();
   std::vector<std::pair<double, double>> pts;
   pts.reserve(samples_.size());
   for (std::size_t i = 0; i < samples_.size(); ++i) {
@@ -89,10 +85,7 @@ std::vector<std::pair<double, double>> EmpiricalDistribution::cdf_points() const
   return pts;
 }
 
-const std::vector<double>& EmpiricalDistribution::sorted_samples() const {
-  ensure_sorted();
-  return samples_;
-}
+const std::vector<double>& EmpiricalDistribution::sorted_samples() const { return samples_; }
 
 double median_of(std::vector<double> xs) {
   return EmpiricalDistribution{std::move(xs)}.median();

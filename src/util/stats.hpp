@@ -34,8 +34,10 @@ class OnlineStats {
   double max_ = 0.0;
 };
 
-/// A sample set with CDF / quantile queries.  Samples are stored and
-/// sorted lazily on first query.
+/// A sample set with CDF / quantile queries.  The sample vector is kept
+/// sorted on every mutation, so all const accessors are pure reads —
+/// many threads may query one distribution concurrently as long as no
+/// thread is mutating it (the usual const-method contract).
 class EmpiricalDistribution {
  public:
   EmpiricalDistribution() = default;
@@ -66,10 +68,7 @@ class EmpiricalDistribution {
   [[nodiscard]] const std::vector<double>& sorted_samples() const;
 
  private:
-  void ensure_sorted() const;
-
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  std::vector<double> samples_;  // invariant: always sorted ascending
 };
 
 /// Convenience: median of a vector (copies; fine for bench-sized data).

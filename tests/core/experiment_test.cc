@@ -72,5 +72,28 @@ TEST(SweepFlowSizes, DeterministicAcrossCalls) {
   EXPECT_DOUBLE_EQ(a[0].throughput_mbps, b[0].throughput_mbps);
 }
 
+// Golden determinism check of the parallel sweep: every point is a pure
+// function of (net, config, size, dir), so the worker count must never
+// change a bit of any result.
+TEST(SweepFlowSizes, ParallelSweepIsBitIdenticalToSerial) {
+  std::vector<std::int64_t> sizes;
+  for (std::int64_t kb = 20; kb <= 200; kb += 20) sizes.push_back(kb * 1000);
+  const auto cfg = TransportConfig::mptcp(PathId::kWifi, CcAlgo::kCoupled);
+  SweepOptions options;
+  options.parallelism = 0;
+  const auto serial = sweep_flow_sizes(net(), cfg, sizes, options);
+  for (int workers : {1, 4}) {
+    options.parallelism = workers;
+    const auto parallel = sweep_flow_sizes(net(), cfg, sizes, options);
+    ASSERT_EQ(parallel.size(), serial.size()) << "workers=" << workers;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].flow_bytes, serial[i].flow_bytes);
+      EXPECT_EQ(parallel[i].throughput_mbps, serial[i].throughput_mbps)
+          << "workers=" << workers << " size=" << sizes[i];
+      EXPECT_EQ(parallel[i].completion_time.millis(), serial[i].completion_time.millis());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mn

@@ -81,16 +81,92 @@ TEST(Campaign, DeterministicForSameSeed) {
   }
 }
 
-TEST(Campaign, CsvRoundTrip) {
+TEST(Campaign, CsvRoundTripIsExact) {
   CampaignOptions opt;
   opt.incomplete_probability = 0.0;
   opt.run_scale = 0.25;
   const auto runs = complete_runs(run_campaign(tiny_world(), opt));
-  const auto csv = to_csv(runs);
-  const auto back = from_csv(parse_csv(csv.str()));
+  ASSERT_FALSE(runs.empty());
+  const auto back = from_csv(parse_csv(to_csv(runs).str()));
   ASSERT_EQ(back.size(), runs.size());
-  EXPECT_EQ(back[0].cluster, runs[0].cluster);
-  EXPECT_NEAR(back[0].wifi_down_mbps, runs[0].wifi_down_mbps, 1e-4);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(back[i].cluster, runs[i].cluster);
+    // Bit-exact: format_double guarantees the shortest round-trip form.
+    EXPECT_EQ(back[i].pos.lat_deg, runs[i].pos.lat_deg);
+    EXPECT_EQ(back[i].pos.lon_deg, runs[i].pos.lon_deg);
+    EXPECT_EQ(back[i].wifi_up_mbps, runs[i].wifi_up_mbps);
+    EXPECT_EQ(back[i].wifi_down_mbps, runs[i].wifi_down_mbps);
+    EXPECT_EQ(back[i].lte_up_mbps, runs[i].lte_up_mbps);
+    EXPECT_EQ(back[i].lte_down_mbps, runs[i].lte_down_mbps);
+    EXPECT_EQ(back[i].wifi_rtt_ms, runs[i].wifi_rtt_ms);
+    EXPECT_EQ(back[i].lte_rtt_ms, runs[i].lte_rtt_ms);
+  }
+  // And the serialized text itself is a fixed point.
+  EXPECT_EQ(to_csv(back).str(), to_csv(runs).str());
+}
+
+TEST(Campaign, FromCsvRejectsMalformedRowsWithRowNumber) {
+  const std::string header =
+      "cluster,lat,lon,wifi_up,wifi_down,lte_up,lte_down,wifi_rtt_ms,lte_rtt_ms";
+  // Non-numeric field: row is named in the error.
+  try {
+    (void)from_csv(parse_csv(header + "\nA,1,2,3,4,5,6,7,8\nB,1,2,junk,4,5,6,7,8\n"));
+    FAIL() << "expected malformed row to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("row 2"), std::string::npos) << e.what();
+    EXPECT_NE(std::string{e.what()}.find("junk"), std::string::npos) << e.what();
+  }
+  // Trailing garbage that std::stod would silently accept.
+  EXPECT_THROW((void)from_csv(parse_csv(header + "\nA,1,2,3.5x,4,5,6,7,8\n")),
+               std::runtime_error);
+  // Hand-built short row: must be a clear error, not an out-of-bounds read.
+  CsvData data = parse_csv(header + "\nA,1,2,3,4,5,6,7,8\n");
+  data.rows.push_back({"B", "1", "2"});
+  try {
+    (void)from_csv(data);
+    FAIL() << "expected short row to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("row 2"), std::string::npos) << e.what();
+  }
+  // Missing column: still the CsvData::col error.
+  EXPECT_THROW((void)from_csv(parse_csv("cluster,lat\nA,1\n")), std::runtime_error);
+}
+
+// The plan/execute determinism contract: the execute phase owns all of
+// its pre-drawn inputs, so the worker count can never change a byte of
+// output.  to_csv serializes every double at full round-trip precision,
+// making this a golden byte-identity check.
+TEST(Campaign, ParallelOutputIsByteIdenticalToSerial) {
+  CampaignOptions opt;
+  opt.run_scale = 0.5;
+  opt.incomplete_probability = 0.2;
+  opt.fault_probability = 0.15;  // exercise the fault path too
+  opt.parallelism = 0;
+  const auto serial = run_campaign(tiny_world(), opt);
+  const std::string golden = to_csv(serial).str();
+  for (int workers : {1, 4}) {
+    opt.parallelism = workers;
+    const auto parallel = run_campaign(tiny_world(), opt);
+    ASSERT_EQ(parallel.size(), serial.size()) << "workers=" << workers;
+    EXPECT_EQ(to_csv(parallel).str(), golden) << "workers=" << workers;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].failed, serial[i].failed);
+      EXPECT_EQ(parallel[i].failure_reason, serial[i].failure_reason);
+      EXPECT_EQ(parallel[i].wifi_measured, serial[i].wifi_measured);
+      EXPECT_EQ(parallel[i].lte_measured, serial[i].lte_measured);
+    }
+  }
+}
+
+TEST(Campaign, PlanPhaseIsCheapAndExecuteMatchesRunCampaign) {
+  CampaignOptions opt;
+  opt.run_scale = 0.25;
+  const auto plans = plan_campaign(tiny_world(), opt);
+  ASSERT_EQ(plans.size(), 6u);
+  std::vector<RunRecord> records;
+  records.reserve(plans.size());
+  for (const auto& p : plans) records.push_back(execute_run(p, opt));
+  EXPECT_EQ(to_csv(records).str(), to_csv(run_campaign(tiny_world(), opt)).str());
 }
 
 // Acceptance gate of the fault-injection PR: a campaign with 10% of its

@@ -57,5 +57,30 @@ TEST(Csv, LoadMissingFileThrows) {
   EXPECT_THROW(load_csv("/nonexistent/definitely/not.csv"), std::runtime_error);
 }
 
+TEST(FormatDouble, ExactRoundTripForAwkwardValues) {
+  for (double v : {0.1, 1.0 / 3.0, 1234.56789012345, 2.5e-17, -9.875e20, 0.0,
+                   123456789.123456789, 5e-324}) {
+    EXPECT_EQ(parse_double(format_double(v)), v) << format_double(v);
+  }
+}
+
+TEST(FormatDouble, BeatsToStringTruncation) {
+  // The bug this guards against: std::to_string emits 6 fixed decimals,
+  // so anything needing more precision (or smaller than 1e-6) corrupts.
+  const double v = 3.141592653589793;
+  EXPECT_NE(std::to_string(v), format_double(v));
+  EXPECT_EQ(parse_double(format_double(v)), v);
+}
+
+TEST(ParseDouble, RejectsHostileCells) {
+  EXPECT_THROW((void)parse_double(""), std::runtime_error);
+  EXPECT_THROW((void)parse_double("abc"), std::runtime_error);
+  EXPECT_THROW((void)parse_double("1.2x"), std::runtime_error);   // stod would accept
+  EXPECT_THROW((void)parse_double(" 1.2"), std::runtime_error);   // no silent trimming
+  EXPECT_THROW((void)parse_double("1.2 "), std::runtime_error);
+  EXPECT_THROW((void)parse_double("--5"), std::runtime_error);
+  EXPECT_DOUBLE_EQ(parse_double("-5.5e2"), -550.0);
+}
+
 }  // namespace
 }  // namespace mn

@@ -1,0 +1,76 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+
+namespace mn {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (int parallelism : {0, 1, 3, 8}) {
+    std::vector<std::atomic<int>> hits(100);
+    parallel_for(hits.size(), parallelism, [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "parallelism=" << parallelism;
+  }
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoop) {
+  parallel_for(0, 4, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, MoreWorkersThanWorkIsFine) {
+  std::atomic<int> calls{0};
+  parallel_for(2, 16, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(ParallelFor, PropagatesTheFirstException) {
+  for (int parallelism : {0, 4}) {
+    EXPECT_THROW(
+        parallel_for(50, parallelism,
+                     [](std::size_t i) {
+                       if (i == 13) throw std::runtime_error("boom");
+                     }),
+        std::runtime_error)
+        << "parallelism=" << parallelism;
+  }
+}
+
+TEST(ParallelMap, ResultsLandInIndexOrder) {
+  for (int parallelism : {0, 1, 4}) {
+    const auto out =
+        parallel_map(64, parallelism, [](std::size_t i) { return static_cast<int>(i * i); });
+    ASSERT_EQ(out.size(), 64u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<int>(i * i));
+    }
+  }
+}
+
+TEST(ParallelMap, IdenticalResultsAtEveryWorkerCount) {
+  const auto serial = parallel_map(37, 0, [](std::size_t i) { return 3.5 * static_cast<double>(i); });
+  for (int parallelism : {1, 2, 7}) {
+    EXPECT_EQ(parallel_map(37, parallelism,
+                           [](std::size_t i) { return 3.5 * static_cast<double>(i); }),
+              serial);
+  }
+}
+
+TEST(Parallelism, ResolvesExplicitOverEnvironment) {
+  EXPECT_EQ(resolve_parallelism(0), 0);
+  EXPECT_EQ(resolve_parallelism(5), 5);
+  // Negative = MN_THREADS; unset/garbage means serial.
+  ::setenv("MN_THREADS", "3", 1);
+  EXPECT_EQ(resolve_parallelism(-1), 3);
+  ::setenv("MN_THREADS", "junk", 1);
+  EXPECT_EQ(resolve_parallelism(-1), 0);
+  ::unsetenv("MN_THREADS");
+  EXPECT_EQ(resolve_parallelism(-1), 0);
+}
+
+}  // namespace
+}  // namespace mn

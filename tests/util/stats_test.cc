@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -86,6 +89,43 @@ TEST(EmpiricalDistribution, MedianOfGaussianSamples) {
   EXPECT_NEAR(d.median(), 10.0, 0.1);
   EXPECT_NEAR(d.mean(), 10.0, 0.1);
   EXPECT_NEAR(d.cdf_at(12.0), 0.8413, 0.02);
+}
+
+// TSan regression: the const accessors used to lazily sort `mutable`
+// state, so two concurrent readers raced.  They are pure reads now —
+// this test is quiet under -DMN_SANITIZE=thread and fails loudly there
+// if lazy mutation ever comes back.
+TEST(EmpiricalDistribution, ConcurrentConstReadersAreRaceFree) {
+  Rng rng{99};
+  EmpiricalDistribution d;
+  for (int i = 0; i < 5000; ++i) d.add(rng.uniform(-50.0, 50.0));
+  const EmpiricalDistribution& shared = d;
+
+  std::vector<std::thread> readers;
+  std::vector<double> medians(4, 0.0);
+  for (std::size_t t = 0; t < medians.size(); ++t) {
+    readers.emplace_back([&shared, &medians, t] {
+      double acc = 0.0;
+      for (int i = 0; i < 200; ++i) {
+        acc = shared.quantile(0.5);
+        acc += shared.cdf_at(0.0) + shared.fraction_below(10.0);
+        acc += shared.sorted_samples().front();
+      }
+      medians[t] = acc;
+    });
+  }
+  for (auto& r : readers) r.join();
+  for (std::size_t t = 1; t < medians.size(); ++t) EXPECT_DOUBLE_EQ(medians[t], medians[0]);
+}
+
+TEST(EmpiricalDistribution, AddAllMergesIntoSortedOrder) {
+  EmpiricalDistribution d{{5.0, 1.0}};
+  d.add_all({4.0, 0.5, 9.0});
+  const auto& s = d.sorted_samples();
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  EXPECT_DOUBLE_EQ(s.front(), 0.5);
+  EXPECT_DOUBLE_EQ(s.back(), 9.0);
 }
 
 TEST(MedianOf, OddCount) {
