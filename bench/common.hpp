@@ -5,14 +5,24 @@
 // and ASCII plots).  Benches read MN_RUN_SCALE (default 1.0) to shrink
 // heavyweight sweeps during development; results at reduced scale are
 // noisier but structurally identical.
+// Perf emission: when MN_BENCH_JSON=<path> is set, every binary that
+// includes this header writes {wall_s, events, events_per_s, allocs}
+// JSON to <path> at process exit (see PerfJsonAtExit below).  The
+// bench/perf_trajectory driver aggregates those into the repo-level
+// BENCH_<label>.json trajectory files.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "sim/simulator.hpp"
 #include "util/ascii_plot.hpp"
+#include "util/inplace_function.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -64,5 +74,36 @@ inline double relative_diff_pct(double a, double b) {
   if (b <= 0.0) return 0.0;
   return std::abs(a - b) / b * 100.0;
 }
+
+namespace detail {
+
+/// Writes the perf record for this process to $MN_BENCH_JSON at exit:
+///   wall_s        wall-clock from static init to exit (steady clock —
+///                 the only wall-clock use in the tree, and it never
+///                 feeds back into simulated behaviour)
+///   events        simulator events fired process-wide
+///   events_per_s  the headline engine-throughput number
+///   allocs        InplaceFunction heap fallbacks — 0 proves the
+///                 per-event path stayed allocation-free
+/// One inline instance per bench binary; no-op when the env var is unset.
+struct PerfJsonAtExit {
+  std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+  ~PerfJsonAtExit() {
+    const char* path = std::getenv("MN_BENCH_JSON");
+    if (!path || !*path) return;
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    const std::uint64_t events = Simulator::process_events_fired();
+    const std::uint64_t allocs = inplace_function_heap_fallbacks();
+    std::ofstream out(path);
+    if (!out) return;
+    out << "{\"wall_s\": " << wall_s << ", \"events\": " << events
+        << ", \"events_per_s\": " << (wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0)
+        << ", \"allocs\": " << allocs << "}\n";
+  }
+};
+inline PerfJsonAtExit g_perf_json_at_exit;
+
+}  // namespace detail
 
 }  // namespace mn::bench

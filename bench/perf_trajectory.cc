@@ -1,0 +1,190 @@
+// Perf-trajectory driver: runs the engine-sensitive benches and appends
+// one measurement record to a repo-level BENCH_<label>.json file, so
+// every PR leaves a comparable before/after trail of engine throughput.
+//
+//   perf_trajectory --label pr3 --variant slab \
+//       [--bench-dir build/bench] [--out BENCH_pr3.json] [--scale 0.2]
+//
+// What it measures:
+//   - microbench (google-benchmark, --benchmark_min_time=0.01 smoke):
+//     per-benchmark real time in ns, parsed from console output
+//   - fig07_mptcp_vs_tcp: the full-figure macro workload, via the
+//     MN_BENCH_JSON hook in bench/common.hpp ({wall_s, events,
+//     events_per_s, allocs})
+//   - chaos_soak at MN_RUN_SCALE=<scale>: the fault-heavy workload,
+//     same hook
+//
+// The output file holds one run object per line so records append
+// across invocations (and across PRs) without a JSON library:
+//   {"benchmark": "multinet perf trajectory", "runs": [
+//   {"label": "pr3", "variant": "baseline", ...},
+//   {"label": "pr3", "variant": "slab", ...}
+//   ]}
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string dirname_of(const std::string& path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string::npos ? std::string{"."} : path.substr(0, pos);
+}
+
+bool file_exists(const std::string& path) { return static_cast<bool>(std::ifstream{path}); }
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+/// Runs `cmd` via the shell, capturing stdout.  Returns false on a
+/// non-zero exit (output is still filled for diagnostics).
+bool run_capture(const std::string& cmd, std::string& output) {
+  output.clear();
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (!pipe) return false;
+  char chunk[4096];
+  std::size_t n = 0;
+  while ((n = fread(chunk, 1, sizeof chunk, pipe)) > 0) output.append(chunk, n);
+  return pclose(pipe) == 0;
+}
+
+/// Parse google-benchmark console lines: "BM_Name/123  4567 ns  4560 ns  99".
+/// Emits {"BM_Name/123": <real time in ns>, ...} JSON body entries.
+std::string parse_microbench(const std::string& console) {
+  std::istringstream in(console);
+  std::string line;
+  std::vector<std::string> entries;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string name;
+    double real_time = 0.0;
+    std::string unit;
+    if (!(ls >> name >> real_time >> unit)) continue;
+    if (name.rfind("BM_", 0) != 0) continue;
+    double ns = real_time;
+    if (unit == "us") ns *= 1e3;
+    else if (unit == "ms") ns *= 1e6;
+    else if (unit == "s") ns *= 1e9;
+    else if (unit != "ns") continue;
+    std::ostringstream e;
+    e << "\"" << name << "\": " << ns;
+    entries.push_back(e.str());
+  }
+  std::string body = "{";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i) body += ", ";
+    body += entries[i];
+  }
+  return body + "}";
+}
+
+/// Run one macro bench with the MN_BENCH_JSON hook; returns its record
+/// (or "null" if the bench failed / produced nothing).
+std::string run_macro(const std::string& binary, const std::string& scale,
+                      const std::string& tmp_json) {
+  std::remove(tmp_json.c_str());
+  std::string out;
+  const std::string cmd = "MN_BENCH_JSON='" + tmp_json + "' MN_RUN_SCALE=" + scale + " '" +
+                          binary + "' > /dev/null";
+  if (!run_capture(cmd, out)) {
+    std::cerr << "perf_trajectory: " << binary << " failed:\n" << out;
+    return "null";
+  }
+  const std::string record = trim(read_file(tmp_json));
+  return record.empty() ? "null" : record;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string label = "dev";
+  std::string variant = "run";
+  std::string bench_dir = dirname_of(argv[0]);
+  std::string out_path;
+  std::string scale = "0.2";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "perf_trajectory: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--label") label = next("--label");
+    else if (arg == "--variant") variant = next("--variant");
+    else if (arg == "--bench-dir") bench_dir = next("--bench-dir");
+    else if (arg == "--out") out_path = next("--out");
+    else if (arg == "--scale") scale = next("--scale");
+    else {
+      std::cerr << "usage: perf_trajectory [--label L] [--variant V] [--bench-dir D]"
+                   " [--out F] [--scale S]\n";
+      return 2;
+    }
+  }
+  if (out_path.empty()) out_path = "BENCH_" + label + ".json";
+  const std::string tmp_json = out_path + ".tmp";
+
+  std::cout << "perf_trajectory: microbench smoke...\n";
+  std::string console;
+  if (!run_capture("'" + bench_dir + "/microbench' --benchmark_min_time=0.01", console)) {
+    std::cerr << "perf_trajectory: microbench failed:\n" << console;
+    return 1;
+  }
+  const std::string micro = parse_microbench(console);
+
+  std::cout << "perf_trajectory: fig07_mptcp_vs_tcp...\n";
+  const std::string fig07 = run_macro(bench_dir + "/fig07_mptcp_vs_tcp", scale, tmp_json);
+  std::cout << "perf_trajectory: chaos_soak (MN_RUN_SCALE=" << scale << ")...\n";
+  const std::string chaos = run_macro(bench_dir + "/chaos_soak", scale, tmp_json);
+  std::remove(tmp_json.c_str());
+
+  std::ostringstream run;
+  run << "{\"label\": \"" << label << "\", \"variant\": \"" << variant
+      << "\", \"microbench\": " << micro << ", \"fig07\": " << fig07
+      << ", \"chaos_soak\": " << chaos << "}";
+
+  // Re-read any previous runs (one per line, by construction) and
+  // rewrite the file with the new one appended.
+  std::vector<std::string> runs;
+  if (file_exists(out_path)) {
+    std::istringstream in(read_file(out_path));
+    std::string line;
+    while (std::getline(in, line)) {
+      std::string t = trim(line);
+      if (t.rfind("{\"label\"", 0) != 0) continue;
+      if (!t.empty() && t.back() == ',') t.pop_back();
+      runs.push_back(t);
+    }
+  }
+  runs.push_back(run.str());
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "perf_trajectory: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\"benchmark\": \"multinet perf trajectory\", \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    out << runs[i] << (i + 1 < runs.size() ? ",\n" : "\n");
+  }
+  out << "]}\n";
+  std::cout << "perf_trajectory: appended variant '" << variant << "' to " << out_path
+            << " (" << runs.size() << " run(s))\n";
+  return 0;
+}

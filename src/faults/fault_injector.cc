@@ -10,14 +10,22 @@ void FaultInjector::set_target(PathId path, DuplexPath* duplex, NetworkInterface
 
 void FaultInjector::arm(const FaultPlan& plan) {
   pending_.reserve(pending_.size() + plan.size());
+  armed_events_.reserve(armed_events_.size() + plan.size());
   for (const FaultEvent& ev : plan.events()) {
-    pending_.push_back(sim_.schedule_after(ev.at, [this, ev] { apply(ev); }));
+    // The event is parked in armed_events_ and the callback captures
+    // only its index: a FaultEvent is too large for the simulator's
+    // inline-callback buffer, and fault arming must not allocate.
+    const std::size_t idx = armed_events_.size();
+    armed_events_.push_back(ev);
+    pending_.push_back(
+        sim_.schedule_after(ev.at, [this, idx] { apply(armed_events_[idx]); }));
   }
 }
 
 void FaultInjector::disarm() {
   for (const EventId id : pending_) sim_.cancel(id);
   pending_.clear();
+  armed_events_.clear();
 }
 
 void FaultInjector::for_each_pipe(const Target& t, LinkDir dir,

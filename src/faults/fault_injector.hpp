@@ -59,6 +59,7 @@ class FaultInjector {
   Simulator& sim_;
   Target targets_[2];
   std::vector<EventId> pending_;
+  std::vector<FaultEvent> armed_events_;  // owned copies the callbacks index into
   int applied_ = 0;
   int skipped_ = 0;
   std::vector<std::string> log_;

@@ -53,9 +53,15 @@ void MptcpAgent::setup_subflow(int id, PathId path, MpOption syn_option) {
 }
 
 void MptcpAgent::set_transmit(int subflow_id, PacketHandler transmit) {
+  // The agent owns the one canonical handler (it also needs it for the
+  // RST path after the endpoint is frozen); the endpoint forwards
+  // through it.  PacketHandler is move-only, so no copies.
   Subflow& sf = subflows_[static_cast<std::size_t>(subflow_id)];
-  sf.transmit = transmit;
-  sf.ep->set_transmit(std::move(transmit));
+  sf.transmit = std::move(transmit);
+  sf.ep->set_transmit([this, subflow_id](Packet p) {
+    Subflow& owner = subflows_[static_cast<std::size_t>(subflow_id)];
+    if (owner.transmit) owner.transmit(std::move(p));
+  });
 }
 
 void MptcpAgent::handle_packet(const Packet& p) {

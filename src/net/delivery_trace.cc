@@ -38,6 +38,36 @@ TimePoint DeliveryTrace::next_opportunity(TimePoint t) const {
   return TimePoint{(cycle + 1) * p + opportunities_.front().usec()};
 }
 
+TimePoint DeliveryTrace::Cursor::next(TimePoint t) {
+  const std::vector<Duration>& opp = trace_->opportunities_;
+  const std::int64_t p = trace_->period_.usec();
+  const std::int64_t tu = std::max<std::int64_t>(t.usec(), 0);
+  // Candidate opportunity currently under the cursor, as absolute time.
+  auto candidate = [&] { return cycle_ * p + opp[idx_].usec(); };
+  if (tu < last_t_ || candidate() + p < tu) {
+    // Time wrap, or a forward jump of more than a period: re-seek.
+    cycle_ = tu / p;
+    const Duration offset{tu - cycle_ * p};
+    idx_ = static_cast<std::size_t>(
+        std::lower_bound(opp.begin(), opp.end(), offset) - opp.begin());
+    if (idx_ == opp.size()) {
+      idx_ = 0;
+      ++cycle_;
+    }
+  }
+  last_t_ = tu;
+  // The looped sequence is non-decreasing (the last opportunity of a
+  // cycle is <= the first of the next), so walking forward to the first
+  // candidate >= t lands on the same value lower_bound would.
+  while (candidate() < tu) {
+    if (++idx_ == opp.size()) {
+      idx_ = 0;
+      ++cycle_;
+    }
+  }
+  return TimePoint{candidate()};
+}
+
 double DeliveryTrace::average_rate_mbps() const {
   const double bits =
       static_cast<double>(opportunities_.size()) * static_cast<double>(Packet::kMtu) * 8.0;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,6 +27,31 @@ class DeliveryTrace {
 
   /// First opportunity at time >= `t`.
   [[nodiscard]] TimePoint next_opportunity(TimePoint t) const;
+
+  /// Stateful, monotone variant of next_opportunity for the drain loop.
+  ///
+  /// A cursor remembers its position (opportunity index + loop cycle) in
+  /// the infinite looped opportunity sequence, and next(t) only ever
+  /// walks forward from there — amortized O(1) per query when `t` is
+  /// non-decreasing (which simulator time is), against O(log n) binary
+  /// search per drain for the stateless call.  Invariant: the cursor's
+  /// candidate opportunity never precedes any previously returned one.
+  /// If `t` moves backwards (a time wrap — e.g. the owning link is
+  /// re-used across simulator lifetimes) or jumps forward by more than
+  /// one period, the cursor re-seeks with one binary search.
+  /// next(t) returns exactly what next_opportunity(t) returns, always.
+  class Cursor {
+   public:
+    Cursor() = default;
+    explicit Cursor(const DeliveryTrace& trace) : trace_(&trace) {}
+    [[nodiscard]] TimePoint next(TimePoint t);
+
+   private:
+    const DeliveryTrace* trace_ = nullptr;
+    std::size_t idx_ = 0;     // position within one period's opportunities
+    std::int64_t cycle_ = 0;  // which repetition of the trace
+    std::int64_t last_t_ = std::numeric_limits<std::int64_t>::min();
+  };
 
   [[nodiscard]] Duration period() const { return period_; }
   [[nodiscard]] std::size_t opportunities_per_period() const { return opportunities_.size(); }

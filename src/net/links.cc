@@ -8,11 +8,8 @@ namespace mn {
 
 void DelayBox::accept(Packet p) {
   ++counters_.accepted;
-  ++in_flight_;
-  sim_.schedule_after(delay_, [this, p = std::move(p)]() mutable {
-    --in_flight_;
-    forward(std::move(p));
-  });
+  const std::uint32_t idx = pool_.put(std::move(p));
+  sim_.schedule_after(delay_, [this, idx] { forward(pool_.take(idx)); });
 }
 
 void LossBox::accept(Packet p) {
@@ -58,9 +55,8 @@ void ReorderBox::accept(Packet p) {
   if (rng_.chance(probability_)) {
     const Duration jitter{static_cast<std::int64_t>(
         rng_.uniform(0.5, 1.5) * static_cast<double>(extra_delay_.usec()))};
-    sim_.schedule_after(jitter, [this, p = std::move(p)]() mutable {
-      forward(std::move(p));
-    });
+    const std::uint32_t idx = pool_.put(std::move(p));
+    sim_.schedule_after(jitter, [this, idx] { forward(pool_.take(idx)); });
     return;
   }
   forward(std::move(p));
@@ -74,29 +70,58 @@ RateLink::RateLink(Simulator& sim, double mbps, int queue_packets)
 
 void RateLink::set_rate(double mbps) {
   if (mbps <= 0.0) throw std::invalid_argument("RateLink: rate must be positive");
+  if (mbps == mbps_) return;
+  if (!sending_) {
+    mbps_ = mbps;
+    return;
+  }
+  // Re-plan the in-progress serialization: whatever the old rate already
+  // put on the wire stays sent, the remainder continues at the new rate,
+  // and every packet queued behind the head inherits the new rate when
+  // its turn comes.
+  sim_.cancel(drain_event_);
+  const std::int64_t sent =
+      std::min(head_wire_bytes_, bytes_at_rate(mbps_, sim_.now() - head_start_));
+  head_wire_bytes_ -= sent;
+  head_start_ = sim_.now();
   mbps_ = mbps;
+  drain_event_ = sim_.schedule_after(transmission_time(head_wire_bytes_, mbps_),
+                                     [this] { finish_head(); });
 }
 
 void RateLink::accept(Packet p) {
   ++counters_.accepted;
-  if (queued_ >= queue_limit_) {
+  if (queue_.size() >= static_cast<std::size_t>(queue_limit_)) {
     ++counters_.dropped;
     return;
   }
-  ++queued_;
-  const TimePoint start = std::max(sim_.now(), busy_until_);
-  const TimePoint finish = start + transmission_time(p.wire_bytes(), mbps_);
-  busy_until_ = finish;
-  sim_.schedule_at(finish, [this, p = std::move(p)]() mutable {
-    --queued_;
-    forward(std::move(p));
-  });
+  queue_.push_back(std::move(p));
+  if (!sending_) begin_head();
+}
+
+void RateLink::begin_head() {
+  sending_ = true;
+  head_start_ = sim_.now();
+  head_wire_bytes_ = queue_.front().wire_bytes();
+  drain_event_ = sim_.schedule_after(transmission_time(head_wire_bytes_, mbps_),
+                                     [this] { finish_head(); });
+}
+
+void RateLink::finish_head() {
+  sending_ = false;
+  Packet p = std::move(queue_.front());
+  queue_.pop_front();
+  forward(std::move(p));
+  // forward() can synchronously re-enter accept() (tight loopback
+  // wiring), which may have restarted the serializer already.
+  if (!sending_ && !queue_.empty()) begin_head();
 }
 
 TraceLink::TraceLink(Simulator& sim, TracePtr trace, int queue_packets)
     : sim_(sim), trace_(std::move(trace)), queue_limit_(queue_packets) {
   if (!trace_) throw std::invalid_argument("TraceLink: null trace");
   if (queue_packets <= 0) throw std::invalid_argument("TraceLink: queue must hold >= 1 packet");
+  cursor_ = DeliveryTrace::Cursor{*trace_};
 }
 
 void TraceLink::accept(Packet p) {
@@ -111,7 +136,7 @@ void TraceLink::accept(Packet p) {
 
 void TraceLink::arm_drain() {
   if (drain_armed_ || queue_.empty()) return;
-  const TimePoint when = trace_->next_opportunity(std::max(sim_.now(), next_allowed_));
+  const TimePoint when = cursor_.next(std::max(sim_.now(), next_allowed_));
   drain_armed_ = true;
   sim_.schedule_at(when, [this] { drain(); });
 }

@@ -5,26 +5,68 @@
 // later (simulated time) and possibly never (drops).  Stages are composed
 // left-to-right by Path (see path.hpp).  All stages keep simple counters
 // so tests and benches can assert on queue behaviour.
+//
+// Scheduling discipline: stages never capture a Packet (~120 bytes) in a
+// simulator callback.  Delayed packets park either in the stage's own
+// queue (RateLink, TraceLink) or in a FlightPool slot (DelayBox,
+// ReorderBox), and the scheduled callback captures only {this, index} —
+// 16 bytes, well inside the simulator's inline-callback budget, keeping
+// the per-hop path allocation-free.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <utility>
+#include <vector>
 
 #include "net/delivery_trace.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "util/inplace_function.hpp"
 #include "util/rng.hpp"
 
 namespace mn {
 
-using PacketHandler = std::function<void(Packet)>;
+/// Inter-stage handler: set once at wiring time, invoked per packet.
+/// Inline capacity is generous (128 bytes) because handlers are
+/// long-lived closures, not per-event state — but they still must not
+/// allocate, so the figure benches can assert a zero fallback count.
+using PacketHandler = InplaceFunction<void(Packet), 128>;
 
 struct StageCounters {
   std::uint64_t accepted = 0;
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;
+};
+
+/// Index-stable, free-listed parking lot for packets a stage has in
+/// flight.  put() hands back a dense slot index the stage captures in
+/// its simulator callback; take() must be called exactly once per put()
+/// (the simulator guarantees the callback fires unless the whole stage
+/// is torn down with it).
+class FlightPool {
+ public:
+  std::uint32_t put(Packet p) {
+    if (free_.empty()) {
+      slots_.push_back(std::move(p));
+      return static_cast<std::uint32_t>(slots_.size() - 1);
+    }
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    slots_[idx] = std::move(p);
+    return idx;
+  }
+  Packet take(std::uint32_t idx) {
+    free_.push_back(idx);
+    return std::move(slots_[idx]);
+  }
+  [[nodiscard]] std::int64_t in_flight() const {
+    return static_cast<std::int64_t>(slots_.size() - free_.size());
+  }
+
+ private:
+  std::vector<Packet> slots_;
+  std::vector<std::uint32_t> free_;
 };
 
 /// Base for pipeline stages.  Not copyable: stages are wired by reference.
@@ -68,12 +110,12 @@ class DelayBox final : public PacketStage {
   /// only when the delay shrinks — exactly as on a real route change.
   void set_delay(Duration delay) { delay_ = delay; }
   [[nodiscard]] Duration delay() const { return delay_; }
-  [[nodiscard]] std::int64_t queued_packets() const override { return in_flight_; }
+  [[nodiscard]] std::int64_t queued_packets() const override { return pool_.in_flight(); }
 
  private:
   Simulator& sim_;
   Duration delay_;
-  std::int64_t in_flight_ = 0;
+  FlightPool pool_;
 };
 
 /// Independent (Bernoulli) packet loss.
@@ -122,25 +164,41 @@ class GilbertElliottLossBox final : public PacketStage {
 };
 
 /// Fixed-rate serializing link with a DropTail queue of `queue_packets`.
+///
+/// Exactly one serialization is in progress at a time: the head of the
+/// queue owns a single armed drain event at its finish time; the next
+/// packet begins when it completes.  This is what makes set_rate able to
+/// re-plan an in-progress transmission (a rate_crash fault must slow the
+/// bytes already queued, not just future arrivals).
 class RateLink final : public PacketStage {
  public:
   RateLink(Simulator& sim, double mbps, int queue_packets);
   void accept(Packet p) override;
 
-  [[nodiscard]] std::int64_t queued_packets() const override { return queued_; }
+  [[nodiscard]] std::int64_t queued_packets() const override {
+    return static_cast<std::int64_t>(queue_.size());
+  }
 
-  /// Change the link rate for packets accepted from now on (fault
-  /// injection: rate crashes/recoveries).  Packets already serializing
-  /// keep their scheduled finish time.  Throws on non-positive rates.
+  /// Change the link rate, effective immediately for the whole queue
+  /// (fault injection: rate crashes/recoveries).  Bytes of the head
+  /// packet already serialized at the old rate stay sent; its remainder
+  /// — and every queued packet behind it — continues at the new rate.
+  /// Throws on non-positive rates.
   void set_rate(double mbps);
   [[nodiscard]] double rate_mbps() const { return mbps_; }
 
  private:
+  void begin_head();
+  void finish_head();
+
   Simulator& sim_;
   double mbps_;
   int queue_limit_;
-  std::int64_t queued_ = 0;
-  TimePoint busy_until_{0};
+  std::deque<Packet> queue_;
+  bool sending_ = false;            // head serialization in progress
+  EventId drain_event_ = 0;
+  TimePoint head_start_{0};         // when the current head('s remainder) started
+  std::int64_t head_wire_bytes_ = 0;  // bytes still to serialize of the head
 };
 
 /// Random extra delay on a fraction of packets — produces genuine packet
@@ -160,12 +218,15 @@ class ReorderBox final : public PacketStage {
   Rng rng_;
   double probability_;
   Duration extra_delay_;
+  FlightPool pool_;
 };
 
 /// Mahimahi-semantics trace-driven link: a DropTail queue drained by MTU
 /// delivery opportunities from a looping DeliveryTrace.  Each opportunity
 /// carries up to kMtu bytes of whole packets; unused capacity is wasted
-/// (as on a real shared channel slot).
+/// (as on a real shared channel slot).  Opportunity lookup goes through
+/// a monotone DeliveryTrace::Cursor — amortized O(1) per drain instead
+/// of a binary search over the whole trace.
 class TraceLink final : public PacketStage {
  public:
   TraceLink(Simulator& sim, TracePtr trace, int queue_packets);
@@ -181,6 +242,7 @@ class TraceLink final : public PacketStage {
 
   Simulator& sim_;
   TracePtr trace_;
+  DeliveryTrace::Cursor cursor_;
   int queue_limit_;
   std::deque<Packet> queue_;
   bool drain_armed_ = false;

@@ -1,64 +1,203 @@
 #include "sim/simulator.hpp"
 
+#include <atomic>
+#include <bit>
 #include <utility>
 
 namespace mn {
 
-EventId Simulator::schedule_at(TimePoint at, std::function<void()> fn) {
-  if (at < now_) at = now_;
-  const EventId id = next_id_++;
-  queue_.push(Entry{at, id});
-  handlers_.emplace(id, std::move(fn));
-  return id;
+namespace {
+// Events fired by simulators that have finished their lives.  One
+// relaxed add per ~Simulator keeps the per-event path free of atomics
+// while still letting a bench report whole-process throughput.
+std::atomic<std::uint64_t> g_retired_events{0};
+}  // namespace
+
+Simulator::Simulator()
+    : l0_head_(std::make_unique_for_overwrite<std::uint32_t[]>(kL0Size)),
+      l1_head_(std::make_unique_for_overwrite<std::uint32_t[]>(kL1Size)),
+      l0_bits_(std::make_unique<std::uint64_t[]>(kL0Words)),
+      l1_bits_(std::make_unique<std::uint64_t[]>(kL1Words)) {}
+
+Simulator::~Simulator() {
+  // Chunks are raw storage; destroy the slots that were ever handed out.
+  for (std::uint32_t i = 0; i < slot_count_; ++i) slot_ref(i).~Slot();
+  g_retired_events.fetch_add(fired_, std::memory_order_relaxed);
 }
 
-EventId Simulator::schedule_after(Duration delay, std::function<void()> fn) {
-  return schedule_at(now_ + delay, std::move(fn));
+std::uint64_t Simulator::process_events_fired() {
+  return g_retired_events.load(std::memory_order_relaxed);
 }
 
 void Simulator::cancel(EventId id) {
-  if (handlers_.count(id)) cancelled_.insert(id);
+  const auto slot = static_cast<std::uint32_t>(id);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slot_count_) return;
+  Slot& s = slot_ref(slot);
+  if (s.generation != generation || !s.fn) return;
+  // Drop the callback and invalidate the id now; the slot itself is
+  // recycled only when its queue entry surfaces (a bucket list or heap
+  // entry still points at it).
+  s.fn = nullptr;
+  if (++s.generation == 0) s.generation = 1;
+  --live_;
+  ++stale_;
 }
 
-bool Simulator::step() {
-  while (!queue_.empty()) {
-    const Entry top = queue_.top();
-    queue_.pop();
-    if (cancelled_.erase(top.id)) {
-      handlers_.erase(top.id);
+/// Smallest delta k in [0, words*64) with bit (from+k) mod size set, or
+/// SIZE_MAX when the bitmap is empty.
+std::size_t Simulator::scan(const std::uint64_t* bits, std::size_t words,
+                            std::size_t from) {
+  const std::size_t mask = words * 64 - 1;
+  from &= mask;
+  const std::size_t w0 = from >> 6;
+  const std::uint64_t first = bits[w0] >> (from & 63);
+  if (first != 0) return static_cast<std::size_t>(std::countr_zero(first));
+  for (std::size_t i = 1; i <= words; ++i) {
+    const std::size_t w = (w0 + i) % words;
+    if (bits[w] != 0) {
+      const std::size_t bit = static_cast<std::size_t>(std::countr_zero(bits[w]));
+      return ((w << 6) + bit - from) & mask;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+/// Re-file every live event of L1 bucket `b` into L0.  Caller has
+/// already advanced the cursor to (at least) the bucket's start, so
+/// every entry is within the L0 horizon.
+void Simulator::cascade(std::size_t b) {
+  std::uint32_t slot = l1_head_[b];
+  l1_head_[b] = kNil;
+  l1_bits_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+  while (slot != kNil) {
+    Slot& s = slot_ref(slot);
+    const std::uint32_t next = s.next;
+    --l1_count_;
+    if (!s.fn) {
+      reap(slot);
+    } else {
+      assert(s.at.usec() - cursor_ >= 0 && s.at.usec() - cursor_ < kL0Horizon);
+      push_l0(static_cast<std::size_t>(s.at.usec()) & kL0Mask, slot);
+    }
+    slot = next;
+  }
+}
+
+/// Advance the cursor to the next tick holding live events (cascading
+/// L1 buckets and migrating due overflow entries on the way) and load
+/// that tick's events, sorted by seq, into batch_.  Returns false — and
+/// leaves the cursor at most at `limit_usec` — when no event fires at
+/// or before the limit.
+bool Simulator::refill_batch(std::int64_t limit_usec) {
+  batch_.clear();
+  batch_pos_ = 0;
+  for (;;) {
+    // Candidate next-event lower bounds per structure (occupancy
+    // counts let an empty level skip its bitmap scan entirely).
+    std::int64_t t0 = -1;
+    if (l0_count_ != 0) {
+      const std::size_t d0 =
+          scan(l0_bits_.get(), kL0Words, static_cast<std::size_t>(cursor_) & kL0Mask);
+      if (d0 != static_cast<std::size_t>(-1)) t0 = cursor_ + static_cast<std::int64_t>(d0);
+    }
+
+    std::int64_t t1 = -1;
+    std::size_t b1 = 0;
+    const std::int64_t base1 = cursor_ >> kL1Shift;
+    if (l1_count_ != 0) {
+      const std::size_t d1 =
+          scan(l1_bits_.get(), kL1Words, static_cast<std::size_t>(base1) & kL1Mask);
+      if (d1 != static_cast<std::size_t>(-1)) {
+        b1 = static_cast<std::size_t>(base1 + static_cast<std::int64_t>(d1)) & kL1Mask;
+        const std::int64_t start = (base1 + static_cast<std::int64_t>(d1)) << kL1Shift;
+        t1 = start > cursor_ ? start : cursor_;
+      }
+    }
+
+    // Reap cancelled overflow tops so the candidate is a live event.
+    while (!overflow_.empty() && !slot_ref(overflow_.front().slot).fn) {
+      reap(overflow_.front().slot);
+      std::pop_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+      overflow_.pop_back();
+    }
+    const std::int64_t tov = overflow_.empty() ? -1 : overflow_.front().at.usec();
+
+    // An L1 bucket that starts at or before the earliest other
+    // candidate may hide earlier ticks — cascade it first.
+    if (t1 >= 0 && (t0 < 0 || t1 <= t0) && (tov < 0 || t1 <= tov)) {
+      if (t1 > limit_usec) return false;
+      cursor_ = t1;
+      cascade(b1);
       continue;
     }
-    auto it = handlers_.find(top.id);
-    // Handler must exist: ids are only erased via the cancel path above.
-    auto fn = std::move(it->second);
-    handlers_.erase(it);
-    now_ = top.at;
-    ++fired_;
-    fn();
+    if (tov >= 0 && (t0 < 0 || tov <= t0)) {
+      if (tov > limit_usec) return false;
+      cursor_ = tov;
+      while (!overflow_.empty() && overflow_.front().at.usec() == tov) {
+        const std::uint32_t slot = overflow_.front().slot;
+        std::pop_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+        overflow_.pop_back();
+        if (!slot_ref(slot).fn) {
+          reap(slot);
+        } else {
+          push_l0(static_cast<std::size_t>(tov) & kL0Mask, slot);
+        }
+      }
+      continue;  // the migrated events surface as L0 candidates
+    }
+    if (t0 < 0) return false;  // idle
+    if (t0 > limit_usec) return false;
+
+    cursor_ = t0;
+    const std::size_t b0 = static_cast<std::size_t>(t0) & kL0Mask;
+    std::uint32_t slot = l0_head_[b0];
+    l0_head_[b0] = kNil;
+    l0_bits_[b0 >> 6] &= ~(std::uint64_t{1} << (b0 & 63));
+    while (slot != kNil) {
+      Slot& s = slot_ref(slot);
+      const std::uint32_t next = s.next;
+      --l0_count_;
+      if (!s.fn) {
+        reap(slot);
+      } else {
+        batch_.push_back(BatchItem{s.seq, slot});
+      }
+      slot = next;
+    }
+    if (batch_.empty()) continue;  // every entry was cancelled
+    if (batch_.size() > 1) {
+      std::sort(batch_.begin(), batch_.end(),
+                [](const BatchItem& a, const BatchItem& b) { return a.seq < b.seq; });
+    }
+    batch_tick_ = t0;
     return true;
   }
-  return false;
 }
 
-void Simulator::run_until(TimePoint deadline) {
-  while (!queue_.empty()) {
-    // Peek past cancelled entries without firing.
-    const Entry top = queue_.top();
-    if (cancelled_.count(top.id)) {
-      queue_.pop();
-      cancelled_.erase(top.id);
-      handlers_.erase(top.id);
-      continue;
+
+
+
+bool Simulator::bookkeeping_consistent() const {
+  std::size_t queued = overflow_.size() + (batch_.size() - batch_pos_);
+  const auto count_level = [this](const std::uint32_t* heads, const std::uint64_t* bits,
+                                  std::size_t words) {
+    std::size_t n = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t word = bits[w];
+      while (word != 0) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        for (std::uint32_t s = heads[(w << 6) + bit]; s != kNil; s = slot_ref(s).next) ++n;
+      }
     }
-    if (top.at > deadline) break;
-    step();
-  }
-  if (now_ < deadline) now_ = deadline;
-}
-
-void Simulator::run_until_idle() {
-  while (step()) {
-  }
+    return n;
+  };
+  const std::size_t in_l0 = count_level(l0_head_.get(), l0_bits_.get(), kL0Words);
+  const std::size_t in_l1 = count_level(l1_head_.get(), l1_bits_.get(), kL1Words);
+  queued += in_l0 + in_l1;
+  return in_l0 == l0_count_ && in_l1 == l1_count_ && queued == live_ + stale_ &&
+         slot_count_ == live_ + stale_ + free_.size();
 }
 
 void Timer::restart(Duration delay) {

@@ -1,80 +1,310 @@
 // Deterministic single-threaded discrete-event engine.
 //
-// The Simulator owns a priority queue of (time, sequence#) -> callback
-// events.  Ties on time break on insertion order, so a run is a pure
-// function of its inputs.  Components hold a Simulator& and schedule
-// their own futures; the top-level experiment calls run_until /
-// run_until_idle.
+// Events fire strictly in (time, insertion-sequence#) order — ties on
+// time break on schedule order — so a run is a pure function of its
+// inputs.  Components hold a Simulator& and schedule their own futures;
+// the top-level experiment calls run_until / run_until_idle.
 //
-// Cancellation: schedule() returns an EventId; cancel() marks the entry
-// dead (it is skipped when popped).  Timer wraps the
-// schedule-cancel-reschedule pattern used by retransmission timeouts.
+// Storage is an allocation-free slab: each pending event lives in a
+// free-listed slot holding its callback inline (InplaceFunction —
+// captures up to 64 bytes never touch the heap).  The slab grows in
+// fixed 256-slot chunks so slot addresses are stable for the life of
+// the simulator — growth never relocates pending callbacks, and the
+// fire path can invoke a callback in place instead of moving it out
+// first.  An EventId packs
+// (generation << 32 | slot); cancel() is an O(1) generation bump that
+// drops the callback immediately and leaves the queue entry to be
+// reaped lazily — no hash maps, no per-event allocation.  Generations
+// are 32-bit and skip 0, so a forged or long-stale id is rejected; a
+// slot would need 2^32 reuses for an id to false-match.
+//
+// The queue is a two-level timing wheel (times are integer
+// microseconds): level 0 is 16384 one-microsecond buckets (16.4 ms —
+// wide enough that RTT-scale events never leave it), level 1 is 4096
+// buckets of 4096 us (~16.8 s horizon), and events beyond that sit
+// in a small overflow min-heap.  Buckets are intrusive singly-linked
+// lists threaded through the slab (a push is: write slot.next, write
+// bucket head, set a bitmap bit), so schedule and fire are O(1) —
+// no O(log n) comparison heap on the per-event path.  Head arrays are
+// deliberately left uninitialised: a head is only read when its
+// occupancy bit is set, which keeps constructing a Simulator O(bitmap)
+// cheap.  Level-1 buckets cascade into level 0 as the cursor reaches
+// them.  Firing order is bucket-path independent: all events due at
+// one tick are collected into a batch and sorted by sequence number
+// before firing (batches are almost always a single event).
+//
+// Timer wraps the schedule-cancel-reschedule pattern used by
+// retransmission timeouts.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <limits>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "util/inplace_function.hpp"
 #include "util/time.hpp"
 
 namespace mn {
 
 using EventId = std::uint64_t;
 
+/// Event callback: inline up to 64 bytes of captures (heap fallback
+/// beyond that, counted by inplace_function_heap_fallbacks()).
+using SimCallback = InplaceFunction<void(), 64>;
+
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
 
   [[nodiscard]] TimePoint now() const { return now_; }
 
   /// Schedule `fn` to run at absolute time `at` (clamped to >= now).
-  EventId schedule_at(TimePoint at, std::function<void()> fn);
+  /// Templated so the callable is constructed directly into its slab
+  /// slot — the push path is fully inlined at every call site and does
+  /// no intermediate relocation.
+  template <class F, class = std::enable_if_t<std::is_invocable_v<std::decay_t<F>&>>>
+  EventId schedule_at(TimePoint at, F&& fn) {
+    if (at < now_) at = now_;
+    std::uint32_t slot;
+    if (free_.empty()) {
+      slot = slot_count_++;
+      if ((slot >> kChunkBits) == chunks_.size()) grow_slab();
+      // Chunks are raw storage; a slot is constructed the first time it
+      // is handed out and destroyed only in ~Simulator.
+      ::new (static_cast<void*>(&slot_ref(slot))) Slot;
+    } else {
+      slot = free_.back();
+      free_.pop_back();
+    }
+    Slot& s = slot_ref(slot);
+    if constexpr (std::is_same_v<std::decay_t<F>, SimCallback>) {
+      s.fn = std::forward<F>(fn);
+    } else {
+      s.fn.emplace(std::forward<F>(fn));
+    }
+    s.at = at;
+    s.seq = next_seq_++;
+    enqueue(slot, s);
+    ++live_;
+    return (static_cast<EventId>(s.generation) << 32) | slot;
+  }
   /// Schedule `fn` to run after `delay`.
-  EventId schedule_after(Duration delay, std::function<void()> fn);
+  template <class F, class = std::enable_if_t<std::is_invocable_v<std::decay_t<F>&>>>
+  EventId schedule_after(Duration delay, F&& fn) {
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
+
   /// Cancel a pending event.  Cancelling an already-fired or unknown id
   /// is a no-op (the common race when a timer fires while being reset).
   void cancel(EventId id);
 
   /// Run events until the queue empties or the clock would pass `deadline`.
   /// The clock is left at the last fired event (or `deadline` if reached).
-  void run_until(TimePoint deadline);
+  void run_until(TimePoint deadline) {
+    const std::int64_t limit = deadline.usec();
+    for (;;) {
+      // Purge cancelled batch heads so the peek below sees a live event.
+      while (batch_pos_ < batch_.size() && !slot_ref(batch_[batch_pos_].slot).fn) {
+        reap(batch_[batch_pos_].slot);
+        ++batch_pos_;
+      }
+      if (batch_pos_ == batch_.size() && !refill_batch(limit)) break;
+      if (batch_tick_ > limit) break;  // batch held over from an unbounded step()
+      step();
+    }
+    if (now_ < deadline) now_ = deadline;
+  }
   /// Run until no events remain.
-  void run_until_idle();
+  void run_until_idle() {
+    while (step()) {
+    }
+  }
   /// Fire exactly one event if one is pending; returns false when idle.
-  bool step();
+  bool step() {
+    for (;;) {
+      while (batch_pos_ < batch_.size()) {
+        const BatchItem item = batch_[batch_pos_++];
+        Slot& s = slot_ref(item.slot);
+        if (!s.fn) {
+          reap(item.slot);  // cancelled after the batch was built
+          continue;
+        }
+        if (++s.generation == 0) s.generation = 1;
+        --live_;
+        now_ = TimePoint{batch_tick_};
+        ++fired_;
+        // Slot addresses are stable (chunked slab) and the slot is not
+        // yet on the free list, so the callback runs in place — no move
+        // of the 64-byte buffer.  Anything it schedules lands in other
+        // slots; its own id was invalidated by the generation bump.
+        s.fn();
+        s.fn = nullptr;
+        free_.push_back(item.slot);
+        return true;
+      }
+      if (!refill_batch(std::numeric_limits<std::int64_t>::max())) return false;
+    }
+  }
 
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  [[nodiscard]] std::size_t pending_events() const {
+    assert(bookkeeping_consistent());
+    return live_;
+  }
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
 
+  /// Audit hook: wheel/overflow/batch occupancy and the slab free list
+  /// must always reconcile with the live and cancelled-but-unreaped
+  /// counters:
+  ///   queued entries == live events + stale entries
+  ///   slab slots     == live events + stale entries + free slots
+  /// pending_events() asserts this in debug builds; the churn stress
+  /// test checks it explicitly in every build type.  Walks every
+  /// bucket, so debug/audit use only.
+  [[nodiscard]] bool bookkeeping_consistent() const;
+
+  /// Sum of events_fired() over every Simulator already destroyed in
+  /// this process (relaxed atomic, added once per simulator at
+  /// destruction — nothing on the per-event path).  The bench harness
+  /// uses it to derive whole-process events/sec for BENCH_*.json.
+  [[nodiscard]] static std::uint64_t process_events_fired();
+
  private:
-  struct Entry {
+  struct Slot {
+    SimCallback fn;                  // engaged iff a live event owns the slot
+    std::uint32_t generation = 1;    // bumped on fire/cancel; 0 never used
+    std::uint32_t next = 0;          // intrusive bucket-list link
+    TimePoint at{0};                 // firing tick (integer microseconds)
+    std::uint64_t seq = 0;           // insertion order: ties fire FIFO
+  };
+  struct OverflowEntry {
     TimePoint at;
-    EventId id;
-    // Ordered min-first by (time, id): id is the insertion sequence, so
-    // simultaneous events fire in the order they were scheduled.
-    friend bool operator>(const Entry& a, const Entry& b) {
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  struct BatchItem {
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr int kL0Bits = 14;                          // 16384 x 1 us
+  static constexpr std::size_t kL0Size = std::size_t{1} << kL0Bits;
+  static constexpr std::size_t kL0Mask = kL0Size - 1;
+  static constexpr std::size_t kL0Words = kL0Size / 64;
+  static constexpr int kL1Shift = 12;                         // L1 bucket = 4096 us
+  static constexpr int kL1Bits = 12;                          // 4096 buckets
+  static constexpr std::size_t kL1Size = std::size_t{1} << kL1Bits;
+  static constexpr std::size_t kL1Mask = kL1Size - 1;
+  static constexpr std::size_t kL1Words = kL1Size / 64;
+  static constexpr std::int64_t kL0Horizon = std::int64_t{1} << kL0Bits;
+  static constexpr std::int64_t kL1Horizon = std::int64_t{1} << (kL1Shift + kL1Bits);
+  static constexpr int kChunkBits = 8;                        // 256 slots/chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+  static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+
+  [[nodiscard]] Slot& slot_ref(std::uint32_t slot) {
+    return reinterpret_cast<Slot*>(chunks_[slot >> kChunkBits].get())[slot & kChunkMask];
+  }
+  [[nodiscard]] const Slot& slot_ref(std::uint32_t slot) const {
+    return reinterpret_cast<const Slot*>(chunks_[slot >> kChunkBits].get())[slot &
+                                                                            kChunkMask];
+  }
+  void grow_slab() {
+    chunks_.push_back(
+        std::make_unique_for_overwrite<std::byte[]>(kChunkSize * sizeof(Slot)));
+  }
+
+  // Min-first by (time, seq) for the overflow heap; keys are unique
+  // (seq never repeats), so heap mechanics cannot affect firing order.
+  struct OverflowLater {
+    bool operator()(const OverflowEntry& a, const OverflowEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;
+      return a.seq > b.seq;
     }
   };
 
+  // Heads are uninitialised storage: a head is read only when its
+  // occupancy bit says a list is there, so an empty bucket's head may
+  // hold garbage safely.
+  void push_bucket(std::uint32_t* heads, std::uint64_t* bitmap, std::size_t bucket,
+                   std::uint32_t slot) {
+    std::uint64_t& word = bitmap[bucket >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (bucket & 63);
+    slot_ref(slot).next = (word & bit) != 0 ? heads[bucket] : kNil;
+    heads[bucket] = slot;
+    word |= bit;
+  }
+  void push_l0(std::size_t bucket, std::uint32_t slot) {
+    push_bucket(l0_head_.get(), l0_bits_.get(), bucket, slot);
+    ++l0_count_;
+  }
+  void push_l1(std::size_t bucket, std::uint32_t slot) {
+    push_bucket(l1_head_.get(), l1_bits_.get(), bucket, slot);
+    ++l1_count_;
+  }
+
+  /// File `slot` into the wheel level (or overflow heap) that covers
+  /// its distance from the cursor.  List order within a bucket is
+  /// irrelevant — fire-time batches sort by seq.
+  void enqueue(std::uint32_t slot, const Slot& s) {
+    const std::int64_t d = s.at.usec() - cursor_;
+    if (d < kL0Horizon) {
+      push_l0(static_cast<std::size_t>(s.at.usec()) & kL0Mask, slot);
+    } else if (d < kL1Horizon) {
+      push_l1((static_cast<std::size_t>(s.at.usec()) >> kL1Shift) & kL1Mask, slot);
+    } else {
+      overflow_.push_back(OverflowEntry{s.at, s.seq, slot});
+      std::push_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+    }
+  }
+
+  /// Put the slot back on the free list once no queue structure
+  /// references it.  The generation was already bumped when the event
+  /// was cancelled or fired.
+  void reap(std::uint32_t slot) {
+    free_.push_back(slot);
+    --stale_;
+  }
+
+  // Cold-path machinery in the .cc:
+  bool refill_batch(std::int64_t limit_usec);   // collect next tick's batch
+  void cascade(std::size_t l1_bucket);          // re-file an L1 bucket into L0
+  static std::size_t scan(const std::uint64_t* bitmap, std::size_t words,
+                          std::size_t from);
+
   TimePoint now_{0};
-  EventId next_id_ = 1;
+  std::int64_t cursor_ = 0;     // wheel position; invariant: cursor_ <= now_.usec()
+  std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_map<EventId, std::function<void()>> handlers_;
-  std::unordered_set<EventId> cancelled_;
+  std::size_t live_ = 0;   // scheduled, not yet fired or cancelled
+  std::size_t stale_ = 0;  // cancelled, still occupying a queue entry
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;  // slab: stable slot addresses
+  std::uint32_t slot_count_ = 0;
+  std::vector<std::uint32_t> free_;
+  std::unique_ptr<std::uint32_t[]> l0_head_;  // uninitialised; bitmap-guarded
+  std::unique_ptr<std::uint32_t[]> l1_head_;
+  std::unique_ptr<std::uint64_t[]> l0_bits_;  // occupancy bitmaps (1 bit/bucket)
+  std::unique_ptr<std::uint64_t[]> l1_bits_;
+  std::size_t l0_count_ = 0;             // entries (live + stale) per level:
+  std::size_t l1_count_ = 0;             // lets refill skip empty-level scans
+  std::vector<OverflowEntry> overflow_;  // min-heap, events >= ~16.8 s out
+  std::vector<BatchItem> batch_;         // current tick, sorted by seq
+  std::size_t batch_pos_ = 0;
+  std::int64_t batch_tick_ = 0;
 };
 
 /// A restartable one-shot timer (RTO, join delays, app think time...).
 class Timer {
  public:
-  Timer(Simulator& sim, std::function<void()> on_fire)
+  Timer(Simulator& sim, SimCallback on_fire)
       : sim_(sim), on_fire_(std::move(on_fire)) {}
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
@@ -88,7 +318,7 @@ class Timer {
 
  private:
   Simulator& sim_;
-  std::function<void()> on_fire_;
+  SimCallback on_fire_;
   EventId pending_ = 0;
   bool armed_ = false;
 };

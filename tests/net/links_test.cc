@@ -115,6 +115,59 @@ TEST(RateLink, RejectsBadConfig) {
   EXPECT_THROW(RateLink(sim, 10.0, 0), std::invalid_argument);
 }
 
+// A rate crash mid-transmission must reprice the in-flight packet's
+// remaining bytes AND every queued packet — not just packets accepted
+// after the change (the fault-injection rate_crash/rate_restore path).
+TEST(RateLink, SetRateMidQueueRepricesQueuedPackets) {
+  Simulator sim;
+  RateLink link{sim, 12.0, 10};  // 1500B wire = 1 ms per packet
+  std::vector<std::int64_t> arrivals;
+  link.set_next([&](Packet) { arrivals.push_back(sim.now().usec()); });
+  link.accept(data_packet(1460));
+  link.accept(data_packet(1460));
+  link.accept(data_packet(1460));
+  // Halve the rate halfway through the head packet: 750 of its 1500
+  // wire bytes are sent, the remaining 750 now take 1 ms at 6 Mbit/s,
+  // and each queued packet takes 2 ms instead of 1 ms.
+  sim.schedule_at(TimePoint{500}, [&link] { link.set_rate(6.0); });
+  sim.run_until_idle();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], 1500);
+  EXPECT_EQ(arrivals[1], 3500);
+  EXPECT_EQ(arrivals[2], 5500);
+}
+
+TEST(RateLink, SetRateSpeedupShortensQueuedDrain) {
+  Simulator sim;
+  RateLink link{sim, 6.0, 10};  // 1500B wire = 2 ms per packet
+  std::vector<std::int64_t> arrivals;
+  link.set_next([&](Packet) { arrivals.push_back(sim.now().usec()); });
+  link.accept(data_packet(1460));
+  link.accept(data_packet(1460));
+  link.accept(data_packet(1460));
+  // Double the rate halfway through the head packet: its remaining
+  // 750 bytes take 500 us, then 1 ms per queued packet.
+  sim.schedule_at(TimePoint{1000}, [&link] { link.set_rate(12.0); });
+  sim.run_until_idle();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], 1500);
+  EXPECT_EQ(arrivals[1], 2500);
+  EXPECT_EQ(arrivals[2], 3500);
+}
+
+TEST(RateLink, SetRateWhileIdleOnlyAffectsFuturePackets) {
+  Simulator sim;
+  RateLink link{sim, 12.0, 10};
+  std::vector<std::int64_t> arrivals;
+  link.set_next([&](Packet) { arrivals.push_back(sim.now().usec()); });
+  link.set_rate(6.0);
+  link.accept(data_packet(1460));
+  sim.run_until_idle();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0], 2000);
+  EXPECT_THROW(link.set_rate(0.0), std::invalid_argument);
+}
+
 TEST(TraceLink, DeliversAtOpportunities) {
   Simulator sim;
   auto trace = std::make_shared<DeliveryTrace>(

@@ -1,0 +1,108 @@
+// Deterministic churn workloads shared by the engine stress test and
+// the out-of-tree reference runner that recorded the golden constants
+// against the legacy (pre-slab) engine.  Both engines must produce the
+// same (fired, checksum) for each workload: the workload only observes
+// fire *times* and counts, never EventId bit patterns, so it is valid
+// across engine representations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace mn::churn {
+
+struct Result {
+  std::uint64_t fired = 0;
+  std::uint64_t checksum = 0;
+};
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// xorshift64 — tiny, deterministic, no <random> dependency.
+struct XorShift64 {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+};
+
+/// 1M mixed schedule/cancel/advance operations.  Cancels draw from the
+/// full id history, so already-fired and double-cancelled ids are hit
+/// constantly (the generation-mismatch path in the slab engine, the
+/// map-miss path in the legacy one).
+inline Result run_event_churn() {
+  Simulator sim;
+  XorShift64 rng{0x9E3779B97F4A7C15ull};
+  Result result;
+  result.checksum = kFnvOffset;
+  auto on_fire = [&] {
+    result.checksum =
+        (result.checksum ^ static_cast<std::uint64_t>(sim.now().usec())) * kFnvPrime;
+    ++result.fired;
+  };
+  std::vector<EventId> ids;
+  ids.reserve(600'000);
+  constexpr int kOps = 1'000'000;
+  for (int i = 0; i < kOps; ++i) {
+    const std::uint64_t r = rng.next();
+    const std::uint64_t op = r % 8;
+    if (op < 4) {
+      ids.push_back(sim.schedule_at(
+          sim.now() + usec(static_cast<std::int64_t>((r >> 8) % 5000)),
+          [&on_fire] { on_fire(); }));
+    } else if (op < 6) {
+      if (!ids.empty()) sim.cancel(ids[(r >> 8) % ids.size()]);
+    } else {
+      sim.run_until(sim.now() + usec(static_cast<std::int64_t>((r >> 8) % 800)));
+    }
+    // Every 4096 ops, force the bookkeeping audit that pending_events()
+    // debug-asserts (slab occupancy vs heap size vs free list).
+    if ((i & 0xFFF) == 0) (void)sim.pending_events();
+  }
+  sim.run_until_idle();
+  return result;
+}
+
+/// Timer torture: four timers restarted/stopped at random — the RTO
+/// pattern, where nearly every scheduled event is cancelled before it
+/// can fire.
+inline Result run_timer_torture() {
+  Simulator sim;
+  XorShift64 rng{0xD1B54A32D192ED03ull};
+  Result result;
+  result.checksum = kFnvOffset;
+  auto on_fire = [&] {
+    result.checksum =
+        (result.checksum ^ static_cast<std::uint64_t>(sim.now().usec())) * kFnvPrime;
+    ++result.fired;
+  };
+  Timer t0{sim, [&on_fire] { on_fire(); }};
+  Timer t1{sim, [&on_fire] { on_fire(); }};
+  Timer t2{sim, [&on_fire] { on_fire(); }};
+  Timer t3{sim, [&on_fire] { on_fire(); }};
+  Timer* timers[] = {&t0, &t1, &t2, &t3};
+  constexpr int kOps = 200'000;
+  for (int i = 0; i < kOps; ++i) {
+    const std::uint64_t r = rng.next();
+    Timer& t = *timers[(r >> 4) % 4];
+    const std::uint64_t op = r % 10;
+    if (op < 6) {
+      t.restart(usec(static_cast<std::int64_t>((r >> 8) % 3000) + 1));
+    } else if (op < 8) {
+      t.stop();
+    } else {
+      sim.run_until(sim.now() + usec(static_cast<std::int64_t>((r >> 8) % 500)));
+    }
+    if ((i & 0xFFF) == 0) (void)sim.pending_events();
+  }
+  sim.run_until_idle();
+  return result;
+}
+
+}  // namespace mn::churn
