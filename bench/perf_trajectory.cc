@@ -51,6 +51,18 @@ std::string trim(const std::string& s) {
   return s.substr(b, e - b + 1);
 }
 
+/// Single-quote `s` for the shell so paths and values are passed
+/// through literally; embedded single quotes become '\''.
+std::string shell_quote(const std::string& s) {
+  std::string q = "'";
+  for (const char c : s) {
+    if (c == '\'') q += "'\\''";
+    else q += c;
+  }
+  q += '\'';
+  return q;
+}
+
 /// Runs `cmd` via the shell, capturing stdout.  Returns false on a
 /// non-zero exit (output is still filled for diagnostics).
 bool run_capture(const std::string& cmd, std::string& output) {
@@ -99,8 +111,9 @@ std::string run_macro(const std::string& binary, const std::string& scale,
                       const std::string& tmp_json) {
   std::remove(tmp_json.c_str());
   std::string out;
-  const std::string cmd = "MN_BENCH_JSON='" + tmp_json + "' MN_RUN_SCALE=" + scale + " '" +
-                          binary + "' > /dev/null";
+  const std::string cmd = "MN_BENCH_JSON=" + shell_quote(tmp_json) +
+                          " MN_RUN_SCALE=" + shell_quote(scale) + " " +
+                          shell_quote(binary) + " > /dev/null";
   if (!run_capture(cmd, out)) {
     std::cerr << "perf_trajectory: " << binary << " failed:\n" << out;
     return "null";
@@ -142,7 +155,8 @@ int main(int argc, char** argv) {
 
   std::cout << "perf_trajectory: microbench smoke...\n";
   std::string console;
-  if (!run_capture("'" + bench_dir + "/microbench' --benchmark_min_time=0.01", console)) {
+  if (!run_capture(shell_quote(bench_dir + "/microbench") + " --benchmark_min_time=0.01",
+                   console)) {
     std::cerr << "perf_trajectory: microbench failed:\n" << console;
     return 1;
   }

@@ -1,6 +1,7 @@
 #include "net/delivery_trace.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -39,6 +40,7 @@ TimePoint DeliveryTrace::next_opportunity(TimePoint t) const {
 }
 
 TimePoint DeliveryTrace::Cursor::next(TimePoint t) {
+  assert(trace_ != nullptr && "Cursor::next() on a default-constructed cursor");
   const std::vector<Duration>& opp = trace_->opportunities_;
   const std::int64_t p = trace_->period_.usec();
   const std::int64_t tu = std::max<std::int64_t>(t.usec(), 0);

@@ -254,11 +254,19 @@ class Simulator {
   /// File `slot` into the wheel level (or overflow heap) that covers
   /// its distance from the cursor.  List order within a bucket is
   /// irrelevant — fire-time batches sort by seq.
+  ///
+  /// L1 admission is by *bucket* distance, not time distance: buckets
+  /// are indexed by absolute time, so when the cursor sits mid-bucket
+  /// an event whose time distance is just under kL1Horizon can already
+  /// be a full wheel revolution away in bucket distance — filing it
+  /// would wrap into the cursor's own bucket and fire a revolution
+  /// early.  Such boundary events go to the overflow heap instead.
   void enqueue(std::uint32_t slot, const Slot& s) {
     const std::int64_t d = s.at.usec() - cursor_;
     if (d < kL0Horizon) {
       push_l0(static_cast<std::size_t>(s.at.usec()) & kL0Mask, slot);
-    } else if (d < kL1Horizon) {
+    } else if ((s.at.usec() >> kL1Shift) - (cursor_ >> kL1Shift) <
+               static_cast<std::int64_t>(kL1Size)) {
       push_l1((static_cast<std::size_t>(s.at.usec()) >> kL1Shift) & kL1Mask, slot);
     } else {
       overflow_.push_back(OverflowEntry{s.at, s.seq, slot});

@@ -210,6 +210,38 @@ TEST(Simulator, CancelledHeadDoesNotAdvanceClockInRunUntil) {
   EXPECT_EQ(sim.pending_events(), 0u);
 }
 
+// Regression: with the cursor mid-L1-bucket, an event whose *time*
+// distance is just under the L1 horizon (2^24 us) is already a full
+// wheel revolution away in *bucket* distance.  Filing it into L1 by
+// absolute bucket index would wrap it into the cursor's own bucket and
+// fire it ~16.7 s early; it must take the overflow heap instead.
+// (Constants mirror the engine: L1 buckets are 4096 us, 4096 of them.)
+TEST(Simulator, L1HorizonBoundaryFromMidBucketCursor) {
+  constexpr std::int64_t kBucket = 4096;
+  constexpr std::int64_t kHorizon = kBucket * 4096;  // 2^24 us
+  Simulator sim;
+  // Park the cursor mid-bucket.
+  sim.schedule_at(TimePoint{1000}, [] {});
+  sim.run_until_idle();
+  ASSERT_EQ(sim.now().usec(), 1000);
+
+  std::vector<std::int64_t> fired;
+  auto record = [&] { fired.push_back(sim.now().usec()); };
+  // Last tick of the farthest in-range L1 bucket (bucket distance 4095).
+  const std::int64_t in_range_at = (1000 / kBucket + 4096) * kBucket - 1;
+  // Under the horizon in time distance, but bucket distance 4096: one
+  // full revolution ahead of the cursor's bucket.
+  const std::int64_t wrap_at = 1000 + kHorizon - 1;
+  // At the horizon exactly: overflow in any case.
+  const std::int64_t beyond_at = 1000 + kHorizon;
+  sim.schedule_at(TimePoint{beyond_at}, record);
+  sim.schedule_at(TimePoint{wrap_at}, record);
+  sim.schedule_at(TimePoint{in_range_at}, record);
+  sim.run_until_idle();
+  EXPECT_EQ(fired, (std::vector<std::int64_t>{in_range_at, wrap_at, beyond_at}));
+  EXPECT_EQ(sim.now().usec(), beyond_at);
+}
+
 // Property sweep: with random schedules and cancellations, firing order is
 // always non-decreasing in time and cancelled events never fire.
 class SimulatorFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
