@@ -10,8 +10,10 @@
 #include "core/experiment.hpp"
 #include "measure/campaign.hpp"
 #include "net/trace_gen.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/flow.hpp"
+#include "util/inplace_function.hpp"
 #include "util/interval_set.hpp"
 #include "util/rng.hpp"
 
@@ -141,6 +143,56 @@ void BM_TcpBulkFlow1MB(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TcpBulkFlow1MB);
+
+// The observability overhead budget: the exact BM_TcpBulkFlow1MB
+// workload with a live ObsHub installed on the simulator, in the
+// configuration every campaign run uses (metrics registry, no flight
+// ring).  Acceptance gate: <= 2% over the uninstrumented bench, and
+// zero InplaceFunction heap fallbacks (instrumentation must not
+// fatten any callback past its inline buffer).  Compare:
+//   ./microbench --benchmark_filter='BM_TcpBulkFlow1MB|BM_ObsOverhead'
+void BM_ObsOverhead(benchmark::State& state) {
+  LinkSpec spec;
+  spec.rate_mbps = 10.0;
+  spec.one_way_delay = msec(10);
+  spec.queue_packets = 64;
+  const std::uint64_t fallbacks_before = inplace_function_heap_fallbacks();
+  obs::ObsHub hub;
+  for (auto _ : state) {
+    Simulator sim;
+    sim.set_obs(&hub);
+    DuplexPath path{sim, spec, spec};
+    const auto r = run_bulk_flow(sim, path, 1'000'000, Direction::kDownload);
+    benchmark::DoNotOptimize(r.throughput_mbps);
+  }
+  if (inplace_function_heap_fallbacks() != fallbacks_before) {
+    state.SkipWithError("instrumented hot path fell back to the heap");
+  }
+  state.counters["events"] =
+      static_cast<double>(hub.metrics().value(hub.ids().sim_fired)) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ObsOverhead);
+
+// Same workload with a chaos-sized flight ring attached on top of the
+// registry — the post-mortem configuration.  Informational, not part
+// of the 2% gate; the delta over BM_ObsOverhead is the cost of the
+// 32-byte ring write per instrumented event.
+void BM_ObsOverheadFlight(benchmark::State& state) {
+  LinkSpec spec;
+  spec.rate_mbps = 10.0;
+  spec.one_way_delay = msec(10);
+  spec.queue_packets = 64;
+  obs::ObsHub hub{1 << 14};
+  for (auto _ : state) {
+    Simulator sim;
+    sim.set_obs(&hub);
+    DuplexPath path{sim, spec, spec};
+    const auto r = run_bulk_flow(sim, path, 1'000'000, Direction::kDownload);
+    benchmark::DoNotOptimize(r.throughput_mbps);
+  }
+}
+BENCHMARK(BM_ObsOverheadFlight);
 
 void BM_MptcpBulkFlow1MB(benchmark::State& state) {
   LinkSpec wifi;

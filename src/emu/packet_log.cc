@@ -19,6 +19,19 @@ void PacketLog::record(const std::string& iface, TimePoint t, PacketDir dir,
   e.ack = p.ack_seq;
   e.payload = p.payload;
   entries_.push_back(std::move(e));
+  if (capacity_ != 0 && entries_.size() > capacity_) {
+    entries_.pop_front();
+    ++evicted_;
+  }
+}
+
+void PacketLog::set_capacity(std::size_t max_entries) {
+  capacity_ = max_entries;
+  if (capacity_ == 0) return;
+  while (entries_.size() > capacity_) {
+    entries_.pop_front();
+    ++evicted_;
+  }
 }
 
 InterfaceTap PacketLog::tap_for(std::string iface) {
@@ -111,6 +124,30 @@ PacketLog PacketLog::load(const std::string& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return deserialize(buf.str());
+}
+
+std::vector<obs::PcapPacket> PacketLog::to_pcap() const {
+  std::vector<obs::PcapPacket> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    obs::PcapPacket p;
+    p.t_usec = e.t.usec();
+    p.outbound = e.dir == PacketDir::kSent;
+    p.subflow = static_cast<std::uint16_t>(e.subflow_id);
+    p.syn = e.flags.syn;
+    p.ack = e.flags.ack;
+    p.fin = e.flags.fin;
+    p.rst = e.flags.rst;
+    p.seq = static_cast<std::uint32_t>(e.seq);
+    p.ack_seq = static_cast<std::uint32_t>(e.ack);
+    p.payload = e.payload;
+    out.push_back(p);
+  }
+  return out;
+}
+
+void PacketLog::save_pcap(const std::string& path) const {
+  obs::write_pcap(path, to_pcap());
 }
 
 }  // namespace mn

@@ -9,11 +9,13 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
 #include "net/packet.hpp"
 #include "net/path.hpp"
+#include "obs/pcap_export.hpp"
 #include "tcp/tcp_endpoint.hpp"
 
 namespace mn {
@@ -38,8 +40,18 @@ class PacketLog {
   /// NetworkInterface::set_tap.  The log must outlive the interface.
   [[nodiscard]] InterfaceTap tap_for(std::string iface);
 
-  [[nodiscard]] const std::vector<PacketLogEntry>& entries() const { return entries_; }
+  [[nodiscard]] const std::deque<PacketLogEntry>& entries() const { return entries_; }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Bound the log to the most recent `max_entries` packets (0 =
+  /// unbounded, the default).  Long soaks tap millions of packets; a
+  /// bounded log keeps the newest window and evicts oldest-first, like
+  /// tcpdump's ring-buffer mode.  Shrinking below the current size
+  /// evicts immediately.
+  void set_capacity(std::size_t max_entries);
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Entries evicted (oldest-first) since construction.
+  [[nodiscard]] std::uint64_t evicted() const { return evicted_; }
 
   /// Event timestamps (seconds) for one interface — the Figure-15 lanes.
   [[nodiscard]] std::vector<double> event_times(const std::string& iface) const;
@@ -53,8 +65,16 @@ class PacketLog {
   void save(const std::string& path) const;
   [[nodiscard]] static PacketLog load(const std::string& path);
 
+  /// Convert to pcap records (kSent = outbound).  Sequence numbers
+  /// truncate to 32 bits as on the wire.
+  [[nodiscard]] std::vector<obs::PcapPacket> to_pcap() const;
+  /// Write a classic pcap file openable by tcpdump/Wireshark.
+  void save_pcap(const std::string& path) const;
+
  private:
-  std::vector<PacketLogEntry> entries_;
+  std::deque<PacketLogEntry> entries_;
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  std::uint64_t evicted_ = 0;
 };
 
 }  // namespace mn

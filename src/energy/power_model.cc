@@ -1,6 +1,9 @@
 #include "energy/power_model.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "obs/obs.hpp"
 
 namespace mn {
 
@@ -80,6 +83,33 @@ double EnergyMeter::energy_joules(TimePoint horizon) const {
 
 double EnergyMeter::radio_energy_joules(TimePoint horizon) const {
   return energy_joules(horizon) - kBasePowerWatts * horizon.seconds();
+}
+
+void EnergyMeter::publish(obs::ObsHub& hub, TimePoint horizon,
+                          std::uint8_t radio_id) const {
+  // Classify each timeline step by wattage.  Tail and active are tested
+  // against the configured deltas so the classification tracks whatever
+  // parameters this meter was built with.
+  auto state_of = [this](double watts) -> std::uint8_t {
+    const double delta = watts - kBasePowerWatts;
+    if (delta >= params_.active_watts) return 1;  // active
+    if (delta >= params_.tail_watts && params_.tail_watts > 0.0) return 2;  // tail
+    return 0;  // idle
+  };
+
+  int last_state = -1;
+  for (const PowerStep& s : timeline(horizon)) {
+    const std::uint8_t st = state_of(s.watts);
+    if (static_cast<int>(st) == last_state) continue;
+    last_state = st;
+    hub.count(hub.ids().energy_transitions);
+    hub.record(s.start, obs::FlightEventType::kRadioState, radio_id,
+               /*arg32=state*/ st, /*v1=*/llround(s.watts * 1000.0));
+  }
+
+  const std::int64_t mj = llround(radio_energy_joules(horizon) * 1000.0);
+  hub.gauge_set(radio_id == 0 ? hub.ids().energy_wifi_mj : hub.ids().energy_lte_mj,
+                mj);
 }
 
 }  // namespace mn

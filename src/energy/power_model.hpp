@@ -9,11 +9,16 @@
 // when LTE is the backup interface.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "util/time.hpp"
 
 namespace mn {
+
+namespace obs {
+class ObsHub;
+}  // namespace obs
 
 struct RadioPowerParams {
   double active_watts = 2.5;        // above base, while transferring
@@ -53,6 +58,14 @@ class EnergyMeter {
   [[nodiscard]] double energy_joules(TimePoint horizon) const;
   /// Energy above the base load — the radio's own cost.
   [[nodiscard]] double radio_energy_joules(TimePoint horizon) const;
+
+  /// Publish the [0, horizon] timeline into an observability hub:
+  /// one kRadioState flight event per power-state transition
+  /// (0 idle / 1 active / 2 tail, classified by wattage), the
+  /// transition count, and the radio's energy as a millijoule gauge
+  /// (`radio_id` 0 = WiFi, 1 = LTE).  Post-hoc like the rest of the
+  /// meter — call once after the run, not per packet.
+  void publish(obs::ObsHub& hub, TimePoint horizon, std::uint8_t radio_id) const;
 
  private:
   RadioPowerParams params_;

@@ -1,10 +1,12 @@
 #include "faults/chaos.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <memory>
 
 #include "faults/fault_injector.hpp"
 #include "net/trace_gen.hpp"
+#include "obs/obs.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -87,7 +89,13 @@ ChaosRunReport run_chaos_run(std::uint64_t seed, const ChaosSoakOptions& options
   const FaultPlan plan = random_fault_plan(rng.next_u64(), options.plan);
   report.plan_text = plan.serialize();
 
+  // Per-run observability shard: metrics always, flight recorder only
+  // when the caller sized one.  Declared before the testbed so nothing
+  // records into a dead hub during teardown.
+  obs::ObsHub hub{options.flight_recorder_events};
+
   Simulator sim;
+  sim.set_obs(&hub);
   MptcpTestbed bed{sim, setup, spec};
   FaultInjector injector{sim};
   injector.set_target(PathId::kWifi, &bed.path(PathId::kWifi), &bed.iface(PathId::kWifi));
@@ -138,6 +146,19 @@ ChaosRunReport run_chaos_run(std::uint64_t seed, const ChaosSoakOptions& options
   // queued packets have either been delivered or dropped.
   check_counters(report, bed.path(PathId::kWifi), "wifi");
   check_counters(report, bed.path(PathId::kLte), "lte");
+
+  report.metrics = hub.snapshot();
+  // Black box: when the run aborted or broke an invariant, keep the last
+  // flight-recorder events with the report (and on disk if asked).
+  if (hub.flight() && (!report.completed || !report.ok())) {
+    report.flight_dump = hub.flight()->serialize();
+    if (!options.flight_dump_dir.empty()) {
+      const std::string path = options.flight_dump_dir + "/chaos_flight_" +
+                               std::to_string(seed) + ".mnfr";
+      std::ofstream out(path, std::ios::binary);
+      if (out) out << report.flight_dump;  // best effort: reporting must not throw
+    }
+  }
   return report;
 }
 

@@ -21,6 +21,7 @@
 
 #include "faults/fault_plan.hpp"
 #include "mptcp/testbed.hpp"
+#include "obs/metrics.hpp"
 
 namespace mn {
 
@@ -37,6 +38,14 @@ struct ChaosSoakOptions {
   /// MN_THREADS.  Each run is a pure function of its seed, so the
   /// summary is identical for every value.
   int parallelism = -1;
+  /// Flight-recorder ring capacity per run; 0 disables the recorder.
+  /// When a run trips the watchdog or violates an invariant, the ring's
+  /// last events are serialized into ChaosRunReport::flight_dump (the
+  /// black box of the crash).
+  std::size_t flight_recorder_events = 0;
+  /// When non-empty and a dump was taken, also write it to
+  /// `<dir>/chaos_flight_<seed>.mnfr` (FlightRecorder::parse reads it).
+  std::string flight_dump_dir;
 };
 
 /// Everything observed in one chaos run (reproducible from `seed`).
@@ -52,6 +61,11 @@ struct ChaosRunReport {
   std::string plan_text;            // serialized FaultPlan (replay aid)
   /// One entry per violated invariant; empty means the run was safe.
   std::vector<std::string> violations;
+  /// Metrics snapshot of the run's private ObsHub.
+  obs::MetricsSnapshot metrics;
+  /// Serialized flight-recorder ring ("MNFR1" format), captured when the
+  /// run aborted or violated an invariant and flight_recorder_events > 0.
+  std::string flight_dump;
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
 };

@@ -19,6 +19,11 @@ void FaultInjector::arm(const FaultPlan& plan) {
     armed_events_.push_back(ev);
     pending_.push_back(
         sim_.schedule_after(ev.at, [this, idx] { apply(armed_events_[idx]); }));
+    if (auto* o = sim_.obs()) {
+      o->count(o->ids().fault_armed);
+      o->record(sim_.now(), obs::FlightEventType::kFaultArm,
+                static_cast<std::uint8_t>(ev.kind), 0, (sim_.now() + ev.at).usec());
+    }
   }
 }
 
@@ -41,6 +46,11 @@ void FaultInjector::apply(const FaultEvent& ev) {
                            ev.kind == FaultKind::kUnplug || ev.kind == FaultKind::kReplug;
   if ((needs_iface && !t.iface) || (!needs_iface && !t.duplex)) {
     ++skipped_;
+    if (auto* o = sim_.obs()) {
+      o->count(o->ids().fault_skipped);
+      o->record(sim_.now(), obs::FlightEventType::kFaultFire,
+                static_cast<std::uint8_t>(ev.kind), /*arg32=skipped*/ 1, 0);
+    }
     return;
   }
   switch (ev.kind) {
@@ -83,6 +93,11 @@ void FaultInjector::apply(const FaultEvent& ev) {
   }
   ++applied_;
   log_.push_back(ev.describe());
+  if (auto* o = sim_.obs()) {
+    o->count(o->ids().fault_applied);
+    o->record(sim_.now(), obs::FlightEventType::kFaultFire,
+              static_cast<std::uint8_t>(ev.kind), 0, 0);
+  }
 }
 
 }  // namespace mn

@@ -7,6 +7,7 @@
 #include "faults/fault_injector.hpp"
 #include "faults/fault_plan.hpp"
 #include "net/trace_gen.hpp"
+#include "obs/obs.hpp"
 #include "tcp/flow.hpp"
 #include "util/parallel.hpp"
 
@@ -42,7 +43,8 @@ LinkSpec make_link(double mbps, Duration delay, bool lte, Rng& rng) {
 }
 
 ProbeResult probe_network(double rate_mbps, Duration one_way, bool lte, Rng& rng,
-                          const CampaignOptions& opt, const FaultPlan* faults) {
+                          const CampaignOptions& opt, const FaultPlan* faults,
+                          obs::ObsHub* hub) {
   ProbeResult res;
   const PathId path_id = lte ? PathId::kLte : PathId::kWifi;
   BulkFlowOptions flow_options;
@@ -53,6 +55,7 @@ ProbeResult probe_network(double rate_mbps, Duration one_way, bool lte, Rng& rng
   flow_options.stall_limit = faults ? opt.fault_stall_limit : sec(60);
   {
     Simulator sim;
+    sim.set_obs(hub);
     DuplexPath path{sim, make_link(rate_mbps, one_way, lte, rng),
                     make_link(rate_mbps, one_way, lte, rng)};
     FaultInjector injector{sim};
@@ -67,6 +70,7 @@ ProbeResult probe_network(double rate_mbps, Duration one_way, bool lte, Rng& rng
   }
   {
     Simulator sim;
+    sim.set_obs(hub);
     DuplexPath path{sim, make_link(rate_mbps, one_way, lte, rng),
                     make_link(rate_mbps, one_way, lte, rng)};
     FaultInjector injector{sim};
@@ -81,6 +85,7 @@ ProbeResult probe_network(double rate_mbps, Duration one_way, bool lte, Rng& rng
   }
   {
     Simulator sim;
+    sim.set_obs(hub);
     DuplexPath path{sim, make_link(rate_mbps, one_way, lte, rng),
                     make_link(rate_mbps, one_way, lte, rng)};
     res.rtt_ms = measure_ping_rtt(sim, path, opt.ping_count).millis();
@@ -150,12 +155,18 @@ RunRecord execute_run(const RunPlan& plan, const CampaignOptions& options) {
   Rng rng{plan.probe_seed};
   const FaultPlan* faults = plan.has_faults ? &plan.faults : nullptr;
 
+  // The run's private observability shard: every probe simulator records
+  // here, and the snapshot rides home on the record.  Private-per-run is
+  // what keeps parallel execution deterministic — no shared counters,
+  // no atomics, merge happens serially in plan order.
+  obs::ObsHub hub;
+
   // Per-run isolation: a throwing or stalling run becomes a failed
   // record; the campaign itself never aborts.
   try {
     if (!plan.skip_wifi) {
       const auto p = probe_network(plan.wifi_rate_mbps, plan.wifi_delay, /*lte=*/false,
-                                   rng, options, faults);
+                                   rng, options, faults, &hub);
       rec.wifi_measured = true;
       rec.wifi_up_mbps = p.up_mbps;
       rec.wifi_down_mbps = p.down_mbps;
@@ -167,7 +178,7 @@ RunRecord execute_run(const RunPlan& plan, const CampaignOptions& options) {
     }
     if (!plan.skip_lte) {
       const auto p = probe_network(plan.lte_rate_mbps, plan.lte_delay, /*lte=*/true,
-                                   rng, options, faults);
+                                   rng, options, faults, &hub);
       rec.lte_measured = true;
       rec.lte_up_mbps = p.up_mbps;
       rec.lte_down_mbps = p.down_mbps;
@@ -181,6 +192,7 @@ RunRecord execute_run(const RunPlan& plan, const CampaignOptions& options) {
     rec.failed = true;
     rec.failure_reason = e.what();
   }
+  rec.metrics = hub.snapshot();
   return rec;
 }
 
@@ -200,9 +212,15 @@ std::vector<RunRecord> complete_runs(const std::vector<RunRecord>& all) {
   return out;
 }
 
+obs::MetricsSnapshot merge_run_metrics(const std::vector<RunRecord>& runs) {
+  obs::MetricsSnapshot total;
+  for (const auto& r : runs) total.merge_from(r.metrics);
+  return total;
+}
+
 CsvWriter to_csv(const std::vector<RunRecord>& runs) {
   CsvWriter w{{"cluster", "lat", "lon", "wifi_up", "wifi_down", "lte_up", "lte_down",
-               "wifi_rtt_ms", "lte_rtt_ms"}};
+               "wifi_rtt_ms", "lte_rtt_ms", "m_retransmits", "m_rto", "m_drops"}};
   for (const auto& r : runs) {
     if (!r.complete()) continue;
     // format_double (shortest round-trip form): from_csv(to_csv(runs))
@@ -210,7 +228,10 @@ CsvWriter to_csv(const std::vector<RunRecord>& runs) {
     w.add_row({r.cluster, format_double(r.pos.lat_deg), format_double(r.pos.lon_deg),
                format_double(r.wifi_up_mbps), format_double(r.wifi_down_mbps),
                format_double(r.lte_up_mbps), format_double(r.lte_down_mbps),
-               format_double(r.wifi_rtt_ms), format_double(r.lte_rtt_ms)});
+               format_double(r.wifi_rtt_ms), format_double(r.lte_rtt_ms),
+               std::to_string(r.metrics.value_of("tcp.retransmits")),
+               std::to_string(r.metrics.value_of("tcp.rto_fires")),
+               std::to_string(r.metrics.sum_with_prefix("drop."))});
   }
   return w;
 }
@@ -226,6 +247,11 @@ std::vector<RunRecord> from_csv(const CsvData& data) {
   const auto c_ld = data.col("lte_down");
   const auto c_wr = data.col("wifi_rtt_ms");
   const auto c_lr = data.col("lte_rtt_ms");
+  // Metrics columns appeared with the observability subsystem; files
+  // written before it legitimately lack them.
+  const auto c_mx = data.find_col("m_retransmits");
+  const auto c_mr = data.find_col("m_rto");
+  const auto c_md = data.find_col("m_drops");
   for (std::size_t i = 0; i < data.rows.size(); ++i) {
     const auto& row = data.rows[i];
     // Rows can come from hand-built CsvData, not just parse_csv (which
@@ -246,6 +272,22 @@ std::vector<RunRecord> from_csv(const CsvData& data) {
       r.wifi_rtt_ms = parse_double(row[c_wr]);
       r.lte_rtt_ms = parse_double(row[c_lr]);
       r.wifi_measured = r.lte_measured = true;
+      if (c_mx && c_mr && c_md) {
+        // Rebuild just enough of the snapshot that a re-export emits the
+        // same columns: drop causes collapse to one "drop.total" counter.
+        auto counter = [](std::string name, std::int64_t v) {
+          obs::SnapshotEntry e;
+          e.name = std::move(name);
+          e.kind = obs::MetricKind::kCounter;
+          e.value = v;
+          return e;
+        };
+        r.metrics.entries = {
+            counter("drop.total", llround(parse_double(row[*c_md]))),
+            counter("tcp.retransmits", llround(parse_double(row[*c_mx]))),
+            counter("tcp.rto_fires", llround(parse_double(row[*c_mr]))),
+        };
+      }
       out.push_back(std::move(r));
     } catch (const std::exception& e) {
       throw std::runtime_error("campaign CSV row " + std::to_string(i + 1) + ": " +

@@ -14,6 +14,7 @@
 
 #include "faults/fault_plan.hpp"
 #include "measure/world.hpp"
+#include "obs/metrics.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
@@ -36,6 +37,11 @@ struct RunRecord {
   /// but are excluded from the analysis like the paper's filtered runs.
   bool failed = false;
   std::string failure_reason;
+  /// Per-run observability snapshot: every probe simulator in this run
+  /// recorded into one private ObsHub, snapshotted here.  Merge across
+  /// runs with merge_run_metrics() — the result is bit-identical at any
+  /// parallelism because records stay in plan order.
+  obs::MetricsSnapshot metrics;
 
   [[nodiscard]] bool complete() const { return wifi_measured && lte_measured && !failed; }
   /// The Table-1 win criterion: LTE faster on the downlink.
@@ -98,6 +104,10 @@ struct RunPlan {
 
 /// Keep only complete runs (the paper's filtering step).
 [[nodiscard]] std::vector<RunRecord> complete_runs(const std::vector<RunRecord>& all);
+
+/// Merge every run's metrics snapshot in record (= plan) order: the
+/// campaign-wide counters/histograms.  Serial, deterministic.
+[[nodiscard]] obs::MetricsSnapshot merge_run_metrics(const std::vector<RunRecord>& runs);
 
 /// CSV persistence (the app's "upload to the server at MIT").
 [[nodiscard]] CsvWriter to_csv(const std::vector<RunRecord>& runs);

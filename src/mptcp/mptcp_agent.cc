@@ -202,6 +202,11 @@ std::optional<DataSource::Chunk> MptcpAgent::take(std::int64_t max_bytes,
   }
   sf.mappings.emplace_back(c.data_seq, c.bytes);
   last_grant_subflow_ = subflow_id;
+  if (auto* o = sim_.obs()) {
+    o->count(subflow_id == 0 ? o->ids().mptcp_grants_sf0 : o->ids().mptcp_grants_sf1);
+    o->record(sim_.now(), obs::FlightEventType::kSchedGrant,
+              static_cast<std::uint8_t>(subflow_id), 0, c.data_seq, c.bytes);
+  }
   return c;
 }
 
@@ -281,7 +286,14 @@ void MptcpAgent::kill_subflow(int id, bool send_rst) {
   // Reinject data this subflow never got acknowledged; the receiver's
   // interval set deduplicates anything that actually arrived.
   for (auto& [data_seq, len] : sf.mappings) {
-    if (len > 0) reinject_.emplace_back(data_seq, len);
+    if (len > 0) {
+      reinject_.emplace_back(data_seq, len);
+      if (auto* o = sim_.obs()) {
+        o->count(o->ids().mptcp_reinjects);
+        o->record(sim_.now(), obs::FlightEventType::kReinject,
+                  static_cast<std::uint8_t>(id), 0, data_seq, len);
+      }
+    }
   }
   sf.mappings.clear();
   // Single-Path mode: open the other subflow now (break-before-make).

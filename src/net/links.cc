@@ -9,13 +9,23 @@ namespace mn {
 void DelayBox::accept(Packet p) {
   ++counters_.accepted;
   const std::uint32_t idx = pool_.put(std::move(p));
-  sim_.schedule_after(delay_, [this, idx] { forward(pool_.take(idx)); });
+  sim_.schedule_after(delay_, [this, idx] { deliver(idx); });
+}
+
+void DelayBox::deliver(std::uint32_t idx) {
+  // The DelayBox is the pipeline exit, so this is the one place a
+  // packet counts as delivered by the pipe (kPktDeliver); per-stage
+  // forwards in the middle of the pipe are not separately recorded.
+  Packet p = pool_.take(idx);
+  note_deliver(p);
+  forward(std::move(p));
 }
 
 void LossBox::accept(Packet p) {
   ++counters_.accepted;
   if (rng_.chance(loss_rate_)) {
     ++counters_.dropped;
+    note_drop(obs::DropCause::kRandomLoss, p);
     return;
   }
   forward(std::move(p));
@@ -33,6 +43,7 @@ void GilbertElliottLossBox::accept(Packet p) {
     }
     if (rng_.chance(bad_ ? spec_.loss_bad : spec_.loss_good)) {
       ++counters_.dropped;
+      note_drop(obs::DropCause::kBurstLoss, p);
       return;
     }
   }
@@ -93,8 +104,10 @@ void RateLink::accept(Packet p) {
   ++counters_.accepted;
   if (queue_.size() >= static_cast<std::size_t>(queue_limit_)) {
     ++counters_.dropped;
+    note_drop(obs::DropCause::kQueueOverflow, p);
     return;
   }
+  note_enqueue(p, static_cast<std::int64_t>(queue_.size()) + 1);
   queue_.push_back(std::move(p));
   if (!sending_) begin_head();
 }
@@ -128,8 +141,10 @@ void TraceLink::accept(Packet p) {
   ++counters_.accepted;
   if (queue_.size() >= static_cast<std::size_t>(queue_limit_)) {
     ++counters_.dropped;
+    note_drop(obs::DropCause::kQueueOverflow, p);
     return;
   }
+  note_enqueue(p, static_cast<std::int64_t>(queue_.size()) + 1);
   queue_.push_back(std::move(p));
   arm_drain();
 }

@@ -80,6 +80,13 @@ class PacketStage {
   virtual void accept(Packet p) = 0;
   void set_next(PacketHandler next) { next_ = std::move(next); }
 
+  /// Bind the stage to its simulator for observability: drops, enqueues
+  /// and deliveries then reach the hub installed with
+  /// Simulator::set_obs (each note_* is a branch on null when no hub
+  /// is).  OneWayPipe attaches every stage it owns; stages constructed
+  /// directly in tests/benches may leave this unset.
+  void attach_obs(const Simulator& sim) { obs_sim_ = &sim; }
+
   [[nodiscard]] const StageCounters& counters() const { return counters_; }
   /// Packets accepted but neither delivered nor dropped yet (queued or
   /// in flight inside the stage).  Every stage maintains the invariant
@@ -92,10 +99,28 @@ class PacketStage {
     ++counters_.delivered;
     if (next_) next_(std::move(p));
   }
+  /// The installed hub, or null (stage unbound, or no hub on the sim).
+  [[nodiscard]] obs::ObsHub* obs() const {
+    return obs_sim_ != nullptr ? obs_sim_->obs() : nullptr;
+  }
+  /// Canonical drop accounting: every drop site in a stage calls this
+  /// exactly once with its cause, right where ++counters_.dropped
+  /// happens — the obs per-cause counters stay reconcilable with the
+  /// stage counters.
+  void note_drop(obs::DropCause cause, const Packet& p) {
+    if (auto* o = obs()) o->packet_dropped(obs_sim_->now(), cause, p.wire_bytes());
+  }
+  void note_enqueue(const Packet& p, std::int64_t depth) {
+    if (auto* o = obs()) o->packet_enqueued(obs_sim_->now(), p.wire_bytes(), depth);
+  }
+  void note_deliver(const Packet& p) {
+    if (auto* o = obs()) o->packet_delivered(obs_sim_->now(), p.wire_bytes());
+  }
   StageCounters counters_;
 
  private:
   PacketHandler next_;
+  const Simulator* obs_sim_ = nullptr;
 };
 
 /// Constant one-way propagation delay.
@@ -113,6 +138,8 @@ class DelayBox final : public PacketStage {
   [[nodiscard]] std::int64_t queued_packets() const override { return pool_.in_flight(); }
 
  private:
+  void deliver(std::uint32_t idx);
+
   Simulator& sim_;
   Duration delay_;
   FlightPool pool_;

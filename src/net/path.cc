@@ -2,7 +2,7 @@
 
 namespace mn {
 
-OneWayPipe::OneWayPipe(Simulator& sim, const LinkSpec& spec) {
+OneWayPipe::OneWayPipe(Simulator& sim, const LinkSpec& spec) : sim_(sim) {
   if (spec.trace) {
     link_ = std::make_unique<TraceLink>(sim, spec.trace, spec.queue_packets);
   } else {
@@ -26,11 +26,21 @@ OneWayPipe::OneWayPipe(Simulator& sim, const LinkSpec& spec) {
   } else {
     entry_ = burst_.get();
   }
+  // Every owned stage reports to the hub installed on this simulator
+  // (if any): the per-cause drop counters below each drop site stay in
+  // lock-step with the stage counters the soak invariants check.
+  burst_->attach_obs(sim);
+  if (loss_) loss_->attach_obs(sim);
+  link_->attach_obs(sim);
+  delay_->attach_obs(sim);
 }
 
 void OneWayPipe::send(Packet p) {
   if (blackholed_) {
     ++blackholed_drops_;
+    if (auto* o = sim_.obs()) {
+      o->packet_dropped(sim_.now(), obs::DropCause::kBlackhole, p.wire_bytes());
+    }
     return;
   }
   entry_->accept(std::move(p));
@@ -88,16 +98,30 @@ NetworkInterface::NetworkInterface(std::string name, Simulator& sim, DuplexPath&
       path_(path),
       reports_carrier_loss_(reports_carrier_loss) {
   path_.set_client_receiver([this](Packet p) {
-    if (!up_) return;  // radio is off/unplugged: nothing arrives
+    if (!up_) {  // radio is off/unplugged: nothing arrives
+      ++rx_dropped_down_;
+      note_down_drop(p);
+      return;
+    }
     if (tap_) tap_(sim_.now(), PacketDir::kReceived, p);
     if (receiver_) receiver_(std::move(p));
   });
 }
 
 void NetworkInterface::send(Packet p) {
-  if (!up_) return;
+  if (!up_) {
+    ++tx_dropped_down_;
+    note_down_drop(p);
+    return;
+  }
   if (tap_) tap_(sim_.now(), PacketDir::kSent, p);
   path_.send_up(std::move(p));
+}
+
+void NetworkInterface::note_down_drop(const Packet& p) {
+  if (auto* o = sim_.obs()) {
+    o->packet_dropped(sim_.now(), obs::DropCause::kIfaceDown, p.wire_bytes());
+  }
 }
 
 void NetworkInterface::set_receiver(PacketHandler h) { receiver_ = std::move(h); }

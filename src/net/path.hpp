@@ -80,6 +80,7 @@ class OneWayPipe {
   [[nodiscard]] bool counters_consistent() const;
 
  private:
+  Simulator& sim_;
   std::unique_ptr<GilbertElliottLossBox> burst_;  // pass-through until enabled
   std::unique_ptr<LossBox> loss_;       // null when loss_rate == 0
   std::unique_ptr<PacketStage> link_;   // RateLink or TraceLink
@@ -159,14 +160,24 @@ class NetworkInterface {
   void unplug();
   void plug_in();
 
+  /// Packets discarded because the interface was down — outbound sends
+  /// and inbound deliveries respectively.  These were the stack's only
+  /// silently uncounted drop paths; the obs drop.iface_down counter and
+  /// these totals move together.
+  [[nodiscard]] std::uint64_t tx_dropped_down() const { return tx_dropped_down_; }
+  [[nodiscard]] std::uint64_t rx_dropped_down() const { return rx_dropped_down_; }
+
  private:
   void set_state(bool up, bool notify);
+  void note_down_drop(const Packet& p);
 
   std::string name_;
   Simulator& sim_;
   DuplexPath& path_;
   bool reports_carrier_loss_;
   bool up_ = true;
+  std::uint64_t tx_dropped_down_ = 0;
+  std::uint64_t rx_dropped_down_ = 0;
   PacketHandler receiver_;
   InterfaceTap tap_;
   std::vector<std::function<void(bool)>> listeners_;

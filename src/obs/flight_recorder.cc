@@ -1,0 +1,142 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace mn::obs {
+namespace {
+
+constexpr char kMagic[] = "MNFR1\n";
+constexpr std::size_t kMagicLen = 6;
+constexpr std::size_t kRecordBytes = 32;
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint64_t get_u64(const std::string& in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[at + i])) << (8 * i);
+  }
+  return v;
+}
+
+void put_record(std::string& out, const FlightEvent& e) {
+  put_u64(out, static_cast<std::uint64_t>(e.t_usec));
+  out.push_back(static_cast<char>(e.type));
+  out.push_back(static_cast<char>(e.arg8));
+  out.push_back(static_cast<char>(e.arg16 & 0xFF));
+  out.push_back(static_cast<char>(e.arg16 >> 8));
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((e.arg32 >> (8 * i)) & 0xFF));
+  put_u64(out, static_cast<std::uint64_t>(e.v1));
+  put_u64(out, static_cast<std::uint64_t>(e.v2));
+}
+
+FlightEvent get_record(const std::string& in, std::size_t at) {
+  FlightEvent e;
+  e.t_usec = static_cast<std::int64_t>(get_u64(in, at));
+  e.type = static_cast<FlightEventType>(static_cast<unsigned char>(in[at + 8]));
+  e.arg8 = static_cast<std::uint8_t>(in[at + 9]);
+  e.arg16 = static_cast<std::uint16_t>(static_cast<unsigned char>(in[at + 10]) |
+                                       (static_cast<unsigned char>(in[at + 11]) << 8));
+  e.arg32 = 0;
+  for (int i = 0; i < 4; ++i) {
+    e.arg32 |= static_cast<std::uint32_t>(static_cast<unsigned char>(in[at + 12 + i]))
+               << (8 * i);
+  }
+  e.v1 = static_cast<std::int64_t>(get_u64(in, at + 16));
+  e.v2 = static_cast<std::int64_t>(get_u64(in, at + 24));
+  return e;
+}
+
+}  // namespace
+
+const char* flight_event_name(FlightEventType type) {
+  switch (type) {
+    case FlightEventType::kEventSchedule: return "event_schedule";
+    case FlightEventType::kEventFire: return "event_fire";
+    case FlightEventType::kEventCancel: return "event_cancel";
+    case FlightEventType::kPktEnqueue: return "pkt_enqueue";
+    case FlightEventType::kPktDrop: return "pkt_drop";
+    case FlightEventType::kPktDeliver: return "pkt_deliver";
+    case FlightEventType::kCwndUpdate: return "cwnd_update";
+    case FlightEventType::kRttSample: return "rtt_sample";
+    case FlightEventType::kRtoFire: return "rto_fire";
+    case FlightEventType::kRetransmit: return "retransmit";
+    case FlightEventType::kSchedGrant: return "sched_grant";
+    case FlightEventType::kReinject: return "reinject";
+    case FlightEventType::kFaultArm: return "fault_arm";
+    case FlightEventType::kFaultFire: return "fault_fire";
+    case FlightEventType::kRadioState: return "radio_state";
+    case FlightEventType::kMarker: return "marker";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(capacity > 0 ? capacity : 1) {}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::vector<FlightEvent> out;
+  out.reserve(count_);
+  const std::size_t start = count_ < ring_.size() ? 0 : head_;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::serialize() const {
+  std::string out;
+  out.reserve(kMagicLen + 16 + count_ * kRecordBytes);
+  out.append(kMagic, kMagicLen);
+  put_u64(out, count_);
+  put_u64(out, overwritten_);
+  for (const FlightEvent& e : events()) put_record(out, e);
+  return out;
+}
+
+std::vector<FlightEvent> FlightRecorder::parse(const std::string& bytes,
+                                               std::uint64_t* overwritten) {
+  if (bytes.size() < kMagicLen + 16 ||
+      std::memcmp(bytes.data(), kMagic, kMagicLen) != 0) {
+    throw std::runtime_error("FlightRecorder: bad dump magic");
+  }
+  const std::uint64_t count = get_u64(bytes, kMagicLen);
+  if (bytes.size() != kMagicLen + 16 + count * kRecordBytes) {
+    throw std::runtime_error("FlightRecorder: truncated dump (" +
+                             std::to_string(bytes.size()) + " bytes for " +
+                             std::to_string(count) + " events)");
+  }
+  if (overwritten != nullptr) *overwritten = get_u64(bytes, kMagicLen + 8);
+  std::vector<FlightEvent> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(get_record(bytes, kMagicLen + 16 + i * kRecordBytes));
+  }
+  return out;
+}
+
+std::string flight_events_text(const std::vector<FlightEvent>& events) {
+  std::string out;
+  for (const FlightEvent& e : events) {
+    out += std::to_string(e.t_usec) + " " + flight_event_name(e.type) +
+           " a8=" + std::to_string(e.arg8) + " a32=" + std::to_string(e.arg32) +
+           " v1=" + std::to_string(e.v1) + " v2=" + std::to_string(e.v2) + "\n";
+  }
+  return out;
+}
+
+std::string FlightRecorder::to_text() const { return flight_events_text(events()); }
+
+void FlightRecorder::dump(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("FlightRecorder: cannot write " + path);
+  const std::string bytes = serialize();
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("FlightRecorder: write failed: " + path);
+}
+
+}  // namespace mn::obs

@@ -1,0 +1,103 @@
+// Flight recorder: a fixed-size overwriting ring of compact binary
+// events, the post-mortem substrate for watchdog trips and assertion
+// failures.
+//
+// Recording is allocation-free and O(1): the ring is sized once at
+// construction and a record is a struct store plus index arithmetic;
+// when full, the oldest event is overwritten (like an aircraft FDR, the
+// last N events before the incident are what matter).  The chaos-soak
+// harness serializes the ring into its run report when a watchdog
+// trips, and tests/tools parse it back with FlightRecorder::parse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mn::obs {
+
+/// Event taxonomy across the whole stack.  Values are part of the dump
+/// format: append only, never renumber.
+enum class FlightEventType : std::uint8_t {
+  kEventSchedule = 0,  // arg32=seq, v1=fire-at usec
+  kEventFire = 1,      // arg32=seq
+  kEventCancel = 2,
+  kPktEnqueue = 3,     // v1=wire bytes, v2=queue depth after
+  kPktDrop = 4,        // arg8=DropCause, v1=wire bytes
+  kPktDeliver = 5,     // v1=wire bytes
+  kCwndUpdate = 6,     // arg8=subflow, v1=cwnd bytes, v2=ssthresh bytes
+  kRttSample = 7,      // arg8=subflow, v1=sample usec, v2=srtt usec
+  kRtoFire = 8,        // arg8=subflow, v1=backoff, v2=rto usec
+  kRetransmit = 9,     // arg8=subflow, v1=seq, v2=len
+  kSchedGrant = 10,    // arg8=subflow, v1=data_seq, v2=bytes
+  kReinject = 11,      // arg8=source subflow, v1=data_seq, v2=len
+  kFaultArm = 12,      // arg8=FaultKind, v1=fire-at usec
+  kFaultFire = 13,     // arg8=FaultKind, arg32=1 when skipped
+  kRadioState = 14,    // arg8=radio id, arg32=state (0 idle/1 active/2 tail)
+  kMarker = 15,        // free-form: arg32 + v1/v2 caller-defined
+};
+
+[[nodiscard]] const char* flight_event_name(FlightEventType type);
+
+/// One 32-byte record.  Fields are generic slots; their meaning per
+/// type is documented on FlightEventType.
+struct FlightEvent {
+  std::int64_t t_usec = 0;
+  FlightEventType type = FlightEventType::kMarker;
+  std::uint8_t arg8 = 0;
+  std::uint16_t arg16 = 0;
+  std::uint32_t arg32 = 0;
+  std::int64_t v1 = 0;
+  std::int64_t v2 = 0;
+};
+
+class FlightRecorder {
+ public:
+  /// `capacity` = max retained events (>= 1); older events overwrite.
+  explicit FlightRecorder(std::size_t capacity);
+
+  /// O(1), allocation-free.  Overwrites the oldest event when full.
+  void record(const FlightEvent& e) {
+    ring_[head_] = e;
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    if (count_ < ring_.size()) {
+      ++count_;
+    } else {
+      ++overwritten_;
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  /// Events lost to ring wrap-around since construction.
+  [[nodiscard]] std::uint64_t overwritten() const { return overwritten_; }
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<FlightEvent> events() const;
+
+  /// Binary dump: "MNFR1\n" magic, little-endian u64 count + overwritten
+  /// count, then 32-byte packed records oldest-first.
+  [[nodiscard]] std::string serialize() const;
+  /// Parse a serialize() dump; throws std::runtime_error on bad magic or
+  /// a truncated body.  Returns events oldest-first (plus the recorded
+  /// overwritten count via the out-param, if non-null).
+  [[nodiscard]] static std::vector<FlightEvent> parse(const std::string& bytes,
+                                                      std::uint64_t* overwritten = nullptr);
+
+  /// Human-readable rendering, one line per event (diagnostics/tests).
+  [[nodiscard]] std::string to_text() const;
+
+  /// Write serialize() to a file; throws std::runtime_error on I/O error.
+  void dump(const std::string& path) const;
+
+ private:
+  std::vector<FlightEvent> ring_;
+  std::size_t head_ = 0;   // next write position
+  std::size_t count_ = 0;  // retained (<= capacity)
+  std::uint64_t overwritten_ = 0;
+};
+
+/// Render parsed events as to_text() does (shared by tools and tests).
+[[nodiscard]] std::string flight_events_text(const std::vector<FlightEvent>& events);
+
+}  // namespace mn::obs

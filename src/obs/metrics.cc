@@ -1,0 +1,166 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mn::obs {
+
+MetricsRegistry::MetricsRegistry()
+    : hists_(std::make_unique<Histogram[]>(kMaxHistograms)) {}
+
+MetricId MetricsRegistry::add_metric(std::string name, MetricKind kind) {
+  if (count_ == kMaxMetrics) {
+    throw std::length_error("MetricsRegistry: metric capacity exhausted");
+  }
+  if (kind == MetricKind::kHistogram && hist_count_ == kMaxHistograms) {
+    throw std::length_error("MetricsRegistry: histogram capacity exhausted");
+  }
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (meta_[i].name == name) {
+      throw std::invalid_argument("MetricsRegistry: duplicate metric: " + name);
+    }
+  }
+  const auto id = static_cast<MetricId>(count_++);
+  meta_[id] = Meta{std::move(name), kind};
+  if (kind == MetricKind::kHistogram) {
+    hist_index_[id] = static_cast<std::uint32_t>(hist_count_++);
+  }
+  return id;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.entries.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    SnapshotEntry e;
+    e.name = meta_[i].name;
+    e.kind = meta_[i].kind;
+    if (e.kind == MetricKind::kHistogram) {
+      const Histogram& h = hists_[hist_index_[i]];
+      e.hist.count = h.count;
+      e.hist.sum = h.sum;
+      for (std::uint32_t b = 0; b < kHistBuckets; ++b) {
+        if (h.buckets[b] != 0) e.hist.buckets.emplace_back(b, h.buckets[b]);
+      }
+    } else {
+      e.value = values_[i];
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) { return a.name < b.name; });
+  return snap;
+}
+
+const SnapshotEntry* MetricsSnapshot::find(std::string_view name) const {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const SnapshotEntry& e, std::string_view n) { return e.name < n; });
+  if (it == entries.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+std::int64_t MetricsSnapshot::value_of(std::string_view name, std::int64_t fallback) const {
+  const SnapshotEntry* e = find(name);
+  return e != nullptr ? e->value : fallback;
+}
+
+std::int64_t MetricsSnapshot::sum_with_prefix(std::string_view prefix) const {
+  std::int64_t total = 0;
+  for (const SnapshotEntry& e : entries) {
+    if (e.kind != MetricKind::kHistogram && e.name.starts_with(prefix)) total += e.value;
+  }
+  return total;
+}
+
+namespace {
+
+void merge_hist(HistogramData& into, const HistogramData& from) {
+  // Two sparse ascending bucket lists -> one merged ascending list.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> merged;
+  merged.reserve(into.buckets.size() + from.buckets.size());
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < into.buckets.size() || b < from.buckets.size()) {
+    if (b == from.buckets.size() ||
+        (a < into.buckets.size() && into.buckets[a].first < from.buckets[b].first)) {
+      merged.push_back(into.buckets[a++]);
+    } else if (a == into.buckets.size() || from.buckets[b].first < into.buckets[a].first) {
+      merged.push_back(from.buckets[b++]);
+    } else {
+      merged.emplace_back(into.buckets[a].first,
+                          into.buckets[a].second + from.buckets[b].second);
+      ++a;
+      ++b;
+    }
+  }
+  into.buckets = std::move(merged);
+  into.count += from.count;
+  into.sum += from.sum;
+}
+
+}  // namespace
+
+void MetricsSnapshot::merge_from(const MetricsSnapshot& other) {
+  for (const SnapshotEntry& oe : other.entries) {
+    const auto it = std::lower_bound(
+        entries.begin(), entries.end(), oe.name,
+        [](const SnapshotEntry& e, const std::string& n) { return e.name < n; });
+    if (it == entries.end() || it->name != oe.name) {
+      entries.insert(it, oe);
+      continue;
+    }
+    switch (oe.kind) {
+      case MetricKind::kCounter:
+        it->value += oe.value;
+        break;
+      case MetricKind::kGauge:
+        it->value = std::max(it->value, oe.value);
+        break;
+      case MetricKind::kHistogram:
+        merge_hist(it->hist, oe.hist);
+        break;
+    }
+  }
+}
+
+std::string MetricsSnapshot::prometheus_text() const {
+  // Prometheus metric names use underscores, not dots.
+  const auto flat = [](std::string name) {
+    for (char& c : name) {
+      if (c == '.' || c == '-') c = '_';
+    }
+    return name;
+  };
+  std::string out;
+  for (const SnapshotEntry& e : entries) {
+    const std::string name = flat(e.name);
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(e.value) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + std::to_string(e.value) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (const auto& [bucket, count] : e.hist.buckets) {
+          cumulative += count;
+          const std::int64_t le = MetricsRegistry::bucket_floor(bucket + 1) - 1;
+          out += name + "_bucket{le=\"" + std::to_string(le) + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(e.hist.count) + "\n";
+        out += name + "_sum " + std::to_string(e.hist.sum) + "\n";
+        out += name + "_count " + std::to_string(e.hist.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mn::obs

@@ -1,0 +1,166 @@
+// Fixed-capacity metrics registry: named counters, gauges, and
+// log-linear (HDR-style) histograms.
+//
+// The contract that makes this usable inside the event engine's hot
+// path: *registration* may allocate (it happens once, at setup), but
+// *recording* never does — a counter add is one array store, a
+// histogram observation is a bit-scan plus two array stores.  The
+// registry is deliberately single-threaded; parallel campaign/soak
+// workers each own a private registry and the serial reduction merges
+// their MetricsSnapshots in plan order, so campaign output stays
+// bit-identical at any MN_THREADS value (the same plan/execute split
+// that made the runner deterministic).
+//
+// Histogram buckets are log-linear: values below 2^kSubBucketBits get
+// one bucket each; above that, every power-of-two octave is split into
+// 2^kSubBucketBits linear sub-buckets.  Relative error is bounded by
+// 2^-kSubBucketBits (12.5%) at any magnitude — the HDR-histogram scheme,
+// sized for int64 microsecond/byte values.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mn::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Dense handle into a registry; obtained at registration time and
+/// cached by the instrumented component (never look up by name on the
+/// record path).
+using MetricId = std::uint32_t;
+
+class MetricsRegistry;
+
+/// A histogram's merged/exported form: sparse (index, count) pairs in
+/// ascending bucket order plus total count and sum.
+struct HistogramData {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+};
+
+/// One exported metric.  `value` is meaningful for counters and gauges,
+/// `hist` for histograms.
+struct SnapshotEntry {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::int64_t value = 0;
+  HistogramData hist;
+};
+
+/// A detached, order-stable copy of a registry's state.  Entries are
+/// sorted by name, so two snapshots with the same contents serialize to
+/// byte-identical text regardless of registration order — the basis of
+/// the cross-thread determinism tests.
+struct MetricsSnapshot {
+  std::vector<SnapshotEntry> entries;  // invariant: sorted by name
+
+  [[nodiscard]] const SnapshotEntry* find(std::string_view name) const;
+  /// Counter/gauge value by name; `fallback` when absent.
+  [[nodiscard]] std::int64_t value_of(std::string_view name,
+                                      std::int64_t fallback = 0) const;
+  /// Sum of every counter/gauge whose name starts with `prefix`
+  /// (e.g. "drop." for total drops across causes).
+  [[nodiscard]] std::int64_t sum_with_prefix(std::string_view prefix) const;
+
+  /// Deterministic merge: counters and histograms add, gauges take the
+  /// max (a gauge like "util.inplace_heap_fallbacks" is a process-wide
+  /// high-water mark, not a per-run delta).  Entries absent on one side
+  /// are copied.  Merging A then B equals merging in any grouping as
+  /// long as the *sequence* order is fixed — the campaign reduces in
+  /// plan order.
+  void merge_from(const MetricsSnapshot& other);
+
+  /// Prometheus text exposition (one "# TYPE" line per metric;
+  /// histograms emit cumulative _bucket{le=...} series plus _sum and
+  /// _count).  Deterministic byte-for-byte for equal snapshots.
+  [[nodiscard]] std::string prometheus_text() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Fixed capacity: at most this many metrics, of which at most
+  /// kMaxHistograms histograms.  Exceeding either throws at
+  /// *registration* time — never at record time.
+  static constexpr std::size_t kMaxMetrics = 192;
+  static constexpr std::size_t kMaxHistograms = 16;
+  static constexpr std::uint32_t kSubBucketBits = 3;  // 8 sub-buckets/octave
+  static constexpr std::uint32_t kSubBuckets = 1u << kSubBucketBits;
+  static constexpr std::uint32_t kHistBuckets = (64 - kSubBucketBits)
+                                               << kSubBucketBits;
+
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register a metric; throws std::length_error at capacity and
+  /// std::invalid_argument on duplicate names.  Setup-time only.
+  MetricId counter(std::string name) { return add_metric(std::move(name), MetricKind::kCounter); }
+  MetricId gauge(std::string name) { return add_metric(std::move(name), MetricKind::kGauge); }
+  MetricId histogram(std::string name) { return add_metric(std::move(name), MetricKind::kHistogram); }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  // ---- record path: pure array arithmetic, no branches on capacity ---
+  void add(MetricId id, std::int64_t delta = 1) { values_[id] += delta; }
+  void set(MetricId id, std::int64_t value) { values_[id] = value; }
+  void observe(MetricId id, std::int64_t value) {
+    Histogram& h = hists_[hist_index_[id]];
+    ++h.buckets[bucket_of(value)];
+    ++h.count;
+    h.sum += value;
+  }
+
+  [[nodiscard]] std::int64_t value(MetricId id) const { return values_[id]; }
+
+  /// Map a value to its log-linear bucket index (values < 0 clamp to 0).
+  [[nodiscard]] static std::uint32_t bucket_of(std::int64_t value) {
+    const auto v = static_cast<std::uint64_t>(value < 0 ? 0 : value);
+    if (v < kSubBuckets) return static_cast<std::uint32_t>(v);
+    const auto exp = static_cast<std::uint32_t>(63 - std::countl_zero(v));
+    return ((exp - kSubBucketBits + 1) << kSubBucketBits) +
+           static_cast<std::uint32_t>((v >> (exp - kSubBucketBits)) &
+                                      (kSubBuckets - 1));
+  }
+  /// Smallest value that lands in bucket `b` (inverse of bucket_of;
+  /// exporters label buckets with the *upper* bound, bucket_floor(b+1)-1).
+  [[nodiscard]] static std::int64_t bucket_floor(std::uint32_t b) {
+    if (b < kSubBuckets) return b;
+    const std::uint32_t octave = b >> kSubBucketBits;
+    const std::uint32_t sub = b & (kSubBuckets - 1);
+    return static_cast<std::int64_t>(
+        (static_cast<std::uint64_t>(kSubBuckets) + sub) << (octave - 1));
+  }
+
+  /// Detached copy, sorted by name.  Allocates (export path, not record
+  /// path).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  struct Meta {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+  };
+  struct Histogram {
+    std::array<std::uint64_t, kHistBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::int64_t sum = 0;
+  };
+
+  MetricId add_metric(std::string name, MetricKind kind);
+
+  std::array<Meta, kMaxMetrics> meta_;
+  std::array<std::int64_t, kMaxMetrics> values_{};
+  std::array<std::uint32_t, kMaxMetrics> hist_index_{};
+  std::unique_ptr<Histogram[]> hists_;  // pool, allocated once at construction
+  std::size_t count_ = 0;
+  std::size_t hist_count_ = 0;
+};
+
+}  // namespace mn::obs

@@ -1,0 +1,58 @@
+#include "obs/obs.hpp"
+
+#include "util/inplace_function.hpp"
+
+namespace mn::obs {
+
+const char* drop_cause_name(DropCause cause) {
+  switch (cause) {
+    case DropCause::kQueueOverflow: return "queue_overflow";
+    case DropCause::kBlackhole: return "blackhole";
+    case DropCause::kRandomLoss: return "random_loss";
+    case DropCause::kBurstLoss: return "burst_loss";
+    case DropCause::kIfaceDown: return "iface_down";
+  }
+  return "unknown";
+}
+
+ObsHub::ObsHub(std::size_t flight_capacity) {
+  ids_.sim_scheduled = reg_.counter("sim.events_scheduled");
+  ids_.sim_fired = reg_.counter("sim.events_fired");
+  ids_.sim_cancelled = reg_.counter("sim.events_cancelled");
+  ids_.pkt_enqueued = reg_.counter("net.pkt_enqueued");
+  ids_.pkt_delivered = reg_.counter("net.pkt_delivered");
+  for (std::size_t c = 0; c < kDropCauseCount; ++c) {
+    ids_.drop[c] =
+        reg_.counter(std::string{"drop."} + drop_cause_name(static_cast<DropCause>(c)));
+  }
+  ids_.tcp_retransmits = reg_.counter("tcp.retransmits");
+  ids_.tcp_rto_fires = reg_.counter("tcp.rto_fires");
+  ids_.tcp_recovery_enters = reg_.counter("tcp.recovery_enters");
+  ids_.tcp_penalizations = reg_.counter("tcp.penalizations");
+  ids_.tcp_rtt_usec = reg_.histogram("tcp.rtt_usec");
+  ids_.tcp_cwnd_bytes = reg_.histogram("tcp.cwnd_bytes");
+  ids_.mptcp_grants_sf0 = reg_.counter("mptcp.sched_grants_sf0");
+  ids_.mptcp_grants_sf1 = reg_.counter("mptcp.sched_grants_sf1");
+  ids_.mptcp_reinjects = reg_.counter("mptcp.reinjected_ranges");
+  ids_.fault_armed = reg_.counter("fault.armed");
+  ids_.fault_applied = reg_.counter("fault.applied");
+  ids_.fault_skipped = reg_.counter("fault.skipped");
+  ids_.energy_transitions = reg_.counter("energy.state_transitions");
+  ids_.energy_wifi_mj = reg_.gauge("energy.wifi_mj");
+  ids_.energy_lte_mj = reg_.gauge("energy.lte_mj");
+  ids_.inplace_heap_fallbacks = reg_.gauge("util.inplace_heap_fallbacks");
+  ids_.flight_overwritten = reg_.gauge("obs.flight_overwritten");
+  if (flight_capacity > 0) {
+    flight_ = std::make_unique<FlightRecorder>(flight_capacity);
+  }
+}
+
+MetricsSnapshot ObsHub::snapshot() {
+  reg_.set(ids_.inplace_heap_fallbacks,
+           static_cast<std::int64_t>(inplace_function_heap_fallbacks()));
+  reg_.set(ids_.flight_overwritten,
+           flight_ ? static_cast<std::int64_t>(flight_->overwritten()) : 0);
+  return reg_.snapshot();
+}
+
+}  // namespace mn::obs

@@ -1,0 +1,124 @@
+// ObsHub: the per-run observability context — one metrics registry, an
+// optional flight recorder, and the pre-registered ids of every
+// well-known metric the stack records.
+//
+// Install with Simulator::set_obs(&hub); components reach it through
+// their simulator reference, so instrumentation everywhere follows one
+// pattern:
+//
+//   if (auto* o = sim_.obs()) o->tcp_rto(sim_.now(), subflow, backoff, rto);
+//
+// With no hub installed this compiles to a single predictable branch on
+// a null pointer — BM_ObsOverhead holds the *live*-hub cost on a full
+// TCP transfer to <= 2% and the null cost to noise.  The hub is
+// single-threaded by design: parallel campaign/soak workers each build
+// a private hub (runs own all their state already), and the serial
+// reduction merges MetricsSnapshots in plan order — bit-identical
+// output at any MN_THREADS, same contract as the runner itself.
+//
+// Layering: obs sits between util and sim (util -> obs -> sim -> net
+// -> ...).  This header must not include anything above util.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "util/time.hpp"
+
+namespace mn::obs {
+
+/// Canonical packet-drop causes.  Every drop anywhere in net/ increments
+/// exactly one of these counters (the PR-4 drop audit); the chaos soak
+/// and the wiring tests reconcile them against stage counters.
+enum class DropCause : std::uint8_t {
+  kQueueOverflow = 0,  // RateLink/TraceLink DropTail queue full
+  kBlackhole = 1,      // fault-injected route blackhole
+  kRandomLoss = 2,     // Bernoulli LossBox
+  kBurstLoss = 3,      // Gilbert-Elliott bad-state loss
+  kIfaceDown = 4,      // NetworkInterface down (soft-disabled/unplugged)
+};
+constexpr std::size_t kDropCauseCount = 5;
+
+[[nodiscard]] const char* drop_cause_name(DropCause cause);
+
+class ObsHub {
+ public:
+  /// `flight_capacity` > 0 attaches a flight recorder of that many
+  /// events; 0 (default) records metrics only.
+  explicit ObsHub(std::size_t flight_capacity = 0);
+  ObsHub(const ObsHub&) = delete;
+  ObsHub& operator=(const ObsHub&) = delete;
+
+  /// Well-known metric ids, registered by the constructor so the record
+  /// path never looks anything up by name.
+  struct Ids {
+    MetricId sim_scheduled, sim_fired, sim_cancelled;
+    MetricId pkt_enqueued, pkt_delivered;
+    MetricId drop[kDropCauseCount];
+    MetricId tcp_retransmits, tcp_rto_fires, tcp_recovery_enters, tcp_penalizations;
+    MetricId tcp_rtt_usec, tcp_cwnd_bytes;  // histograms
+    MetricId mptcp_grants_sf0, mptcp_grants_sf1, mptcp_reinjects;
+    MetricId fault_armed, fault_applied, fault_skipped;
+    MetricId energy_transitions, energy_wifi_mj, energy_lte_mj;  // last two: gauges
+    MetricId inplace_heap_fallbacks;  // gauge, refreshed at snapshot time
+    MetricId flight_overwritten;      // gauge, ditto
+  };
+
+  [[nodiscard]] MetricsRegistry& metrics() { return reg_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return reg_; }
+  [[nodiscard]] const Ids& ids() const { return ids_; }
+  [[nodiscard]] FlightRecorder* flight() { return flight_.get(); }
+  [[nodiscard]] const FlightRecorder* flight() const { return flight_.get(); }
+
+  // ---- generic record paths -----------------------------------------
+  void count(MetricId id, std::int64_t delta = 1) { reg_.add(id, delta); }
+  void gauge_set(MetricId id, std::int64_t value) { reg_.set(id, value); }
+  void observe(MetricId id, std::int64_t value) { reg_.observe(id, value); }
+  void record(TimePoint t, FlightEventType type, std::uint8_t arg8, std::uint32_t arg32,
+              std::int64_t v1, std::int64_t v2 = 0) {
+    if (flight_) {
+      flight_->record(FlightEvent{t.usec(), type, arg8, 0, arg32, v1, v2});
+    }
+  }
+
+  // ---- domain helpers (inline: each is a counter add + optional ring
+  // write; called behind the caller's null check) --------------------
+  void sim_scheduled(TimePoint now, TimePoint at, std::uint64_t seq) {
+    reg_.add(ids_.sim_scheduled);
+    record(now, FlightEventType::kEventSchedule, 0, static_cast<std::uint32_t>(seq),
+           at.usec());
+  }
+  void sim_fired(TimePoint now, std::uint64_t seq) {
+    reg_.add(ids_.sim_fired);
+    record(now, FlightEventType::kEventFire, 0, static_cast<std::uint32_t>(seq), 0);
+  }
+  void sim_cancelled(TimePoint now) {
+    reg_.add(ids_.sim_cancelled);
+    record(now, FlightEventType::kEventCancel, 0, 0, 0);
+  }
+  void packet_enqueued(TimePoint now, std::int64_t wire_bytes, std::int64_t depth) {
+    reg_.add(ids_.pkt_enqueued);
+    record(now, FlightEventType::kPktEnqueue, 0, 0, wire_bytes, depth);
+  }
+  void packet_delivered(TimePoint now, std::int64_t wire_bytes) {
+    reg_.add(ids_.pkt_delivered);
+    record(now, FlightEventType::kPktDeliver, 0, 0, wire_bytes);
+  }
+  void packet_dropped(TimePoint now, DropCause cause, std::int64_t wire_bytes) {
+    reg_.add(ids_.drop[static_cast<std::size_t>(cause)]);
+    record(now, FlightEventType::kPktDrop, static_cast<std::uint8_t>(cause), 0,
+           wire_bytes);
+  }
+
+  /// Refresh process-level gauges (inplace-function heap fallbacks,
+  /// flight-ring overwrites) and return the sorted snapshot.
+  [[nodiscard]] MetricsSnapshot snapshot();
+
+ private:
+  MetricsRegistry reg_;
+  Ids ids_{};
+  std::unique_ptr<FlightRecorder> flight_;
+};
+
+}  // namespace mn::obs

@@ -1,0 +1,102 @@
+#include "obs/pcap_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace mn::obs {
+namespace {
+
+// Classic pcap, little-endian writer.
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>(v >> 8));
+}
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+// Network byte order (big-endian) for the synthetic packet bytes.
+void put_be16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v >> 8));
+  out.push_back(static_cast<char>(v & 0xFF));
+}
+void put_be32(std::string& out, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+constexpr std::uint32_t kPcapMagic = 0xa1b2c3d4;
+constexpr std::uint32_t kLinkTypeRaw = 101;  // raw IP, no link-layer header
+constexpr std::size_t kHeaderBytes = 40;     // IPv4 (20) + TCP (20)
+// Synthetic endpoints: client 10.0.0.1, server 10.0.0.2; the client's
+// port encodes the subflow so Wireshark separates the MPTCP lanes into
+// distinct TCP conversations.
+constexpr std::uint32_t kClientAddr = 0x0A000001;
+constexpr std::uint32_t kServerAddr = 0x0A000002;
+constexpr std::uint16_t kServerPort = 443;
+constexpr std::uint16_t kClientPortBase = 10000;
+
+}  // namespace
+
+std::string pcap_bytes(const std::vector<PcapPacket>& packets) {
+  std::string out;
+  out.reserve(24 + packets.size() * (16 + kHeaderBytes));
+  // Global header.
+  put_u32(out, kPcapMagic);
+  put_u16(out, 2);   // version major
+  put_u16(out, 4);   // version minor
+  put_u32(out, 0);   // thiszone
+  put_u32(out, 0);   // sigfigs
+  put_u32(out, 65535);  // snaplen
+  put_u32(out, kLinkTypeRaw);
+
+  for (const PcapPacket& p : packets) {
+    const auto total_len = static_cast<std::uint32_t>(
+        kHeaderBytes + static_cast<std::uint64_t>(std::clamp<std::int64_t>(
+                           p.payload, 0, 65535 - static_cast<std::int64_t>(kHeaderBytes))));
+    // Record header.
+    put_u32(out, static_cast<std::uint32_t>(p.t_usec / 1'000'000));
+    put_u32(out, static_cast<std::uint32_t>(p.t_usec % 1'000'000));
+    put_u32(out, kHeaderBytes);  // incl_len: headers only
+    put_u32(out, total_len);     // orig_len: true on-wire size
+
+    const std::uint16_t client_port =
+        static_cast<std::uint16_t>(kClientPortBase + p.subflow);
+    // IPv4 header (checksum 0: Wireshark accepts, flags it informational).
+    out.push_back(0x45);  // version 4, IHL 5
+    out.push_back(0);     // DSCP/ECN
+    put_be16(out, static_cast<std::uint16_t>(total_len));
+    put_be16(out, 0);       // identification
+    put_be16(out, 0x4000);  // don't fragment
+    out.push_back(64);      // TTL
+    out.push_back(6);       // protocol: TCP
+    put_be16(out, 0);       // header checksum
+    put_be32(out, p.outbound ? kClientAddr : kServerAddr);
+    put_be32(out, p.outbound ? kServerAddr : kClientAddr);
+    // TCP header.
+    put_be16(out, p.outbound ? client_port : kServerPort);
+    put_be16(out, p.outbound ? kServerPort : client_port);
+    put_be32(out, p.seq);
+    put_be32(out, p.ack_seq);
+    out.push_back(0x50);  // data offset 5 words
+    std::uint8_t flags = 0;
+    if (p.fin) flags |= 0x01;
+    if (p.syn) flags |= 0x02;
+    if (p.rst) flags |= 0x04;
+    if (p.ack) flags |= 0x10;
+    out.push_back(static_cast<char>(flags));
+    put_be16(out, 65535);  // window
+    put_be16(out, 0);      // checksum
+    put_be16(out, 0);      // urgent pointer
+  }
+  return out;
+}
+
+void write_pcap(const std::string& path, const std::vector<PcapPacket>& packets) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("pcap: cannot write " + path);
+  const std::string bytes = pcap_bytes(packets);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("pcap: write failed: " + path);
+}
+
+}  // namespace mn::obs

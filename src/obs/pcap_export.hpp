@@ -1,0 +1,38 @@
+// pcap exporter: writes classic libpcap capture files with synthetic
+// IPv4+TCP headers, so simulated packet logs open in tcpdump/Wireshark
+// next to the real traces the paper collected.
+//
+// Input is a neutral PcapPacket record rather than net/Packet — obs
+// sits *below* net in the layering (util -> obs -> sim -> net), so the
+// conversion lives with the caller (emu/PacketLog::save_pcap).  Payload
+// bytes are synthetic and not written: each frame is the 40-byte
+// IPv4+TCP header with orig_len carrying the true on-wire size, which
+// is all throughput/sequence analyses need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mn::obs {
+
+struct PcapPacket {
+  std::int64_t t_usec = 0;
+  bool outbound = true;  // client -> server
+  std::uint16_t subflow = 0;
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+  std::uint32_t seq = 0;
+  std::uint32_t ack_seq = 0;
+  std::int64_t payload = 0;  // data bytes (reported via orig_len only)
+};
+
+/// Serialize as a classic pcap byte stream (magic 0xa1b2c3d4, LINKTYPE_RAW).
+[[nodiscard]] std::string pcap_bytes(const std::vector<PcapPacket>& packets);
+
+/// Write pcap_bytes to a file; throws std::runtime_error on I/O failure.
+void write_pcap(const std::string& path, const std::vector<PcapPacket>& packets);
+
+}  // namespace mn::obs

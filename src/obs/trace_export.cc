@@ -1,0 +1,43 @@
+#include "obs/trace_export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace mn::obs {
+
+std::string chrome_trace_json(const std::vector<FlightEvent>& events) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const FlightEvent& e : events) {
+    if (!first) out += ',';
+    first = false;
+    const std::string ts = std::to_string(e.t_usec);
+    if (e.type == FlightEventType::kCwndUpdate) {
+      // One counter track per subflow: the cwnd/ssthresh evolution lanes
+      // the paper's Figure-13-style analyses need.
+      out += "{\"name\":\"cwnd sf" + std::to_string(e.arg8) +
+             "\",\"ph\":\"C\",\"ts\":" + ts + ",\"pid\":0,\"tid\":" +
+             std::to_string(e.arg8) + ",\"args\":{\"cwnd\":" + std::to_string(e.v1) +
+             ",\"ssthresh\":" + std::to_string(e.v2) + "}}";
+    } else {
+      out += "{\"name\":\"";
+      out += flight_event_name(e.type);
+      out += "\",\"ph\":\"i\",\"s\":\"g\",\"ts\":" + ts +
+             ",\"pid\":0,\"tid\":" + std::to_string(e.arg8) +
+             ",\"args\":{\"a32\":" + std::to_string(e.arg32) +
+             ",\"v1\":" + std::to_string(e.v1) + ",\"v2\":" + std::to_string(e.v2) +
+             "}}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path, const std::vector<FlightEvent>& events) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("chrome trace: cannot write " + path);
+  out << chrome_trace_json(events);
+  if (!out) throw std::runtime_error("chrome trace: write failed: " + path);
+}
+
+}  // namespace mn::obs

@@ -1,0 +1,28 @@
+// chrome://tracing exporter: renders a flight-recorder event stream as
+// a Trace Event Format JSON document (load in chrome://tracing or
+// https://ui.perfetto.dev).
+//
+// Mapping: cwnd updates become counter tracks ("C" phase, one track per
+// subflow, cwnd + ssthresh series); every other event becomes an
+// instant ("i" phase) named after its FlightEventType, with the raw
+// v1/v2 payload in args.  Timestamps are already microseconds — the
+// trace format's native unit — so simulated time maps 1:1 onto the
+// viewer's timeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+
+namespace mn::obs {
+
+/// Serialize `events` (oldest-first, e.g. FlightRecorder::events() or
+/// FlightRecorder::parse output) as chrome://tracing JSON.
+[[nodiscard]] std::string chrome_trace_json(const std::vector<FlightEvent>& events);
+
+/// Write chrome_trace_json to a file; throws std::runtime_error on I/O
+/// failure.
+void write_chrome_trace(const std::string& path, const std::vector<FlightEvent>& events);
+
+}  // namespace mn::obs

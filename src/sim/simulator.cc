@@ -42,6 +42,7 @@ void Simulator::cancel(EventId id) {
   if (++s.generation == 0) s.generation = 1;
   --live_;
   ++stale_;
+  if (obs_ != nullptr) obs_->sim_cancelled(now_);
 }
 
 /// Smallest delta k in [0, words*64) with bit (from+k) mod size set, or

@@ -46,6 +46,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/inplace_function.hpp"
 #include "util/time.hpp"
 
@@ -65,6 +66,13 @@ class Simulator {
   ~Simulator();
 
   [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Install (or clear, with nullptr) the run's observability hub.  The
+  /// engine and every component holding this simulator record through
+  /// it; with none installed each instrumentation site is a single
+  /// branch on a null pointer.  The hub must outlive the simulation.
+  void set_obs(obs::ObsHub* hub) { obs_ = hub; }
+  [[nodiscard]] obs::ObsHub* obs() const { return obs_; }
 
   /// Schedule `fn` to run at absolute time `at` (clamped to >= now).
   /// Templated so the callable is constructed directly into its slab
@@ -94,6 +102,7 @@ class Simulator {
     s.seq = next_seq_++;
     enqueue(slot, s);
     ++live_;
+    if (obs_ != nullptr) obs_->sim_scheduled(now_, at, s.seq);
     return (static_cast<EventId>(s.generation) << 32) | slot;
   }
   /// Schedule `fn` to run after `delay`.
@@ -141,6 +150,7 @@ class Simulator {
         --live_;
         now_ = TimePoint{batch_tick_};
         ++fired_;
+        if (obs_ != nullptr) obs_->sim_fired(now_, s.seq);
         // Slot addresses are stable (chunked slab) and the slot is not
         // yet on the free list, so the callback runs in place — no move
         // of the 64-byte buffer.  Anything it schedules lands in other
@@ -289,6 +299,7 @@ class Simulator {
                           std::size_t from);
 
   TimePoint now_{0};
+  obs::ObsHub* obs_ = nullptr;  // optional, not owned; null = no instrumentation
   std::int64_t cursor_ = 0;     // wheel position; invariant: cursor_ <= now_.usec()
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;

@@ -103,7 +103,14 @@ void TcpEndpoint::send_segment(std::int64_t seq, const Segment& seg, bool is_rex
   p.seq = seq;
   p.payload = seg.len;
   p.data_seq = seg.data_seq;
-  if (is_rexmit) ++retransmits_;
+  if (is_rexmit) {
+    ++retransmits_;
+    if (auto* o = sim_.obs()) {
+      o->count(o->ids().tcp_retransmits);
+      o->record(sim_.now(), obs::FlightEventType::kRetransmit,
+                static_cast<std::uint8_t>(config_.subflow_id), 0, seq, seg.len);
+    }
+  }
   transmit(std::move(p));
 }
 
@@ -199,6 +206,8 @@ void TcpEndpoint::penalize() {
   if (last_penalized_ != TimePoint{} && sim_.now() - last_penalized_ < guard) return;
   last_penalized_ = sim_.now();
   cc_->on_enter_recovery(flight_bytes_);  // halve toward the real pipe
+  if (auto* o = sim_.obs()) o->count(o->ids().tcp_penalizations);
+  note_cwnd();
 }
 
 void TcpEndpoint::on_link_up() {
@@ -331,6 +340,8 @@ void TcpEndpoint::enter_recovery() {
   cc_->on_enter_recovery(flight_bytes_);
   in_recovery_ = true;
   recover_ = snd_nxt_;
+  if (auto* o = sim_.obs()) o->count(o->ids().tcp_recovery_enters);
+  note_cwnd();
 }
 
 void TcpEndpoint::process_ack(const Packet& p) {
@@ -364,6 +375,7 @@ void TcpEndpoint::process_ack(const Packet& p) {
       if (p.ack_seq >= recover_) {
         in_recovery_ = false;
         cc_->on_exit_recovery();
+        note_cwnd();
       } else if (!outstanding_.empty() && highest_sacked_ <= snd_una_) {
         // No SACK information (tail case): NewReno partial ACK —
         // retransmit the next missing segment.
@@ -376,6 +388,7 @@ void TcpEndpoint::process_ack(const Packet& p) {
       }
     } else if (newly_data > 0) {
       cc_->on_ack(newly_data, rtt_sample);
+      note_cwnd();
     }
     if (!outstanding_.empty() || (fin_sent_ && !fin_acked_)) {
       arm_rto();
@@ -503,6 +516,12 @@ void TcpEndpoint::maybe_finish_close() {
 
 void TcpEndpoint::update_rtt(Duration sample) {
   if (sample.usec() <= 0) return;
+  if (auto* o = sim_.obs()) {
+    o->observe(o->ids().tcp_rtt_usec, sample.usec());
+    o->record(sim_.now(), obs::FlightEventType::kRttSample,
+              static_cast<std::uint8_t>(config_.subflow_id), 0, sample.usec(),
+              srtt_.usec());
+  }
   if (srtt_.usec() == 0) {
     srtt_ = sample;
     rttvar_ = Duration{sample.usec() / 2};
@@ -571,6 +590,12 @@ void TcpEndpoint::on_rto_fire() {
       return;
   }
   ++rto_events_;
+  if (auto* o = sim_.obs()) {
+    o->count(o->ids().tcp_rto_fires);
+    o->record(sim_.now(), obs::FlightEventType::kRtoFire,
+              static_cast<std::uint8_t>(config_.subflow_id), 0, rto_backoff_,
+              rto_.usec());
+  }
 #ifdef MN_TCP_DEBUG
   std::fprintf(stderr, "[%.4f] RTO conn=%llu sf=%d state=%d flight=%lld out=%zu srtt=%.0fms rto=%.0fms backoff=%d\n",
                sim_.now().seconds(), (unsigned long long)config_.connection_id, config_.subflow_id,
@@ -578,6 +603,7 @@ void TcpEndpoint::on_rto_fire() {
                srtt_.seconds()*1000, rto_.seconds()*1000, rto_backoff_);
 #endif
   cc_->on_retransmit_timeout();
+  note_cwnd();
   in_recovery_ = false;
   dupacks_ = 0;
   // Everything outstanding and un-SACKed is presumed lost.
@@ -600,9 +626,19 @@ void TcpEndpoint::on_rto_fire() {
     p.flags.fin = true;
     p.seq = fin_seq_;
     ++retransmits_;
+    if (auto* o = sim_.obs()) o->count(o->ids().tcp_retransmits);
     transmit(std::move(p));
   }
   arm_rto();
+}
+
+void TcpEndpoint::note_cwnd() {
+  if (auto* o = sim_.obs()) {
+    o->observe(o->ids().tcp_cwnd_bytes, cc_->cwnd_bytes());
+    o->record(sim_.now(), obs::FlightEventType::kCwndUpdate,
+              static_cast<std::uint8_t>(config_.subflow_id), 0, cc_->cwnd_bytes(),
+              cc_->ssthresh_bytes());
+  }
 }
 
 }  // namespace mn

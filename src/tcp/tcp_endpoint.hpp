@@ -178,6 +178,11 @@ class TcpEndpoint {
   void on_probe_fire();
   void update_rtt(Duration sample);
 
+  // -- observability --
+  /// Record the congestion state (cwnd/ssthresh) after any transition
+  /// that changed it: ack growth, recovery entry/exit, RTO, penalize.
+  void note_cwnd();
+
   Simulator& sim_;
   TcpConfig config_;
   std::unique_ptr<CongestionController> cc_;

@@ -102,5 +102,59 @@ TEST(PacketLog, TapIntegratesWithInterface) {
   EXPECT_EQ(log.bytes_received_by("wifi", TimePoint{sec(1).usec()}), 700);
 }
 
+TEST(PacketLog, BoundedCapacityEvictsOldestFirst) {
+  PacketLog log;
+  log.set_capacity(3);
+  EXPECT_EQ(log.capacity(), 3u);
+  for (int i = 0; i < 5; ++i) {
+    log.record("wifi", TimePoint{i * 1000}, PacketDir::kSent, data_packet(i, 100));
+  }
+  // The newest window survives, oldest-first eviction.
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.evicted(), 2u);
+  EXPECT_EQ(log.entries()[0].seq, 2);
+  EXPECT_EQ(log.entries()[1].seq, 3);
+  EXPECT_EQ(log.entries()[2].seq, 4);
+}
+
+TEST(PacketLog, ShrinkingCapacityEvictsImmediately) {
+  PacketLog log;
+  for (int i = 0; i < 6; ++i) {
+    log.record("lte", TimePoint{i}, PacketDir::kSent, data_packet(i, 1));
+  }
+  log.set_capacity(2);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.evicted(), 4u);
+  EXPECT_EQ(log.entries()[0].seq, 4);
+  // Capacity 0 returns to unbounded growth.
+  log.set_capacity(0);
+  log.record("lte", TimePoint{100}, PacketDir::kSent, data_packet(7, 1));
+  log.record("lte", TimePoint{101}, PacketDir::kSent, data_packet(8, 1));
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.evicted(), 4u);
+}
+
+TEST(PacketLog, ExportsPcap) {
+  PacketLog log;
+  Packet syn;
+  syn.flags.syn = true;
+  log.record("wifi", TimePoint{1000}, PacketDir::kSent, syn);
+  log.record("wifi", TimePoint{2000}, PacketDir::kReceived, data_packet(1, 1448));
+
+  const auto pcap = log.to_pcap();
+  ASSERT_EQ(pcap.size(), 2u);
+  EXPECT_TRUE(pcap[0].outbound);
+  EXPECT_TRUE(pcap[0].syn);
+  EXPECT_FALSE(pcap[1].outbound);
+  EXPECT_EQ(pcap[1].payload, 1448);
+
+  const std::string path = ::testing::TempDir() + "packet_log_test.pcap";
+  log.save_pcap(path);
+  std::error_code ec;
+  EXPECT_GE(std::filesystem::file_size(path, ec), 24u + 2u * 16u);
+  EXPECT_FALSE(ec);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace mn

@@ -1,0 +1,183 @@
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/pcap_export.hpp"
+#include "obs/trace_export.hpp"
+
+namespace mn::obs {
+namespace {
+
+FlightEvent make_event(std::int64_t t, FlightEventType type, std::uint8_t arg8 = 0,
+                       std::uint32_t arg32 = 0, std::int64_t v1 = 0,
+                       std::int64_t v2 = 0) {
+  FlightEvent e;
+  e.t_usec = t;
+  e.type = type;
+  e.arg8 = arg8;
+  e.arg32 = arg32;
+  e.v1 = v1;
+  e.v2 = v2;
+  return e;
+}
+
+TEST(FlightRecorder, ReturnsEventsOldestFirst) {
+  FlightRecorder fr{8};
+  fr.record(make_event(10, FlightEventType::kEventFire, 0, 1));
+  fr.record(make_event(20, FlightEventType::kPktDrop, 2, 0, 1488));
+  fr.record(make_event(30, FlightEventType::kCwndUpdate, 1, 0, 14480, 7240));
+
+  const auto events = fr.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].t_usec, 10);
+  EXPECT_EQ(events[1].type, FlightEventType::kPktDrop);
+  EXPECT_EQ(events[2].v2, 7240);
+  EXPECT_EQ(fr.overwritten(), 0u);
+}
+
+TEST(FlightRecorder, OverwritesOldestWhenFull) {
+  FlightRecorder fr{4};
+  for (int i = 1; i <= 6; ++i) {
+    fr.record(make_event(i, FlightEventType::kMarker, 0, static_cast<std::uint32_t>(i)));
+  }
+  EXPECT_EQ(fr.size(), 4u);
+  EXPECT_EQ(fr.overwritten(), 2u);
+  const auto events = fr.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Events 1 and 2 were overwritten; 3..6 remain, oldest first.
+  EXPECT_EQ(events.front().t_usec, 3);
+  EXPECT_EQ(events.back().t_usec, 6);
+}
+
+TEST(FlightRecorder, SerializeParseRoundTrip) {
+  FlightRecorder fr{4};
+  for (int i = 1; i <= 6; ++i) {
+    fr.record(make_event(i * 100, FlightEventType::kRttSample, 1,
+                         static_cast<std::uint32_t>(i), i * 1000, i * 2000));
+  }
+  const std::string bytes = fr.serialize();
+  std::uint64_t overwritten = 0;
+  const auto parsed = FlightRecorder::parse(bytes, &overwritten);
+  EXPECT_EQ(overwritten, 2u);
+  ASSERT_EQ(parsed.size(), 4u);
+  EXPECT_EQ(parsed[0].t_usec, 300);
+  EXPECT_EQ(parsed[3].type, FlightEventType::kRttSample);
+  EXPECT_EQ(parsed[3].arg8, 1);
+  EXPECT_EQ(parsed[3].arg32, 6u);
+  EXPECT_EQ(parsed[3].v1, 6000);
+  EXPECT_EQ(parsed[3].v2, 12000);
+}
+
+TEST(FlightRecorder, ParseRejectsBadMagicAndTruncation) {
+  FlightRecorder fr{2};
+  fr.record(make_event(1, FlightEventType::kMarker));
+  const std::string bytes = fr.serialize();
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_THROW((void)FlightRecorder::parse(bad_magic), std::runtime_error);
+
+  const std::string truncated = bytes.substr(0, bytes.size() - 5);
+  EXPECT_THROW((void)FlightRecorder::parse(truncated), std::runtime_error);
+
+  EXPECT_THROW((void)FlightRecorder::parse(""), std::runtime_error);
+}
+
+TEST(FlightRecorder, DumpWritesParseableFile) {
+  FlightRecorder fr{16};
+  fr.record(make_event(42, FlightEventType::kFaultFire, 3));
+  const std::string path = ::testing::TempDir() + "flight_dump_test.mnfr";
+  fr.dump(path);
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  const auto parsed = FlightRecorder::parse(bytes);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].t_usec, 42);
+  EXPECT_EQ(parsed[0].type, FlightEventType::kFaultFire);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, TextRenderingNamesEveryEvent) {
+  FlightRecorder fr{8};
+  fr.record(make_event(1, FlightEventType::kPktDrop, 2, 0, 1488));
+  fr.record(make_event(2, FlightEventType::kRtoFire, 0, 0, 1, 200000));
+  const std::string text = fr.to_text();
+  EXPECT_NE(text.find(flight_event_name(FlightEventType::kPktDrop)), std::string::npos);
+  EXPECT_NE(text.find(flight_event_name(FlightEventType::kRtoFire)), std::string::npos);
+  EXPECT_EQ(text, flight_events_text(fr.events()));
+}
+
+TEST(TraceExport, ChromeTraceEmitsCounterAndInstantPhases) {
+  std::vector<FlightEvent> events;
+  events.push_back(make_event(1000, FlightEventType::kCwndUpdate, 1, 0, 14480, 7240));
+  events.push_back(make_event(2000, FlightEventType::kPktDrop, 0, 0, 1488));
+
+  const std::string json = chrome_trace_json(events);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);  // cwnd counter track
+  EXPECT_NE(json.find("\"cwnd sf1\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // drop instant
+  // Valid JSON bracket balance (cheap sanity check, not a parser).
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(TraceExport, WriteChromeTraceCreatesFile) {
+  std::vector<FlightEvent> events{make_event(5, FlightEventType::kMarker)};
+  const std::string path = ::testing::TempDir() + "trace_test.json";
+  write_chrome_trace(path, events);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("traceEvents"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(PcapExport, EmitsClassicPcapStructure) {
+  std::vector<PcapPacket> packets;
+  PcapPacket p;
+  p.t_usec = 1'500'000;
+  p.outbound = true;
+  p.syn = true;
+  p.seq = 0;
+  packets.push_back(p);
+  p.t_usec = 1'600'000;
+  p.outbound = false;
+  p.syn = true;
+  p.ack = true;
+  p.payload = 1448;
+  packets.push_back(p);
+
+  const std::string bytes = pcap_bytes(packets);
+  // 24-byte global header + 2 * (16-byte record header + 40-byte frame).
+  ASSERT_EQ(bytes.size(), 24u + 2u * (16u + 40u));
+  const auto u32 = [&bytes](std::size_t off) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[off])) |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[off + 1])) << 8 |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[off + 2])) << 16 |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[off + 3])) << 24;
+  };
+  EXPECT_EQ(u32(0), 0xa1b2c3d4u);  // magic, little-endian writer
+  EXPECT_EQ(u32(20), 101u);        // LINKTYPE_RAW
+  // First record: ts_sec=1, ts_usec=500000, incl_len=40, orig_len=40.
+  EXPECT_EQ(u32(24), 1u);
+  EXPECT_EQ(u32(28), 500'000u);
+  EXPECT_EQ(u32(32), 40u);
+  EXPECT_EQ(u32(36), 40u);
+  // Second record's orig_len carries the payload: 40 + 1448.
+  EXPECT_EQ(u32(24 + 16 + 40 + 12), 40u + 1448u);
+  // IPv4 version/IHL nibble of the first frame.
+  EXPECT_EQ(static_cast<unsigned char>(bytes[40]), 0x45u);
+}
+
+}  // namespace
+}  // namespace mn::obs
