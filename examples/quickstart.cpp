@@ -12,6 +12,7 @@
 #include "emu/packet_log.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace_export.hpp"
+#include "store/run_store.hpp"
 
 int main() {
   using namespace mn;
@@ -85,6 +86,28 @@ int main() {
     obs::write_chrome_trace("quickstart_trace.json", hub.flight()->events());
     log.save_pcap("quickstart.pcap");
     // Full dump, scrapeable format: std::cout << snap.prometheus_text();
+  }
+
+  // 5. The result store: memoize a flow-size sweep on disk.  The first
+  //    sweep simulates every point and appends it to quickstart_store/;
+  //    the second replays from cache without simulating anything.  Kill
+  //    the process mid-sweep and rerun: completed points are kept and
+  //    only the missing ones execute (crash-resume).  Inspect with
+  //    ./build/tools/mn_store verify quickstart_store
+  {
+    store::RunStore cache{"quickstart_store"};
+    SweepOptions sweep;
+    sweep.store = &cache;
+    const std::vector<std::int64_t> sizes{10'000, 100'000, 1'000'000};
+    const TransportConfig config = TransportConfig::mptcp(PathId::kWifi, CcAlgo::kCoupled);
+    std::cout << "\nFlow-size sweep through the result store (quickstart_store/):\n";
+    for (int pass = 1; pass <= 2; ++pass) {
+      const auto points = sweep_flow_sizes(net, config, sizes, sweep);
+      const auto stats = cache.stats();
+      std::cout << "  pass " << pass << ": " << points.size() << " points, "
+                << stats.hits << " cache hit(s), " << stats.misses << " miss(es)\n";
+    }
+    cache.seal_active();
   }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "faults/fault_plan.hpp"
 #include "net/trace_gen.hpp"
 #include "obs/obs.hpp"
+#include "store/codec.hpp"
 #include "tcp/flow.hpp"
 #include "util/parallel.hpp"
 
@@ -196,11 +197,113 @@ RunRecord execute_run(const RunPlan& plan, const CampaignOptions& options) {
   return rec;
 }
 
+store::ScenarioKey scenario_key(const RunPlan& plan, const CampaignOptions& options) {
+  store::KeyBuilder key{"campaign-run"};
+  key.str(plan.cluster)
+      .f64(plan.pos.lat_deg)
+      .f64(plan.pos.lon_deg)
+      .boolean(plan.skip_wifi)
+      .boolean(plan.skip_lte)
+      .f64(plan.wifi_rate_mbps)
+      .i64(plan.wifi_delay.usec())
+      .f64(plan.lte_rate_mbps)
+      .i64(plan.lte_delay.usec())
+      .u64(plan.probe_seed)
+      .boolean(plan.has_faults);
+  if (plan.has_faults) {
+    // The fault plan and its watchdog change probe behaviour — but the
+    // watchdog only for faulted runs, so it only keys here.
+    key.str(plan.faults.serialize()).i64(options.fault_stall_limit.usec());
+  }
+  key.i64(options.transfer_bytes).u32(static_cast<std::uint32_t>(options.ping_count));
+  return key.finish();
+}
+
+namespace {
+
+/// Blob layout version for serialized RunRecords (independent of the
+/// key's kRunFormatVersion: layout can evolve without invalidating keys).
+constexpr std::uint8_t kRunRecordBlobVersion = 1;
+
+}  // namespace
+
+std::string serialize_run_record(const RunRecord& rec) {
+  store::BinWriter w;
+  w.put_u8(kRunRecordBlobVersion);
+  w.put_str(rec.cluster);
+  w.put_f64(rec.pos.lat_deg);
+  w.put_f64(rec.pos.lon_deg);
+  w.put_bool(rec.wifi_measured);
+  w.put_bool(rec.lte_measured);
+  w.put_f64(rec.wifi_up_mbps);
+  w.put_f64(rec.wifi_down_mbps);
+  w.put_f64(rec.lte_up_mbps);
+  w.put_f64(rec.lte_down_mbps);
+  w.put_f64(rec.wifi_rtt_ms);
+  w.put_f64(rec.lte_rtt_ms);
+  w.put_bool(rec.failed);
+  w.put_str(rec.failure_reason);
+  store::put_metrics_snapshot(w, rec.metrics);
+  return w.take();
+}
+
+RunRecord parse_run_record(std::string_view blob) {
+  store::BinReader r{blob};
+  if (r.get_u8() != kRunRecordBlobVersion) {
+    throw std::runtime_error("run record blob: unknown layout version");
+  }
+  RunRecord rec;
+  rec.cluster = r.get_str();
+  rec.pos.lat_deg = r.get_f64();
+  rec.pos.lon_deg = r.get_f64();
+  rec.wifi_measured = r.get_bool();
+  rec.lte_measured = r.get_bool();
+  rec.wifi_up_mbps = r.get_f64();
+  rec.wifi_down_mbps = r.get_f64();
+  rec.lte_up_mbps = r.get_f64();
+  rec.lte_down_mbps = r.get_f64();
+  rec.wifi_rtt_ms = r.get_f64();
+  rec.lte_rtt_ms = r.get_f64();
+  rec.failed = r.get_bool();
+  rec.failure_reason = r.get_str();
+  rec.metrics = store::get_metrics_snapshot(r);
+  r.expect_done();
+  return rec;
+}
+
 std::vector<RunRecord> run_campaign(const std::vector<ClusterSpec>& world,
                                     const CampaignOptions& options) {
   const std::vector<RunPlan> plans = plan_campaign(world, options);
-  return parallel_map(plans.size(), options.parallelism,
-                      [&](std::size_t i) { return execute_run(plans[i], options); });
+  if (options.store == nullptr) {
+    return parallel_map(plans.size(), options.parallelism,
+                        [&](std::size_t i) { return execute_run(plans[i], options); });
+  }
+  // Cache-aware execute: resolve hits up front, simulate only the
+  // misses, then reassemble in plan order — the output is byte-identical
+  // to the storeless path for any mix of hits and misses.
+  std::vector<store::ScenarioKey> keys(plans.size());
+  std::vector<RunRecord> records(plans.size());
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    keys[i] = scenario_key(plans[i], options);
+    if (auto blob = options.store->lookup(keys[i])) {
+      try {
+        records[i] = parse_run_record(*blob);
+        continue;
+      } catch (const std::exception&) {
+        // Undecodable blob = miss; the fresh result supersedes it below.
+      }
+    }
+    missing.push_back(i);
+  }
+  std::vector<RunRecord> fresh =
+      parallel_map(missing.size(), options.parallelism,
+                   [&](std::size_t j) { return execute_run(plans[missing[j]], options); });
+  for (std::size_t j = 0; j < missing.size(); ++j) {
+    options.store->put(keys[missing[j]], serialize_run_record(fresh[j]));
+    records[missing[j]] = std::move(fresh[j]);
+  }
+  return records;
 }
 
 std::vector<RunRecord> complete_runs(const std::vector<RunRecord>& all) {

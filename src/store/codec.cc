@@ -1,0 +1,116 @@
+#include "store/codec.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace mn::store {
+
+void BinWriter::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>(v >> (i * 8)));
+}
+
+void BinWriter::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>(v >> (i * 8)));
+}
+
+void BinWriter::put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+
+void BinWriter::put_str(std::string_view s) {
+  if (s.size() > 0xFFFFFFFFull) throw std::length_error("store codec: string too long");
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+void BinReader::need(std::size_t n) const {
+  if (in_.size() - pos_ < n) throw std::runtime_error("store payload truncated");
+}
+
+std::uint8_t BinReader::get_u8() {
+  need(1);
+  return static_cast<std::uint8_t>(in_[pos_++]);
+}
+
+std::uint32_t BinReader::get_u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in_[pos_ + static_cast<std::size_t>(i)]))
+         << (i * 8);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t BinReader::get_u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in_[pos_ + static_cast<std::size_t>(i)]))
+         << (i * 8);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double BinReader::get_f64() { return std::bit_cast<double>(get_u64()); }
+
+std::string BinReader::get_str() {
+  const std::uint32_t len = get_u32();
+  need(len);
+  std::string s{in_.substr(pos_, len)};
+  pos_ += len;
+  return s;
+}
+
+void BinReader::expect_done() const {
+  if (!done()) throw std::runtime_error("store payload has trailing bytes");
+}
+
+void put_metrics_snapshot(BinWriter& w, const obs::MetricsSnapshot& snap) {
+  w.put_u32(static_cast<std::uint32_t>(snap.entries.size()));
+  for (const obs::SnapshotEntry& e : snap.entries) {
+    w.put_str(e.name);
+    w.put_u8(static_cast<std::uint8_t>(e.kind));
+    w.put_i64(e.value);
+    w.put_u64(e.hist.count);
+    w.put_i64(e.hist.sum);
+    w.put_u32(static_cast<std::uint32_t>(e.hist.buckets.size()));
+    for (const auto& [index, count] : e.hist.buckets) {
+      w.put_u32(index);
+      w.put_u64(count);
+    }
+  }
+}
+
+obs::MetricsSnapshot get_metrics_snapshot(BinReader& r) {
+  obs::MetricsSnapshot snap;
+  const std::uint32_t n = r.get_u32();
+  // Corrupt counts must fail as "truncated", not as an OOM reserve: each
+  // entry needs at least 33 encoded bytes, each bucket 12.
+  if (n > r.remaining() / 33) throw std::runtime_error("store payload truncated");
+  snap.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    obs::SnapshotEntry e;
+    e.name = r.get_str();
+    const std::uint8_t kind = r.get_u8();
+    if (kind > static_cast<std::uint8_t>(obs::MetricKind::kHistogram)) {
+      throw std::runtime_error("store payload: bad metric kind");
+    }
+    e.kind = static_cast<obs::MetricKind>(kind);
+    e.value = r.get_i64();
+    e.hist.count = r.get_u64();
+    e.hist.sum = r.get_i64();
+    const std::uint32_t buckets = r.get_u32();
+    if (buckets > r.remaining() / 12) throw std::runtime_error("store payload truncated");
+    e.hist.buckets.reserve(buckets);
+    for (std::uint32_t b = 0; b < buckets; ++b) {
+      const std::uint32_t index = r.get_u32();
+      const std::uint64_t count = r.get_u64();
+      e.hist.buckets.emplace_back(index, count);
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+}  // namespace mn::store

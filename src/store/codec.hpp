@@ -1,0 +1,73 @@
+// Little-endian binary payload codec for store blobs.
+//
+// Every record the store persists (campaign RunRecords, sweep points,
+// chaos reports) is encoded with these two classes so the bytes are
+// identical on every platform: explicit widths, explicit byte order,
+// length-prefixed strings, doubles as their IEEE-754 bit patterns
+// (bit-exact round trip — the golden byte-identity tests depend on it).
+//
+// BinReader is bounds-checked everywhere and throws std::runtime_error
+// on any overrun or malformed length: a corrupt or truncated payload is
+// a clean parse failure (the caller treats it as a cache miss), never
+// undefined behaviour.  The corruption suite runs these paths under
+// ASan/UBSan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace mn::store {
+
+class BinWriter {
+ public:
+  void put_u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+  void put_f64(double v);
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  /// u32 length prefix + raw bytes.
+  void put_str(std::string_view s);
+
+  [[nodiscard]] const std::string& bytes() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class BinReader {
+ public:
+  explicit BinReader(std::string_view bytes) : in_(bytes) {}
+
+  [[nodiscard]] std::uint8_t get_u8();
+  [[nodiscard]] std::uint32_t get_u32();
+  [[nodiscard]] std::uint64_t get_u64();
+  [[nodiscard]] std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+  [[nodiscard]] double get_f64();
+  [[nodiscard]] bool get_bool() { return get_u8() != 0; }
+  [[nodiscard]] std::string get_str();
+
+  [[nodiscard]] std::size_t remaining() const { return in_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == in_.size(); }
+  /// Throws unless every byte was consumed — trailing junk means the
+  /// payload is not what the reader thinks it is.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+};
+
+/// obs::MetricsSnapshot codec, shared by every record type that carries
+/// per-run metrics.  Round-trips the snapshot exactly: entry order,
+/// names, kinds, values, and sparse histogram buckets.
+void put_metrics_snapshot(BinWriter& w, const obs::MetricsSnapshot& snap);
+[[nodiscard]] obs::MetricsSnapshot get_metrics_snapshot(BinReader& r);
+
+}  // namespace mn::store

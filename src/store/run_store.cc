@@ -1,0 +1,213 @@
+#include "store/run_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+namespace mn::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kSegmentPrefix = "seg-";
+constexpr std::string_view kSegmentSuffix = ".mnrs";
+
+/// seg-<number>.mnrs -> number, or nullopt for foreign files.
+std::optional<std::uint64_t> segment_number(const std::string& filename) {
+  if (filename.size() <= kSegmentPrefix.size() + kSegmentSuffix.size()) return std::nullopt;
+  if (filename.rfind(kSegmentPrefix, 0) != 0) return std::nullopt;
+  if (filename.substr(filename.size() - kSegmentSuffix.size()) != kSegmentSuffix) {
+    return std::nullopt;
+  }
+  const std::string digits = filename.substr(
+      kSegmentPrefix.size(), filename.size() - kSegmentPrefix.size() - kSegmentSuffix.size());
+  if (digits.empty()) return std::nullopt;
+  std::uint64_t n = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    n = n * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return n;
+}
+
+}  // namespace
+
+std::vector<std::string> list_segment_files(const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> numbered;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (const auto n = segment_number(name)) numbered.emplace_back(*n, entry.path().string());
+  }
+  std::sort(numbered.begin(), numbered.end());
+  std::vector<std::string> out;
+  out.reserve(numbered.size());
+  for (auto& [n, path] : numbered) out.push_back(std::move(path));
+  return out;
+}
+
+RunStore::RunStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) throw std::runtime_error("store: cannot create directory " + dir_);
+  std::lock_guard<std::mutex> lock(mu_);
+  load_locked();
+}
+
+RunStore::~RunStore() {
+  try {
+    seal_active();
+  } catch (...) {
+    // Best effort: an unsealed active segment still reads back fine.
+  }
+}
+
+void RunStore::load_locked() {
+  for (const std::string& path : list_segment_files(dir_)) {
+    SegmentReadResult seg = read_segment(path);
+    if (seg.version_mismatch) {
+      ++stats_.segments_skipped;
+      continue;
+    }
+    ++stats_.segments_loaded;
+    stats_.torn_frames += seg.torn_frames;
+    for (SegmentEntry& e : seg.entries) {
+      map_[e.key] = std::move(e.blob);  // later frames supersede earlier
+    }
+    const auto n = segment_number(fs::path(path).filename().string());
+    if (n && *n >= next_segment_) next_segment_ = *n + 1;
+  }
+  stats_.entries = map_.size();
+}
+
+std::string RunStore::segment_path(std::uint64_t index) const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s%06llu%s", std::string{kSegmentPrefix}.c_str(),
+                static_cast<unsigned long long>(index), std::string{kSegmentSuffix}.c_str());
+  return (fs::path(dir_) / buf).string();
+}
+
+void RunStore::open_writer_locked() {
+  writer_ = std::make_unique<SegmentWriter>(segment_path(next_segment_));
+  ++next_segment_;
+}
+
+std::optional<std::string> RunStore::lookup(const ScenarioKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void RunStore::put(const ScenarioKey& key, std::string_view blob) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!writer_) open_writer_locked();
+  stats_.bytes_written += writer_->append(key, blob);
+  ++stats_.puts;
+  map_[key] = std::string{blob};
+  stats_.entries = map_.size();
+}
+
+bool RunStore::contains(const ScenarioKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.find(key) != map_.end();
+}
+
+std::size_t RunStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+std::vector<std::pair<ScenarioKey, std::string>> RunStore::sorted_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<ScenarioKey, std::string>> out(map_.begin(), map_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void RunStore::seal_active() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (writer_) {
+    writer_->seal();
+    writer_.reset();
+  }
+}
+
+void RunStore::compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (writer_) {
+    writer_->seal();
+    writer_.reset();
+  }
+  const std::vector<std::string> old_files = list_segment_files(dir_);
+  // Deterministic compact: live entries in key order, one sealed segment.
+  std::vector<std::pair<ScenarioKey, std::string>> live(map_.begin(), map_.end());
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  {
+    SegmentWriter writer{segment_path(next_segment_)};
+    for (const auto& [key, blob] : live) stats_.bytes_written += writer.append(key, blob);
+    writer.seal();
+  }
+  ++next_segment_;
+  for (const std::string& path : old_files) {
+    std::error_code ec;
+    fs::remove(path, ec);  // best effort: a leftover is re-read, not fatal
+  }
+}
+
+RunStore::Stats RunStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+obs::MetricsSnapshot RunStore::metrics_snapshot() const {
+  const Stats s = stats();
+  // A throwaway registry keeps the export format identical to every
+  // other metric source (sorted names, same text exposition).
+  obs::MetricsRegistry reg;
+  reg.add(reg.counter("store.hits"), static_cast<std::int64_t>(s.hits));
+  reg.add(reg.counter("store.misses"), static_cast<std::int64_t>(s.misses));
+  reg.add(reg.counter("store.puts"), static_cast<std::int64_t>(s.puts));
+  reg.add(reg.counter("store.bytes_written"), static_cast<std::int64_t>(s.bytes_written));
+  reg.add(reg.counter("store.torn_frames"), static_cast<std::int64_t>(s.torn_frames));
+  reg.set(reg.gauge("store.entries"), static_cast<std::int64_t>(s.entries));
+  reg.set(reg.gauge("store.segments"),
+          static_cast<std::int64_t>(s.segments_loaded + (writer_ ? 1 : 0)));
+  return reg.snapshot();
+}
+
+VerifyReport verify_store(const std::string& dir) {
+  VerifyReport report;
+  for (const std::string& path : list_segment_files(dir)) {
+    const SegmentReadResult seg = read_segment(path);
+    ++report.segments;
+    std::string line = fs::path(path).filename().string() + ": ";
+    if (seg.version_mismatch) {
+      ++report.version_mismatches;
+      line += "REFUSED (" + seg.note + ")";
+    } else {
+      report.records += seg.entries.size();
+      report.torn_frames += seg.torn_frames;
+      report.truncated_bytes += seg.truncated_bytes;
+      if (seg.sealed) ++report.sealed_segments;
+      line += std::to_string(seg.entries.size()) + " record(s), " +
+              (seg.sealed ? "sealed" : "unsealed");
+      if (seg.torn_frames > 0) {
+        line += ", " + std::to_string(seg.torn_frames) + " torn frame(s)";
+      }
+      if (!seg.note.empty()) line += " [" + seg.note + "]";
+    }
+    report.text += line + "\n";
+  }
+  return report;
+}
+
+}  // namespace mn::store

@@ -1,0 +1,40 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace mn {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+std::uint32_t update(std::uint32_t state, const unsigned char* p, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    state = kCrcTable[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  return update(0xFFFFFFFFu, static_cast<const unsigned char*>(data), len) ^ 0xFFFFFFFFu;
+}
+
+Crc32& Crc32::feed(const void* data, std::size_t len) {
+  state_ = update(state_, static_cast<const unsigned char*>(data), len);
+  return *this;
+}
+
+}  // namespace mn

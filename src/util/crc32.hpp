@@ -1,0 +1,33 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// guarding every frame of the MNRS1 result-store format.
+//
+// Table-driven, one table shared process-wide, byte-at-a-time: plenty
+// for store appends (the store writes records, not packets).  The
+// streaming Crc32 accumulator exists so writers can checksum a frame
+// while assembling it without an extra copy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mn {
+
+/// One-shot CRC-32 of a byte range.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len);
+[[nodiscard]] inline std::uint32_t crc32(std::string_view bytes) {
+  return crc32(bytes.data(), bytes.size());
+}
+
+/// Streaming accumulator: feed() in any chunking, value() at any point.
+class Crc32 {
+ public:
+  Crc32& feed(const void* data, std::size_t len);
+  Crc32& feed(std::string_view bytes) { return feed(bytes.data(), bytes.size()); }
+  [[nodiscard]] std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace mn

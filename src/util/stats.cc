@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -48,7 +49,7 @@ void EmpiricalDistribution::add_all(const std::vector<double>& xs) {
 }
 
 double EmpiricalDistribution::quantile(double q) const {
-  if (samples_.empty()) throw std::runtime_error("quantile of empty distribution");
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);

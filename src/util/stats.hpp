@@ -50,6 +50,10 @@ class EmpiricalDistribution {
   [[nodiscard]] bool empty() const { return samples_.empty(); }
 
   /// Quantile via linear interpolation between order statistics; q in [0,1].
+  /// On an empty sample set, returns quiet NaN (as do median/min/max):
+  /// a campaign where every run failed filtering has no quantiles, and
+  /// aggregation pipelines must stay exception-free — callers that care
+  /// check empty() or std::isnan.
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] double median() const { return quantile(0.5); }
   [[nodiscard]] double mean() const;

@@ -105,6 +105,33 @@ TEST(Campaign, CsvRoundTripIsExact) {
   EXPECT_EQ(to_csv(back).str(), to_csv(runs).str());
 }
 
+// Backward compatibility, locked with a checked-in fixture: CSVs written
+// before the observability subsystem added the m_retransmits/m_rto/
+// m_drops columns must keep parsing cleanly, with an empty metrics
+// snapshot (find_col, not col, on the optional columns).
+TEST(Campaign, FromCsvParsesPreObservabilityFixture) {
+  const auto runs = from_csv(load_csv(std::string{MN_TEST_DATA_DIR} +
+                                      "/measure/pre_pr4_campaign.csv"));
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].cluster, "boston");
+  EXPECT_EQ(runs[2].cluster, "seattle");
+  EXPECT_DOUBLE_EQ(runs[0].wifi_down_mbps, 11.5);
+  EXPECT_DOUBLE_EQ(runs[2].lte_rtt_ms, 61.5);
+  for (const auto& r : runs) {
+    EXPECT_TRUE(r.complete());
+    // No metrics columns -> no reconstructed snapshot, zeroed metrics.
+    EXPECT_TRUE(r.metrics.entries.empty());
+    EXPECT_EQ(r.metrics.value_of("tcp.retransmits"), 0);
+    EXPECT_EQ(r.metrics.sum_with_prefix("drop."), 0);
+  }
+  // Re-exporting legacy rows emits the modern columns with zeros.
+  const std::string text = to_csv(runs).str();
+  EXPECT_NE(text.find("m_retransmits"), std::string::npos);
+  const auto back = from_csv(parse_csv(text));
+  ASSERT_EQ(back.size(), runs.size());
+  EXPECT_DOUBLE_EQ(back[1].lte_down_mbps, runs[1].lte_down_mbps);
+}
+
 TEST(Campaign, FromCsvRejectsMalformedRowsWithRowNumber) {
   const std::string header =
       "cluster,lat,lon,wifi_up,wifi_down,lte_up,lte_down,wifi_rtt_ms,lte_rtt_ms";

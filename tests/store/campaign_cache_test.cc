@@ -1,0 +1,263 @@
+// The store's end-to-end contract: campaign / sweep / chaos output is
+// byte-identical across cold cache, warm cache, mixed cache, any
+// parallelism, and a kill-and-rerun resume — and every flavour of
+// corruption degrades to a clean cache miss.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "faults/chaos.hpp"
+#include "measure/campaign.hpp"
+#include "store/run_store.hpp"
+
+namespace mn {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<ClusterSpec> tiny_world() {
+  return {make_cluster("FastWiFi", {40.0, -70.0}, 12, 0.10, 14.0),
+          make_cluster("FastLTE", {10.0, 100.0}, 12, 0.85, 4.0)};
+}
+
+CampaignOptions small_campaign() {
+  CampaignOptions opt;
+  opt.run_scale = 0.25;  // 6 runs
+  opt.incomplete_probability = 0.2;
+  opt.fault_probability = 0.15;
+  return opt;
+}
+
+/// The full observable output of a campaign, as bytes.
+std::string campaign_bytes(const std::vector<RunRecord>& runs) {
+  return to_csv(runs).str() + "\n===\n" + merge_run_metrics(runs).prometheus_text();
+}
+
+class CampaignCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("cache_" + std::string{::testing::UnitTest::GetInstance()
+                                       ->current_test_info()
+                                       ->name()});
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string dir() const { return dir_.string(); }
+
+  fs::path dir_;
+};
+
+// The golden test of the tentpole: cold cache, warm cache, and a mixed
+// cache produce byte-identical records + merged metrics + CSV, at
+// serial and parallel worker counts, and match the storeless baseline.
+TEST_F(CampaignCacheTest, ColdWarmMixedAndParallelAreByteIdentical) {
+  CampaignOptions opt = small_campaign();
+  opt.parallelism = 0;
+  const std::string golden = campaign_bytes(run_campaign(tiny_world(), opt));
+
+  for (int workers : {1, 4}) {
+    fs::remove_all(dir_);
+    store::RunStore store{dir()};
+    opt.parallelism = workers;
+    opt.store = &store;
+
+    const auto cold = run_campaign(tiny_world(), opt);
+    EXPECT_EQ(campaign_bytes(cold), golden) << "cold, workers=" << workers;
+    EXPECT_EQ(store.stats().hits, 0u);
+    EXPECT_EQ(store.stats().misses, cold.size());
+
+    const auto warm = run_campaign(tiny_world(), opt);
+    EXPECT_EQ(campaign_bytes(warm), golden) << "warm, workers=" << workers;
+    EXPECT_EQ(store.stats().hits, warm.size());
+    EXPECT_EQ(store.stats().misses, warm.size());  // unchanged since cold
+    opt.store = nullptr;
+  }
+}
+
+// Crash-resume: a campaign killed partway keeps its finished runs; the
+// rerun executes only the remainder and reproduces the golden output.
+TEST_F(CampaignCacheTest, KilledCampaignResumesWithOnlyMissingRuns) {
+  CampaignOptions opt = small_campaign();
+  opt.parallelism = 0;
+  const std::string golden = campaign_bytes(run_campaign(tiny_world(), opt));
+  const auto plans = plan_campaign(tiny_world(), opt);
+  ASSERT_GE(plans.size(), 4u);
+
+  {
+    // "Killed" campaign: only the first half of the plans completed (and
+    // the store is dropped without sealing, like a dead process).
+    store::RunStore half{dir()};
+    for (std::size_t i = 0; i < plans.size() / 2; ++i) {
+      half.put(scenario_key(plans[i], opt),
+               serialize_run_record(execute_run(plans[i], opt)));
+    }
+  }
+
+  store::RunStore store{dir()};
+  EXPECT_EQ(store.size(), plans.size() / 2);
+  opt.store = &store;
+  const auto resumed = run_campaign(tiny_world(), opt);
+  EXPECT_EQ(campaign_bytes(resumed), golden);
+  // Exactly the missing half executed.
+  EXPECT_EQ(store.stats().hits, plans.size() / 2);
+  EXPECT_EQ(store.stats().misses, plans.size() - plans.size() / 2);
+  EXPECT_EQ(store.stats().puts, plans.size() - plans.size() / 2);
+}
+
+// Corruption at the blob level: an undecodable cached blob is a clean
+// miss — the run re-executes and the fresh record supersedes the junk.
+TEST_F(CampaignCacheTest, CorruptBlobIsACleanMissAndIsSuperseded) {
+  CampaignOptions opt = small_campaign();
+  opt.parallelism = 0;
+  const std::string golden = campaign_bytes(run_campaign(tiny_world(), opt));
+  const auto plans = plan_campaign(tiny_world(), opt);
+
+  store::RunStore store{dir()};
+  store.put(scenario_key(plans[0], opt), "junk that is not a RunRecord");
+  opt.store = &store;
+  const auto runs = run_campaign(tiny_world(), opt);
+  EXPECT_EQ(campaign_bytes(runs), golden);
+  EXPECT_EQ(store.stats().hits, 1u);  // the corrupt blob was found...
+  // ...but every run re-executed (+1 for the poison put itself).
+  EXPECT_EQ(store.stats().puts, plans.size() + 1);
+
+  // And the supersede stuck: a second pass is all hits, still golden.
+  const auto warm = run_campaign(tiny_world(), opt);
+  EXPECT_EQ(campaign_bytes(warm), golden);
+  EXPECT_EQ(store.stats().puts, plans.size() + 1);
+}
+
+// The version salt: entries keyed under a different format version can
+// never be found by the current code — a bump is a clean global miss.
+TEST_F(CampaignCacheTest, WrongVersionSaltNeverHits) {
+  CampaignOptions opt = small_campaign();
+  const auto plans = plan_campaign(tiny_world(), opt);
+  store::RunStore store{dir()};
+  // Poison: a record stored under a hypothetical future format version.
+  store::KeyBuilder future{"campaign-run", store::kRunFormatVersion + 1};
+  future.str(plans[0].cluster).f64(plans[0].pos.lat_deg);
+  store.put(future.finish(), "stale bytes from the future");
+  EXPECT_FALSE(store.lookup(scenario_key(plans[0], opt)).has_value());
+}
+
+TEST_F(CampaignCacheTest, ScenarioKeyIsAPureFunctionOfPlanAndOptions) {
+  const CampaignOptions opt = small_campaign();
+  const auto plans = plan_campaign(tiny_world(), opt);
+  ASSERT_GE(plans.size(), 2u);
+  EXPECT_EQ(scenario_key(plans[0], opt), scenario_key(plans[0], opt));
+  EXPECT_NE(scenario_key(plans[0], opt), scenario_key(plans[1], opt));
+  // Result-affecting options key; plan-phase-only options don't.
+  CampaignOptions bigger = opt;
+  bigger.transfer_bytes *= 2;
+  EXPECT_NE(scenario_key(plans[0], opt), scenario_key(plans[0], bigger));
+  CampaignOptions threaded = opt;
+  threaded.parallelism = 8;
+  threaded.run_scale = 2.0;
+  threaded.seed += 1;
+  EXPECT_EQ(scenario_key(plans[0], opt), scenario_key(plans[0], threaded));
+}
+
+TEST_F(CampaignCacheTest, RunRecordBlobRoundTripsExactly) {
+  CampaignOptions opt = small_campaign();
+  opt.parallelism = 0;
+  const auto runs = run_campaign(tiny_world(), opt);
+  for (const RunRecord& rec : runs) {
+    const RunRecord back = parse_run_record(serialize_run_record(rec));
+    EXPECT_EQ(back.cluster, rec.cluster);
+    EXPECT_EQ(back.pos.lat_deg, rec.pos.lat_deg);  // bit-exact doubles
+    EXPECT_EQ(back.wifi_up_mbps, rec.wifi_up_mbps);
+    EXPECT_EQ(back.lte_rtt_ms, rec.lte_rtt_ms);
+    EXPECT_EQ(back.failed, rec.failed);
+    EXPECT_EQ(back.failure_reason, rec.failure_reason);
+    EXPECT_EQ(back.metrics.prometheus_text(), rec.metrics.prometheus_text());
+  }
+  // Truncated blobs throw (clean miss), never crash.
+  const std::string bytes = serialize_run_record(runs[0]);
+  for (std::size_t n = 0; n < bytes.size(); n += 7) {
+    EXPECT_THROW((void)parse_run_record(bytes.substr(0, n)), std::runtime_error);
+  }
+}
+
+TEST_F(CampaignCacheTest, SweepColdAndWarmAreIdentical) {
+  LinkSpec wifi;
+  wifi.rate_mbps = 12.0;
+  LinkSpec lte;
+  lte.rate_mbps = 6.0;
+  lte.one_way_delay = msec(30);
+  const MpNetworkSetup net = symmetric_setup(wifi, lte);
+  const TransportConfig config = TransportConfig::mptcp(PathId::kWifi, CcAlgo::kCoupled);
+  const std::vector<std::int64_t> sizes{20'000, 200'000};
+
+  SweepOptions opt;
+  opt.parallelism = 0;
+  const auto baseline = sweep_flow_sizes(net, config, sizes, opt);
+
+  store::RunStore store{dir()};
+  opt.store = &store;
+  const auto cold = sweep_flow_sizes(net, config, sizes, opt);
+  EXPECT_EQ(store.stats().misses, sizes.size());
+  const auto warm = sweep_flow_sizes(net, config, sizes, opt);
+  EXPECT_EQ(store.stats().hits, sizes.size());
+  ASSERT_EQ(cold.size(), baseline.size());
+  ASSERT_EQ(warm.size(), baseline.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(cold[i].throughput_mbps, baseline[i].throughput_mbps);
+    EXPECT_EQ(warm[i].throughput_mbps, baseline[i].throughput_mbps);
+    EXPECT_EQ(warm[i].completion_time, baseline[i].completion_time);
+  }
+  // Direction keys: the same sweep uploading is a distinct scenario.
+  EXPECT_NE(sweep_scenario_key(net, config, sizes[0], Direction::kDownload),
+            sweep_scenario_key(net, config, sizes[0], Direction::kUpload));
+}
+
+TEST_F(CampaignCacheTest, ChaosSoakColdAndWarmAreIdentical) {
+  ChaosSoakOptions opt;
+  opt.runs = 4;
+  opt.parallelism = 0;
+  opt.timeout = sec(30);
+  opt.flight_recorder_events = 256;
+  const ChaosSoakSummary baseline = run_chaos_soak(opt);
+
+  store::RunStore store{dir()};
+  opt.store = &store;
+  const ChaosSoakSummary cold = run_chaos_soak(opt);
+  EXPECT_EQ(store.stats().misses, 4u);
+  const ChaosSoakSummary warm = run_chaos_soak(opt);
+  EXPECT_EQ(store.stats().hits, 4u);
+  for (const ChaosSoakSummary* s : {&cold, &warm}) {
+    EXPECT_EQ(s->runs, baseline.runs);
+    EXPECT_EQ(s->completed, baseline.completed);
+    EXPECT_EQ(s->aborted, baseline.aborted);
+    EXPECT_EQ(s->max_stall, baseline.max_stall);
+    EXPECT_EQ(s->violating.size(), baseline.violating.size());
+  }
+}
+
+TEST_F(CampaignCacheTest, ChaosReportBlobRoundTripsWithFlightDump) {
+  ChaosRunReport report;
+  report.seed = 42;
+  report.completed = false;
+  report.failure_reason = "stall";
+  report.max_stall = msec(1234);
+  report.faults_applied = 3;
+  report.bytes_requested = 100'000;
+  report.plan_text = "fault plan text";
+  report.violations = {"first", "second"};
+  report.flight_dump = std::string{"MNFR1\x00\x01raw", 10};
+  const ChaosRunReport back = parse_chaos_report(serialize_chaos_report(report));
+  EXPECT_EQ(back.seed, report.seed);
+  EXPECT_EQ(back.completed, report.completed);
+  EXPECT_EQ(back.failure_reason, report.failure_reason);
+  EXPECT_EQ(back.max_stall, report.max_stall);
+  EXPECT_EQ(back.violations, report.violations);
+  EXPECT_EQ(back.flight_dump, report.flight_dump);
+}
+
+}  // namespace
+}  // namespace mn

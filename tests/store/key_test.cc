@@ -1,0 +1,73 @@
+#include "store/key.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace mn::store {
+namespace {
+
+ScenarioKey key_of(std::string_view domain, double x) {
+  KeyBuilder b{domain};
+  b.f64(x);
+  return b.finish();
+}
+
+TEST(ScenarioKey, DeterministicAndHexStable) {
+  KeyBuilder a{"test"};
+  a.u64(7).str("hello").f64(1.5).boolean(true);
+  KeyBuilder b{"test"};
+  b.u64(7).str("hello").f64(1.5).boolean(true);
+  EXPECT_EQ(a.finish(), b.finish());
+  const std::string hex = a.finish().hex();
+  EXPECT_EQ(hex.size(), 32u);
+  EXPECT_EQ(hex.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_EQ(hex, b.finish().hex());
+}
+
+TEST(ScenarioKey, EveryFieldChangesTheKey) {
+  const ScenarioKey base = key_of("test", 1.0);
+  EXPECT_NE(base, key_of("test", 2.0));
+  EXPECT_NE(base, key_of("other-domain", 1.0));
+  // Version salt: identical fields under a bumped version never collide
+  // (the clean-miss invalidation contract).
+  KeyBuilder salted{"test", kRunFormatVersion + 1};
+  salted.f64(1.0);
+  EXPECT_NE(base, salted.finish());
+}
+
+TEST(ScenarioKey, StringsAreLengthPrefixed) {
+  KeyBuilder a{"test"};
+  a.str("ab").str("c");
+  KeyBuilder b{"test"};
+  b.str("a").str("bc");
+  EXPECT_NE(a.finish(), b.finish());
+}
+
+TEST(ScenarioKey, DoublesHashBitExactly) {
+  // -0.0 == 0.0 arithmetically but has a different bit pattern: the key
+  // must distinguish them (determinism beats prettiness).
+  EXPECT_NE(key_of("test", 0.0), key_of("test", -0.0));
+}
+
+TEST(ScenarioKey, NoTrivialCollisionsOverAGrid) {
+  std::unordered_set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    KeyBuilder b{"grid"};
+    b.u32(static_cast<std::uint32_t>(i % 10)).u64(static_cast<std::uint64_t>(i / 10));
+    seen.insert(b.finish().hex());
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(ScenarioKey, OrderingAndHashAreConsistent) {
+  const ScenarioKey a{1, 2};
+  const ScenarioKey b{1, 3};
+  const ScenarioKey c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(ScenarioKeyHash{}(a), ScenarioKeyHash{}(ScenarioKey{1, 2}));
+}
+
+}  // namespace
+}  // namespace mn::store

@@ -1,0 +1,198 @@
+#include "store/run_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+namespace mn::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class RunStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("runstore_" + std::string{::testing::UnitTest::GetInstance()
+                                          ->current_test_info()
+                                          ->name()});
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string dir() const { return dir_.string(); }
+
+  fs::path dir_;
+};
+
+TEST_F(RunStoreTest, PutLookupAndReopenPersistence) {
+  {
+    RunStore store{dir()};
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_FALSE(store.lookup({1, 1}).has_value());
+    store.put({1, 1}, "one");
+    store.put({2, 2}, "two");
+    EXPECT_TRUE(store.contains({1, 1}));
+    EXPECT_EQ(store.lookup({1, 1}).value(), "one");
+    const auto s = store.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.puts, 2u);
+    EXPECT_GT(s.bytes_written, 0u);
+  }
+  RunStore again{dir()};
+  EXPECT_EQ(again.size(), 2u);
+  EXPECT_EQ(again.lookup({2, 2}).value(), "two");
+}
+
+TEST_F(RunStoreTest, LaterPutsSupersedeAcrossSegments) {
+  {
+    RunStore store{dir()};
+    store.put({1, 1}, "old");
+  }
+  {
+    RunStore store{dir()};  // new open = new segment
+    store.put({1, 1}, "new");
+    EXPECT_EQ(store.size(), 1u);
+  }
+  RunStore store{dir()};
+  EXPECT_EQ(store.stats().segments_loaded, 2u);
+  EXPECT_EQ(store.lookup({1, 1}).value(), "new");
+}
+
+TEST_F(RunStoreTest, UnsealedActiveSegmentSurvivesKill) {
+  {
+    RunStore store{dir()};
+    store.put({1, 1}, "alpha");
+    store.put({2, 2}, "bravo");
+    // Simulate a kill: no seal_active(), and tear the segment's tail as
+    // if the process died mid-append.
+    store.seal_active();  // RunStore seals in its destructor anyway...
+  }
+  // ...so instead damage the file after the fact: append garbage bytes
+  // (a torn in-flight frame) to the newest segment.
+  const auto files = list_segment_files(dir());
+  ASSERT_EQ(files.size(), 1u);
+  {
+    std::ofstream out(files[0], std::ios::binary | std::ios::app);
+    out << "\x03\x00";  // torn frame header
+  }
+  RunStore store{dir()};
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.lookup({1, 1}).value(), "alpha");
+  EXPECT_GE(store.stats().torn_frames, 1u);
+}
+
+TEST_F(RunStoreTest, CompactMergesToOneSealedSegment) {
+  {
+    RunStore a{dir()};
+    a.put({1, 1}, "old");
+    a.put({2, 2}, "two");
+  }
+  {
+    RunStore b{dir()};
+    b.put({1, 1}, "new");
+    b.put({3, 3}, "three");
+  }
+  {
+    RunStore c{dir()};
+    EXPECT_EQ(c.stats().segments_loaded, 2u);
+    c.compact();
+  }
+  const auto files = list_segment_files(dir());
+  ASSERT_EQ(files.size(), 1u);
+  const VerifyReport report = verify_store(dir());
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.sealed_segments, 1u);
+  EXPECT_EQ(report.records, 3u);  // superseded duplicate dropped
+  RunStore store{dir()};
+  EXPECT_EQ(store.lookup({1, 1}).value(), "new");
+  EXPECT_EQ(store.lookup({3, 3}).value(), "three");
+}
+
+TEST_F(RunStoreTest, ForeignAndRefusedFilesAreSkippedCleanly) {
+  {
+    RunStore store{dir()};
+    store.put({1, 1}, "keep");
+  }
+  // A foreign file and a future-format segment in the same directory.
+  { std::ofstream{(dir_ / "notes.txt")} << "not a segment"; }
+  { std::ofstream{(dir_ / "seg-000099.mnrs"), std::ios::binary} << "MNRS9\nxxxx"; }
+  RunStore store{dir()};
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.stats().segments_loaded, 1u);
+  EXPECT_EQ(store.stats().segments_skipped, 1u);
+  // New segments must not collide with the refused high-numbered file.
+  store.put({2, 2}, "fresh");
+  store.seal_active();
+  RunStore again{dir()};
+  EXPECT_EQ(again.size(), 2u);
+}
+
+TEST_F(RunStoreTest, VerifyReportsDamage) {
+  {
+    RunStore store{dir()};
+    store.put({1, 1}, "alpha");
+  }
+  EXPECT_TRUE(verify_store(dir()).ok());
+  const auto files = list_segment_files(dir());
+  ASSERT_EQ(files.size(), 1u);
+  {
+    std::ofstream out(files[0], std::ios::binary | std::ios::app);
+    out << "torn";
+  }
+  const VerifyReport damaged = verify_store(dir());
+  EXPECT_FALSE(damaged.ok());
+  EXPECT_GE(damaged.torn_frames, 1u);
+  EXPECT_NE(damaged.text.find("torn"), std::string::npos);
+}
+
+TEST_F(RunStoreTest, MetricsSnapshotExportsStoreCounters) {
+  RunStore store{dir()};
+  store.put({1, 1}, "x");
+  (void)store.lookup({1, 1});
+  (void)store.lookup({9, 9});
+  const auto snap = store.metrics_snapshot();
+  EXPECT_EQ(snap.value_of("store.hits"), 1);
+  EXPECT_EQ(snap.value_of("store.misses"), 1);
+  EXPECT_EQ(snap.value_of("store.puts"), 1);
+  EXPECT_GT(snap.value_of("store.bytes_written"), 0);
+  EXPECT_EQ(snap.value_of("store.torn_frames"), 0);
+  EXPECT_EQ(snap.value_of("store.entries"), 1);
+}
+
+TEST_F(RunStoreTest, ConcurrentPutsAndLookupsAreSafe) {
+  RunStore store{dir()};
+  std::vector<std::thread> workers;
+  workers.reserve(4);
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&store, w] {
+      for (std::uint64_t i = 0; i < 50; ++i) {
+        const ScenarioKey key{static_cast<std::uint64_t>(w), i};
+        store.put(key, "blob-" + std::to_string(i));
+        EXPECT_TRUE(store.lookup(key).has_value());
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(store.size(), 200u);
+  store.seal_active();
+  EXPECT_TRUE(verify_store(dir()).ok());
+}
+
+TEST_F(RunStoreTest, SortedEntriesAreKeyOrdered) {
+  RunStore store{dir()};
+  store.put({2, 0}, "b");
+  store.put({1, 5}, "a");
+  store.put({2, 1}, "c");
+  const auto entries = store.sorted_entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_TRUE(entries[0].first < entries[1].first);
+  EXPECT_TRUE(entries[1].first < entries[2].first);
+}
+
+}  // namespace
+}  // namespace mn::store

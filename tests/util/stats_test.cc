@@ -45,9 +45,22 @@ TEST(EmpiricalDistribution, QuantileInterpolates) {
   EXPECT_DOUBLE_EQ(d.quantile(1.0 / 3.0), 2.0);
 }
 
-TEST(EmpiricalDistribution, QuantileOfEmptyThrows) {
+TEST(EmpiricalDistribution, QuantileOfEmptyIsQuietNaN) {
+  // Documented contract: empty sample sets have no quantiles, and the
+  // aggregation pipelines must stay exception-free — every quantile
+  // accessor reports quiet NaN instead of throwing.
   EmpiricalDistribution d;
-  EXPECT_THROW((void)d.quantile(0.5), std::runtime_error);
+  EXPECT_TRUE(std::isnan(d.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(d.quantile(0.0)));
+  EXPECT_TRUE(std::isnan(d.quantile(1.0)));
+  EXPECT_TRUE(std::isnan(d.median()));
+  EXPECT_TRUE(std::isnan(d.min()));
+  EXPECT_TRUE(std::isnan(d.max()));
+  // One sample restores real values for every q.
+  d.add(7.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(d.min(), 7.0);
+  EXPECT_DOUBLE_EQ(d.max(), 7.0);
 }
 
 TEST(EmpiricalDistribution, CdfAt) {
