@@ -147,6 +147,31 @@ void BM_TcpBulkFlow1MB(benchmark::State& state) {
 }
 BENCHMARK(BM_TcpBulkFlow1MB);
 
+// The middlebox stage budget: the exact BM_TcpBulkFlow1MB flow with the
+// per-pipe middlebox stage dormant (arg 0 — what every flow pays today)
+// versus installed-but-transparent (arg 1 — an enabled box whose policy
+// draws all came up "don't interfere", the worst clean-path case).  The
+// acceptance bar is <= 2% overhead on the clean path.
+void BM_MiddleboxStage(benchmark::State& state) {
+  const bool installed = state.range(0) != 0;
+  LinkSpec spec;
+  spec.rate_mbps = 10.0;
+  spec.one_way_delay = msec(10);
+  spec.queue_packets = 64;
+  for (auto _ : state) {
+    Simulator sim;
+    DuplexPath path{sim, spec, spec};
+    if (installed) {
+      MiddleboxSpec box;  // every probability 0: enabled yet transparent
+      path.uplink().set_middlebox(box);
+      path.downlink().set_middlebox(box);
+    }
+    const auto r = run_bulk_flow(sim, path, 1'000'000, Direction::kDownload);
+    benchmark::DoNotOptimize(r.throughput_mbps);
+  }
+}
+BENCHMARK(BM_MiddleboxStage)->Arg(0)->Arg(1);
+
 // The observability overhead budget: the exact BM_TcpBulkFlow1MB
 // workload with a live ObsHub installed on the simulator, in the
 // configuration every campaign run uses (metrics registry, no flight

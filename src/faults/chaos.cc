@@ -15,7 +15,7 @@
 namespace mn {
 namespace {
 
-constexpr std::uint8_t kChaosReportBlobVersion = 1;
+constexpr std::uint8_t kChaosReportBlobVersion = 2;  // v2: negotiation fields
 
 /// Best-effort black-box file: reporting must never throw.
 void write_flight_dump(const ChaosRunReport& report, const std::string& dir) {
@@ -121,6 +121,12 @@ ChaosRunReport run_chaos_run(std::uint64_t seed, const ChaosSoakOptions& options
   report.max_stall = watchdog.max_stall;
   report.faults_applied = injector.events_applied();
   report.faults_skipped = injector.events_skipped();
+  report.negotiated_mp = bed.client().negotiated_mp();
+  report.achieved_mp = bed.client().achieved_mp();
+  report.fallback_reason = bed.client().fallback_reason();
+  if (report.fallback_reason.empty()) {
+    report.fallback_reason = bed.server().fallback_reason();
+  }
 
   // Invariant 3: the watchdog bound held.
   if (watchdog.max_stall > options.stall_limit) {
@@ -141,7 +147,13 @@ ChaosRunReport run_chaos_run(std::uint64_t seed, const ChaosSoakOptions& options
   if (receiver.data_delivered_in_order() > receiver.data_delivered()) {
     report.violations.push_back("in-order delivery exceeds total delivery");
   }
-  if (report.completed && receiver.data_delivered_in_order() < report.bytes_requested) {
+  // A completed run must have delivered everything — except bytes the
+  // receiver provably discarded because a middlebox destroyed their DSS
+  // mapping and the loss signal (MP_FAIL) raced the close; those are
+  // accounted, not silently lost.
+  if (report.completed && receiver.data_delivered_in_order() +
+                                  receiver.mangled_discarded() <
+                              report.bytes_requested) {
     report.violations.push_back("completed run delivered less than requested");
   }
 
@@ -179,6 +191,7 @@ store::ScenarioKey chaos_scenario_key(std::uint64_t seed, const ChaosSoakOptions
       .i64(options.plan.horizon.usec())
       .u32(static_cast<std::uint32_t>(options.plan.max_events))
       .f64(options.plan.restore_probability)
+      .f64(options.plan.middlebox_probability)
       .u64(options.flight_recorder_events);
   return key.finish();
 }
@@ -195,6 +208,9 @@ std::string serialize_chaos_report(const ChaosRunReport& report) {
   w.put_i64(report.bytes_requested);
   w.put_i64(report.bytes_observed);
   w.put_str(report.plan_text);
+  w.put_bool(report.negotiated_mp);
+  w.put_bool(report.achieved_mp);
+  w.put_str(report.fallback_reason);
   w.put_u32(static_cast<std::uint32_t>(report.violations.size()));
   for (const std::string& v : report.violations) w.put_str(v);
   store::put_metrics_snapshot(w, report.metrics);
@@ -217,6 +233,9 @@ ChaosRunReport parse_chaos_report(std::string_view blob) {
   report.bytes_requested = r.get_i64();
   report.bytes_observed = r.get_i64();
   report.plan_text = r.get_str();
+  report.negotiated_mp = r.get_bool();
+  report.achieved_mp = r.get_bool();
+  report.fallback_reason = r.get_str();
   const std::uint32_t violations = r.get_u32();
   if (violations > r.remaining() / 4) throw std::runtime_error("store payload truncated");
   report.violations.reserve(violations);

@@ -67,6 +67,12 @@ struct ChaosRunReport {
   std::int64_t bytes_requested = 0;
   std::int64_t bytes_observed = 0;  // receiver's data-level total
   std::string plan_text;            // serialized FaultPlan (replay aid)
+  /// Multipath negotiation outcome (client view; middlebox plans).
+  bool negotiated_mp = false;
+  bool achieved_mp = false;
+  /// Why multipath degraded ("" when it did not) — under middlebox-only
+  /// plans, every watchdog abort must carry one of these.
+  std::string fallback_reason;
   /// One entry per violated invariant; empty means the run was safe.
   std::vector<std::string> violations;
   /// Metrics snapshot of the run's private ObsHub.

@@ -1,5 +1,7 @@
 #include "faults/fault_injector.hpp"
 
+#include "util/rng.hpp"
+
 namespace mn {
 
 void FaultInjector::set_target(PathId path, DuplexPath* duplex, NetworkInterface* iface) {
@@ -89,6 +91,23 @@ void FaultInjector::apply(const FaultEvent& ev) {
       break;
     case FaultKind::kDelayClear:
       for_each_pipe(t, ev.dir, [](OneWayPipe& p) { p.clear_delay_spike(); });
+      break;
+    case FaultKind::kMiddleboxOn:
+      // Per-direction seed fork, mirroring LinkSpec::direction_spec: a
+      // kBoth event must not give both pipes identical policy draws.
+      if (ev.dir != LinkDir::kDown) {
+        MiddleboxSpec s = ev.middlebox;
+        s.seed = mix_seed(s.seed, "up");
+        t.duplex->uplink().set_middlebox(s);
+      }
+      if (ev.dir != LinkDir::kUp) {
+        MiddleboxSpec s = ev.middlebox;
+        s.seed = mix_seed(s.seed, "down");
+        t.duplex->downlink().set_middlebox(s);
+      }
+      break;
+    case FaultKind::kMiddleboxOff:
+      for_each_pipe(t, ev.dir, [](OneWayPipe& p) { p.clear_middlebox(); });
       break;
   }
   ++applied_;

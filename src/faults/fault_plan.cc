@@ -20,6 +20,8 @@ std::string to_string(FaultKind k) {
     case FaultKind::kRateRestore: return "rate_restore";
     case FaultKind::kDelaySpike: return "delay_spike";
     case FaultKind::kDelayClear: return "delay_clear";
+    case FaultKind::kMiddleboxOn: return "mbox_on";
+    case FaultKind::kMiddleboxOff: return "mbox_off";
   }
   return "?";
 }
@@ -40,7 +42,8 @@ FaultKind parse_kind(const std::string& s) {
        {FaultKind::kBlackhole, FaultKind::kRestore, FaultKind::kSoftDown,
         FaultKind::kSoftUp, FaultKind::kUnplug, FaultKind::kReplug, FaultKind::kBurstOn,
         FaultKind::kBurstOff, FaultKind::kRateCrash, FaultKind::kRateRestore,
-        FaultKind::kDelaySpike, FaultKind::kDelayClear}) {
+        FaultKind::kDelaySpike, FaultKind::kDelayClear, FaultKind::kMiddleboxOn,
+        FaultKind::kMiddleboxOff}) {
     if (to_string(k) == s) return k;
   }
   throw std::runtime_error("FaultPlan: unknown fault kind: " + s);
@@ -70,6 +73,11 @@ std::string FaultEvent::describe() const {
   if (kind == FaultKind::kBurstOn) {
     os << " ge=" << ge.loss_good << '/' << ge.loss_bad << '/' << ge.p_good_to_bad << '/'
        << ge.p_bad_to_good;
+  }
+  if (kind == FaultKind::kMiddleboxOn) {
+    os << " mbox=" << middlebox.strip_capable << '/' << middlebox.strip_join << '/'
+       << middlebox.drop_unknown_syn << '/' << middlebox.mangle_dss << '/'
+       << middlebox.rewrite_seq;
   }
   return os.str();
 }
@@ -131,6 +139,17 @@ FaultPlan& FaultPlan::delay_spike(Duration at, PathId path, Duration extra, Link
 FaultPlan& FaultPlan::delay_clear(Duration at, PathId path, LinkDir dir) {
   return add({.at = at, .kind = FaultKind::kDelayClear, .path = path, .dir = dir});
 }
+FaultPlan& FaultPlan::middlebox_on(Duration at, PathId path, const MiddleboxSpec& spec,
+                                   LinkDir dir) {
+  return add({.at = at,
+              .kind = FaultKind::kMiddleboxOn,
+              .path = path,
+              .dir = dir,
+              .middlebox = spec});
+}
+FaultPlan& FaultPlan::middlebox_off(Duration at, PathId path, LinkDir dir) {
+  return add({.at = at, .kind = FaultKind::kMiddleboxOff, .path = path, .dir = dir});
+}
 
 std::string FaultPlan::serialize() const {
   std::ostringstream os;
@@ -147,6 +166,11 @@ std::string FaultPlan::serialize() const {
       case FaultKind::kBurstOn:
         os << ' ' << ev.ge.loss_good << ' ' << ev.ge.loss_bad << ' '
            << ev.ge.p_good_to_bad << ' ' << ev.ge.p_bad_to_good << ' ' << ev.ge.seed;
+        break;
+      case FaultKind::kMiddleboxOn:
+        os << ' ' << ev.middlebox.strip_capable << ' ' << ev.middlebox.strip_join << ' '
+           << ev.middlebox.drop_unknown_syn << ' ' << ev.middlebox.mangle_dss << ' '
+           << ev.middlebox.rewrite_seq << ' ' << ev.middlebox.seed;
         break;
       default:
         break;
@@ -205,6 +229,22 @@ FaultPlan FaultPlan::parse(const std::string& text) {
                                    std::to_string(line_no));
         }
         break;
+      case FaultKind::kMiddleboxOn: {
+        MiddleboxSpec& mb = ev.middlebox;
+        if (!(ls >> mb.strip_capable >> mb.strip_join >> mb.drop_unknown_syn >>
+              mb.mangle_dss >> mb.rewrite_seq >> mb.seed)) {
+          throw std::runtime_error("FaultPlan: bad middlebox params at line " +
+                                   std::to_string(line_no));
+        }
+        for (const double p : {mb.strip_capable, mb.strip_join, mb.drop_unknown_syn,
+                               mb.mangle_dss, mb.rewrite_seq}) {
+          if (p < 0.0 || p > 1.0) {
+            throw std::runtime_error("FaultPlan: middlebox probability out of [0,1] at line " +
+                                     std::to_string(line_no));
+          }
+        }
+        break;
+      }
       default:
         break;
     }
@@ -221,7 +261,12 @@ FaultPlan FaultPlan::parse(const std::string& text) {
 FaultPlan random_fault_plan(std::uint64_t seed, const RandomPlanOptions& options) {
   Rng rng{mix_seed(seed, "fault-plan")};
   FaultPlan plan;
-  const int n = static_cast<int>(rng.uniform_int(1, std::max(1, options.max_events)));
+  // max_events <= 0 requests a plan with no link/interface events at
+  // all (middlebox-only soaks); legacy callers always pass >= 1, so the
+  // draw stream they see is unchanged.
+  const int n = options.max_events <= 0
+                    ? 0
+                    : static_cast<int>(rng.uniform_int(1, options.max_events));
   for (int i = 0; i < n; ++i) {
     const auto at = Duration{rng.uniform_int(0, options.horizon.usec())};
     const PathId path = rng.chance(0.5) ? PathId::kWifi : PathId::kLte;
@@ -276,6 +321,36 @@ FaultPlan random_fault_plan(std::uint64_t seed, const RandomPlanOptions& options
           plan.delay_clear(restore_at(), path, dir);
         }
         break;
+    }
+  }
+  // Middlebox adversary, gated on the knob so legacy (seed, options)
+  // pairs keep producing byte-identical plans: no rng draw happens
+  // unless the probability is nonzero.
+  if (options.middlebox_probability > 0.0 &&
+      rng.chance(options.middlebox_probability)) {
+    // At t=0 so the handshake itself runs through it — the scenario the
+    // negotiation state machine exists for.  Mid-run appearance is also
+    // exercised (routing change while the flow is live).
+    const auto at = rng.chance(0.5)
+                        ? Duration{0}
+                        : Duration{rng.uniform_int(0, options.horizon.usec())};
+    const PathId path = rng.chance(0.5) ? PathId::kWifi : PathId::kLte;
+    const LinkDir dir = rng.chance(0.5)
+                            ? LinkDir::kBoth
+                            : (rng.chance(0.5) ? LinkDir::kUp : LinkDir::kDown);
+    MiddleboxSpec mb;
+    mb.strip_capable = rng.chance(0.5) ? rng.uniform(0.3, 1.0) : 0.0;
+    mb.strip_join = rng.chance(0.5) ? rng.uniform(0.3, 1.0) : 0.0;
+    mb.drop_unknown_syn = rng.chance(0.25) ? rng.uniform(0.3, 1.0) : 0.0;
+    mb.mangle_dss = rng.chance(0.35) ? rng.uniform(0.001, 0.05) : 0.0;
+    mb.rewrite_seq = rng.chance(0.25) ? rng.uniform(0.3, 1.0) : 0.0;
+    mb.seed = rng.next_u64();
+    plan.middlebox_on(at, path, mb, dir);
+    if (rng.chance(options.restore_probability)) {
+      plan.middlebox_off(
+          at + Duration{rng.uniform_int(msec(50).usec(),
+                                        (options.horizon - at).usec() + sec(2).usec())},
+          path, dir);
     }
   }
   return plan;

@@ -21,6 +21,7 @@
 
 #include "mptcp/mptcp.hpp"
 #include "net/links.hpp"
+#include "net/middlebox.hpp"
 #include "util/rng.hpp"
 
 namespace mn {
@@ -38,6 +39,8 @@ enum class FaultKind {
   kRateRestore, // back to the spec rate
   kDelaySpike,  // extra one-way delay of `extra_delay`
   kDelayClear,  // back to the spec delay
+  kMiddleboxOn,   // option-mangling middlebox appears (params in `middlebox`)
+  kMiddleboxOff,  // middlebox removed (routing change)
 };
 
 [[nodiscard]] std::string to_string(FaultKind k);
@@ -55,6 +58,7 @@ struct FaultEvent {
   double rate_mbps = 0.0;        // kRateCrash
   Duration extra_delay{0};       // kDelaySpike
   GeLossSpec ge;                 // kBurstOn
+  MiddleboxSpec middlebox;       // kMiddleboxOn
 
   [[nodiscard]] std::string describe() const;
 };
@@ -83,6 +87,9 @@ class FaultPlan {
   FaultPlan& delay_spike(Duration at, PathId path, Duration extra,
                          LinkDir dir = LinkDir::kBoth);
   FaultPlan& delay_clear(Duration at, PathId path, LinkDir dir = LinkDir::kBoth);
+  FaultPlan& middlebox_on(Duration at, PathId path, const MiddleboxSpec& spec,
+                          LinkDir dir = LinkDir::kBoth);
+  FaultPlan& middlebox_off(Duration at, PathId path, LinkDir dir = LinkDir::kBoth);
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
   [[nodiscard]] bool empty() const { return events_.empty(); }
@@ -103,10 +110,16 @@ class FaultPlan {
 /// Knobs for random_fault_plan (the chaos-soak input distribution).
 struct RandomPlanOptions {
   Duration horizon = sec(8);  // events land in [0, horizon]
-  int max_events = 6;         // 1..max_events events per plan
+  int max_events = 6;         // 1..max_events events per plan; <= 0 =
+                              // no link/interface events (middlebox-only)
   /// Probability that a degrading event gets a matching restore later in
   /// the plan; unrestored faults exercise the watchdog/abort paths.
   double restore_probability = 0.7;
+  /// Probability that the plan additionally carries an option-mangling
+  /// middlebox (strip/drop/mangle knobs drawn per plan).  Default 0 so
+  /// legacy seeds reproduce byte-identical plans; the draw is gated on
+  /// the knob, never consumed when it is off.
+  double middlebox_probability = 0.0;
 };
 
 /// Deterministic random plan: same (seed, options) -> same plan.

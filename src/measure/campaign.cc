@@ -6,6 +6,8 @@
 
 #include "faults/fault_injector.hpp"
 #include "faults/fault_plan.hpp"
+#include "mptcp/testbed.hpp"
+#include "net/middlebox.hpp"
 #include "net/trace_gen.hpp"
 #include "obs/obs.hpp"
 #include "store/codec.hpp"
@@ -94,6 +96,50 @@ ProbeResult probe_network(double rate_mbps, Duration one_way, bool lte, Rng& rng
   return res;
 }
 
+/// The MPTCP middlebox probe: one short multipath flow over both
+/// measured networks, with one option-sanitising middlebox per path.
+/// The WiFi box strips MP_CAPABLE and the LTE box strips MP_JOIN, each
+/// with the swept per-box probability; the policy is drawn once per
+/// path (a physical middlebox affects both directions identically), so
+/// the effective strip probability equals the knob exactly.
+void probe_multipath(const RunPlan& plan, const CampaignOptions& opt, Rng& rng,
+                     obs::ObsHub* hub, RunRecord& rec) {
+  Simulator sim;
+  sim.set_obs(hub);
+  MpNetworkSetup setup;
+  setup.wifi_up = make_link(plan.wifi_rate_mbps, plan.wifi_delay, /*lte=*/false, rng);
+  setup.wifi_down = make_link(plan.wifi_rate_mbps, plan.wifi_delay, /*lte=*/false, rng);
+  setup.lte_up = make_link(plan.lte_rate_mbps, plan.lte_delay, /*lte=*/true, rng);
+  setup.lte_down = make_link(plan.lte_rate_mbps, plan.lte_delay, /*lte=*/true, rng);
+  FlowRunOptions flow_options;
+  flow_options.timeout = sec(60);
+  // A degraded flow still finishes on the surviving path; only a real
+  // stall (which the fallback machinery must prevent) trips this.
+  flow_options.stall_limit = sec(10);
+  flow_options.on_testbed = [&plan](MptcpTestbed& bed) {
+    MiddleboxSpec wifi_box;
+    wifi_box.strip_capable = plan.middlebox_strip;
+    wifi_box.seed = mix_seed(plan.middlebox_seed, "wifi");
+    bed.path(PathId::kWifi).uplink().set_middlebox(wifi_box);
+    bed.path(PathId::kWifi).downlink().set_middlebox(wifi_box);
+    MiddleboxSpec lte_box;
+    lte_box.strip_join = plan.middlebox_strip;
+    lte_box.seed = mix_seed(plan.middlebox_seed, "lte");
+    bed.path(PathId::kLte).uplink().set_middlebox(lte_box);
+    bed.path(PathId::kLte).downlink().set_middlebox(lte_box);
+  };
+  const MptcpFlowResult r = run_mptcp_flow(sim, setup, MptcpSpec{}, opt.mp_probe_bytes,
+                                           Direction::kDownload, flow_options);
+  rec.mp_probed = true;
+  rec.negotiated_mp = r.negotiated_mp;
+  rec.achieved_mp = r.achieved_mp;
+  rec.fallback_reason = r.fallback_reason;
+  if (!r.completed && !rec.failed) {
+    rec.failed = true;
+    rec.failure_reason = "mp_probe " + r.failure_reason;
+  }
+}
+
 }  // namespace
 
 std::vector<RunPlan> plan_campaign(const std::vector<ClusterSpec>& world,
@@ -130,6 +176,16 @@ std::vector<RunPlan> plan_campaign(const std::vector<ClusterSpec>& world,
         plan_options.restore_probability = 0.35;
         plan.faults = random_fault_plan(crng.fork("faults").next_u64(), plan_options);
         plan.has_faults = true;
+      }
+
+      // MPTCP middlebox probe (the negotiated-vs-achieved sweep): only
+      // runs that measure both networks can multipath, and all draws are
+      // gated on the knob so the legacy stream is untouched at 0.0.
+      if (options.middlebox_strip_probability > 0.0 && !plan.skip_wifi &&
+          !plan.skip_lte) {
+        plan.has_middlebox = true;
+        plan.middlebox_strip = options.middlebox_strip_probability;
+        plan.middlebox_seed = crng.fork("middlebox").next_u64();
       }
 
       if (!plan.skip_wifi) {
@@ -189,6 +245,7 @@ RunRecord execute_run(const RunPlan& plan, const CampaignOptions& options) {
         rec.failure_reason = "lte " + p.failure;
       }
     }
+    if (plan.has_middlebox) probe_multipath(plan, options, rng, &hub, rec);
   } catch (const std::exception& e) {
     rec.failed = true;
     rec.failure_reason = e.what();
@@ -215,6 +272,10 @@ store::ScenarioKey scenario_key(const RunPlan& plan, const CampaignOptions& opti
     // watchdog only for faulted runs, so it only keys here.
     key.str(plan.faults.serialize()).i64(options.fault_stall_limit.usec());
   }
+  key.boolean(plan.has_middlebox);
+  if (plan.has_middlebox) {
+    key.f64(plan.middlebox_strip).u64(plan.middlebox_seed).i64(options.mp_probe_bytes);
+  }
   key.i64(options.transfer_bytes).u32(static_cast<std::uint32_t>(options.ping_count));
   return key.finish();
 }
@@ -223,7 +284,7 @@ namespace {
 
 /// Blob layout version for serialized RunRecords (independent of the
 /// key's kRunFormatVersion: layout can evolve without invalidating keys).
-constexpr std::uint8_t kRunRecordBlobVersion = 1;
+constexpr std::uint8_t kRunRecordBlobVersion = 2;  // v2: MPTCP middlebox probe fields
 
 }  // namespace
 
@@ -243,6 +304,10 @@ std::string serialize_run_record(const RunRecord& rec) {
   w.put_f64(rec.lte_rtt_ms);
   w.put_bool(rec.failed);
   w.put_str(rec.failure_reason);
+  w.put_bool(rec.mp_probed);
+  w.put_bool(rec.negotiated_mp);
+  w.put_bool(rec.achieved_mp);
+  w.put_str(rec.fallback_reason);
   store::put_metrics_snapshot(w, rec.metrics);
   return w.take();
 }
@@ -266,6 +331,10 @@ RunRecord parse_run_record(std::string_view blob) {
   rec.lte_rtt_ms = r.get_f64();
   rec.failed = r.get_bool();
   rec.failure_reason = r.get_str();
+  rec.mp_probed = r.get_bool();
+  rec.negotiated_mp = r.get_bool();
+  rec.achieved_mp = r.get_bool();
+  rec.fallback_reason = r.get_str();
   rec.metrics = store::get_metrics_snapshot(r);
   r.expect_done();
   return rec;
@@ -323,18 +392,23 @@ obs::MetricsSnapshot merge_run_metrics(const std::vector<RunRecord>& runs) {
 
 CsvWriter to_csv(const std::vector<RunRecord>& runs) {
   CsvWriter w{{"cluster", "lat", "lon", "wifi_up", "wifi_down", "lte_up", "lte_down",
-               "wifi_rtt_ms", "lte_rtt_ms", "m_retransmits", "m_rto", "m_drops"}};
+               "wifi_rtt_ms", "lte_rtt_ms", "m_retransmits", "m_rto", "m_drops",
+               "negotiated_mp", "achieved_mp", "fallback_reason"}};
   for (const auto& r : runs) {
     if (!r.complete()) continue;
     // format_double (shortest round-trip form): from_csv(to_csv(runs))
-    // must reproduce every value bit-for-bit.
+    // must reproduce every value bit-for-bit.  The MPTCP columns encode
+    // "no probe" as empty (distinct from "0"), so mp_probed round-trips.
     w.add_row({r.cluster, format_double(r.pos.lat_deg), format_double(r.pos.lon_deg),
                format_double(r.wifi_up_mbps), format_double(r.wifi_down_mbps),
                format_double(r.lte_up_mbps), format_double(r.lte_down_mbps),
                format_double(r.wifi_rtt_ms), format_double(r.lte_rtt_ms),
                std::to_string(r.metrics.value_of("tcp.retransmits")),
                std::to_string(r.metrics.value_of("tcp.rto_fires")),
-               std::to_string(r.metrics.sum_with_prefix("drop."))});
+               std::to_string(r.metrics.sum_with_prefix("drop.")),
+               r.mp_probed ? (r.negotiated_mp ? "1" : "0") : "",
+               r.mp_probed ? (r.achieved_mp ? "1" : "0") : "",
+               r.fallback_reason});
   }
   return w;
 }
@@ -355,6 +429,11 @@ std::vector<RunRecord> from_csv(const CsvData& data) {
   const auto c_mx = data.find_col("m_retransmits");
   const auto c_mr = data.find_col("m_rto");
   const auto c_md = data.find_col("m_drops");
+  // MPTCP columns appeared with the middlebox adversary layer; older
+  // files legitimately lack them.
+  const auto c_nm = data.find_col("negotiated_mp");
+  const auto c_am = data.find_col("achieved_mp");
+  const auto c_fr = data.find_col("fallback_reason");
   for (std::size_t i = 0; i < data.rows.size(); ++i) {
     const auto& row = data.rows[i];
     // Rows can come from hand-built CsvData, not just parse_csv (which
@@ -375,6 +454,14 @@ std::vector<RunRecord> from_csv(const CsvData& data) {
       r.wifi_rtt_ms = parse_double(row[c_wr]);
       r.lte_rtt_ms = parse_double(row[c_lr]);
       r.wifi_measured = r.lte_measured = true;
+      if (c_nm && c_am && c_fr) {
+        r.mp_probed = !row[*c_nm].empty();
+        if (r.mp_probed) {
+          r.negotiated_mp = row[*c_nm] == "1";
+          r.achieved_mp = row[*c_am] == "1";
+          r.fallback_reason = row[*c_fr];
+        }
+      }
       if (c_mx && c_mr && c_md) {
         // Rebuild just enough of the snapshot that a re-export emits the
         // same columns: drop causes collapse to one "drop.total" counter.

@@ -39,6 +39,16 @@ struct RunRecord {
   /// but are excluded from the analysis like the paper's filtered runs.
   bool failed = false;
   std::string failure_reason;
+  /// MPTCP middlebox probe (runs when the campaign sweeps a strip
+  /// probability): did this run perform one, and how did negotiation
+  /// settle.  negotiated != achieved is the Aschenbrenner distinction —
+  /// MP_CAPABLE can survive while every MP_JOIN is eaten.
+  bool mp_probed = false;
+  bool negotiated_mp = false;
+  bool achieved_mp = false;
+  /// Why multipath degraded ("" when it did not): "capable_stripped",
+  /// "syn_dropped", "join_rejected" or "mid_flow_dss".
+  std::string fallback_reason;
   /// Per-run observability snapshot: every probe simulator in this run
   /// recorded into one private ObsHub, snapshotted here.  Merge across
   /// runs with merge_run_metrics() — the result is bit-identical at any
@@ -63,6 +73,18 @@ struct CampaignOptions {
   double fault_probability = 0.0;
   /// Watchdog bound for fault-injected probes.
   Duration fault_stall_limit = sec(5);
+  /// When > 0, runs that measure both networks also perform an MPTCP
+  /// probe through option-sanitising middleboxes: the WiFi path's box
+  /// strips MP_CAPABLE with this probability and the LTE path's box
+  /// strips MP_JOIN with the same probability (box-level draws, one
+  /// fixed middlebox per run).  Sweeping this knob over the Table-1
+  /// grid reproduces the negotiated-vs-achieved multipath table.  All
+  /// draws are gated on the knob, so 0 keeps the legacy campaign
+  /// stream, records, keys, and CSV byte-identical.
+  double middlebox_strip_probability = 0.0;
+  /// Bytes moved by the MPTCP middlebox probe (smaller than the 1 MB
+  /// app probes: negotiation outcome, not throughput, is the signal).
+  std::int64_t mp_probe_bytes = 250'000;
   /// Worker threads for the execute phase: 0/1 = serial, negative =
   /// follow MN_THREADS.  Output is bit-identical for every value —
   /// the plan phase pre-draws all randomness serially and each run
@@ -90,6 +112,11 @@ struct RunPlan {
   Duration lte_delay{0};
   bool has_faults = false;
   FaultPlan faults;
+  /// MPTCP middlebox probe (pre-drawn when the campaign sweeps
+  /// middlebox_strip_probability and this run measures both networks).
+  bool has_middlebox = false;
+  double middlebox_strip = 0.0;
+  std::uint64_t middlebox_seed = 0;
   /// Seed of the run-private Rng (link-trace generation noise).
   std::uint64_t probe_seed = 0;
 };

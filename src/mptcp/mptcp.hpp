@@ -60,6 +60,31 @@ enum class MpScheduler {
   return s == MpScheduler::kLowestRtt ? "LowestRTT" : "RoundRobin";
 }
 
+/// Connection-level multipath negotiation outcome (middlebox realism).
+/// kNegotiating until the primary handshake settles, then:
+///   kMultipath       — MP_CAPABLE survived end to end
+///   kFallbackTcp     — option stripped/dropped in the handshake, or the
+///                      connection degraded to one path mid-flow after
+///                      DSS mangling (infinite-map-style fallback)
+///   kSubflowRejected — primary negotiated multipath, but every MP_JOIN
+///                      attempt was rejected: single-subflow MPTCP
+enum class MpNegotiation {
+  kNegotiating,
+  kMultipath,
+  kFallbackTcp,
+  kSubflowRejected,
+};
+
+[[nodiscard]] inline std::string to_string(MpNegotiation n) {
+  switch (n) {
+    case MpNegotiation::kNegotiating: return "Negotiating";
+    case MpNegotiation::kMultipath: return "Multipath";
+    case MpNegotiation::kFallbackTcp: return "Fallback-TCP";
+    case MpNegotiation::kSubflowRejected: return "Subflow-Rejected";
+  }
+  return "?";
+}
+
 struct MptcpSpec {
   /// Network carrying the primary subflow (the paper's central knob).
   PathId primary = PathId::kWifi;
@@ -87,6 +112,15 @@ struct MptcpSpec {
   Duration subflow_min_rto = msec(200);
   Duration subflow_initial_rto = sec(1);
   Duration subflow_max_rto = sec(60);
+  /// MP_JOIN persistence against middlebox rejection: total connection
+  /// attempts for subflow 1 (initial + retries), the backoff before each
+  /// retry (doubled per attempt), and how long one attempt may sit in
+  /// the handshake before it is declared rejected.  Bounded so no
+  /// middlebox combination can hang a run — after the last attempt the
+  /// connection settles at kSubflowRejected and runs single-subflow.
+  int join_max_attempts = 3;
+  Duration join_retry_backoff = msec(500);
+  Duration join_timeout = sec(3);
 };
 
 }  // namespace mn

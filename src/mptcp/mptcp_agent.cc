@@ -7,7 +7,11 @@ namespace mn {
 
 MptcpAgent::MptcpAgent(Simulator& sim, std::uint64_t connection_id, MptcpSpec spec,
                        bool is_client)
-    : sim_(sim), connection_id_(connection_id), spec_(spec), is_client_(is_client) {
+    : sim_(sim),
+      connection_id_(connection_id),
+      spec_(spec),
+      is_client_(is_client),
+      join_timer_(sim, [this] { on_join_timer(); }) {
   // Subflow 0 rides the primary network; subflow 1 the other one.
   setup_subflow(0, spec_.primary, MpOption::kCapable);
   setup_subflow(1, other_path(spec_.primary), MpOption::kJoin);
@@ -43,6 +47,7 @@ void MptcpAgent::setup_subflow(int id, PathId path, MpOption syn_option) {
   };
   sf.ep->on_data_segment = [this, id](const Packet& p) { on_subflow_segment(id, p); };
   sf.ep->on_closed = [this] { maybe_fire_closed(); };
+  sf.ep->on_negotiated = [this, id](MpOption opt) { on_subflow_negotiated(id, opt); };
   if (id == 0) {
     sf.ep->on_established = [this] {
       if (on_established) on_established();
@@ -56,10 +61,15 @@ void MptcpAgent::set_transmit(int subflow_id, PacketHandler transmit) {
   // The agent owns the one canonical handler (it also needs it for the
   // RST path after the endpoint is frozen); the endpoint forwards
   // through it.  PacketHandler is move-only, so no copies.
-  Subflow& sf = subflows_[static_cast<std::size_t>(subflow_id)];
-  sf.transmit = std::move(transmit);
-  sf.ep->set_transmit([this, subflow_id](Packet p) {
-    Subflow& owner = subflows_[static_cast<std::size_t>(subflow_id)];
+  subflows_[static_cast<std::size_t>(subflow_id)].transmit = std::move(transmit);
+  install_transmit(subflow_id);
+}
+
+void MptcpAgent::install_transmit(int id) {
+  // Separate from set_transmit so a recreated endpoint (join retry,
+  // server-side resurrection) re-attaches to the slot's stored handler.
+  subflows_[static_cast<std::size_t>(id)].ep->set_transmit([this, id](Packet p) {
+    Subflow& owner = subflows_[static_cast<std::size_t>(id)];
     if (owner.transmit) owner.transmit(std::move(p));
   });
 }
@@ -68,11 +78,36 @@ void MptcpAgent::handle_packet(const Packet& p) {
   if (p.subflow_id < 0 || p.subflow_id > 1) return;
   Subflow& sf = subflows_[static_cast<std::size_t>(p.subflow_id)];
   if (p.flags.rst) {
-    // Peer tore this subflow down (soft interface failure on its side).
-    kill_subflow(p.subflow_id, /*send_rst=*/false);
+    if (p.subflow_id == 1 && join_in_progress()) {
+      // The peer refused the MP_JOIN handshake (a middlebox ate the
+      // option, so the server could not match the subflow to the
+      // connection).  A rejection, not a path death: retry with backoff.
+      fail_join_attempt();
+    } else {
+      // Peer tore this subflow down (soft interface failure on its side).
+      kill_subflow(p.subflow_id, /*send_rst=*/false);
+    }
     return;
   }
-  if (sf.dead) return;
+  if (p.mp_option == MpOption::kFail && !shutdown_) {
+    on_mp_fail(p.subflow_id);  // never reaches the endpoint: agent-level
+    return;
+  }
+  if (sf.dead) {
+    // A rejected join slot comes back to life on a fresh MP_JOIN SYN —
+    // the client gave up on the old attempt and is opening a new
+    // subflow into the same slot.
+    if (!is_client_ && p.subflow_id == 1 && p.flags.syn && !p.flags.ack &&
+        p.mp_option == MpOption::kJoin && !shutdown_ && !closed_fired_) {
+      setup_subflow(1, sf.path, MpOption::kJoin);
+      install_transmit(1);
+      sf.dead = false;
+      sf.connected_started = false;
+      sf.ep->listen();
+      sf.ep->handle_packet(p);
+    }
+    return;
+  }
   sf.ep->handle_packet(p);
 }
 
@@ -85,16 +120,216 @@ void MptcpAgent::listen() {
 
 void MptcpAgent::start_join() {
   if (spec_.mode == MpMode::kSinglePath) return;  // joined only on failure
+  if (join_given_up_ || negotiation_ == MpNegotiation::kFallbackTcp) return;
   Subflow& sf = subflows_[1];
   if (sf.connected_started || sf.dead) return;
   sf.connected_started = true;
   if (spec_.join_delay.usec() > 0) {
-    sim_.schedule_after(spec_.join_delay, [this] {
-      if (!subflows_[1].dead) subflows_[1].ep->connect();
-    });
+    sim_.schedule_after(spec_.join_delay, [this] { attempt_join(); });
   } else {
-    sf.ep->connect();
+    attempt_join();
   }
+}
+
+// ---- negotiation / fallback state machine --------------------------------
+//
+//   kNegotiating --(MP_CAPABLE survives sf0 handshake)--> kMultipath
+//   kNegotiating --(option stripped / SYN dropped)------> kFallbackTcp
+//   kMultipath   --(every MP_JOIN attempt rejected)-----> kSubflowRejected
+//   kMultipath   --(mid-flow DSS mangled, MP_FAIL)------> kFallbackTcp
+//
+// Every transition is driven by a bounded mechanism (SYN-option
+// suppression in the endpoint, join_max_attempts/join_timeout here, one
+// MP_FAIL per subflow), so no middlebox combination can stall a flow in
+// kNegotiating forever.
+
+void MptcpAgent::on_subflow_negotiated(int id, MpOption opt) {
+  if (id == 0) {
+    if (opt == MpOption::kCapable) {
+      negotiated_mp_ = true;
+      if (negotiation_ == MpNegotiation::kNegotiating) {
+        negotiation_ = MpNegotiation::kMultipath;
+      }
+    } else {
+      // Our side suppressed the option after unanswered SYNs (a
+      // SYN-dropping middlebox) or the peer never saw/echoed it (an
+      // option-stripping one).  Either way: plain TCP from here on.
+      enter_handshake_fallback(subflows_[0].ep->syn_option_suppressed()
+                                   ? "syn_dropped"
+                                   : "capable_stripped");
+    }
+    return;
+  }
+  // Subflow 1: the MP_JOIN handshake settled.
+  if (opt == MpOption::kJoin) {
+    achieved_mp_ = true;
+    join_timer_.stop();
+    return;
+  }
+  if (is_client_) {
+    fail_join_attempt();
+  } else {
+    // A subflow that lost its MP_JOIN cannot be matched to the
+    // connection: reject it (RFC 6824 token-mismatch behaviour).  The
+    // client sees the RST mid-join and retries or gives up.
+    kill_subflow(1, /*send_rst=*/true);
+  }
+}
+
+void MptcpAgent::enter_handshake_fallback(const std::string& reason) {
+  negotiation_ = MpNegotiation::kFallbackTcp;
+  fallback_ = true;
+  fallback_reason_ = reason;
+  join_given_up_ = true;  // a plain-TCP connection has nothing to join
+  join_timer_.stop();
+  Subflow& sf1 = subflows_[1];
+  if (!sf1.connected_started && !sf1.ep->established()) sf1.dead = true;
+  // Count once per connection, on the active opener, so the client and
+  // server agents sharing one hub do not double-report.
+  if (is_client_) {
+    if (auto* o = sim_.obs()) o->count(o->ids().mptcp_fallback_handshake);
+  }
+}
+
+bool MptcpAgent::join_in_progress() const {
+  return is_client_ && subflows_[1].connected_started && !achieved_mp_ &&
+         !join_given_up_;
+}
+
+void MptcpAgent::attempt_join() {
+  if (!is_client_ || achieved_mp_ || join_given_up_ || shutdown_) return;
+  if (negotiation_ == MpNegotiation::kFallbackTcp) return;
+  if (subflow_close_issued_ || closed_fired_) return;
+  if (join_attempts_ >= spec_.join_max_attempts) {
+    give_up_join();
+    return;
+  }
+  ++join_attempts_;
+  Subflow& sf = subflows_[1];
+  if (sf.dead || sf.ep->state() != TcpState::kClosed) {
+    // Retry after a rejected attempt: v0.88 never resurrects a closed
+    // subflow, so the path manager opens a brand-new one in the slot.
+    setup_subflow(1, sf.path, MpOption::kJoin);
+    install_transmit(1);
+    sf.dead = false;
+    sf.is_backup = spec_.mode != MpMode::kFull;
+  }
+  sf.connected_started = true;
+  join_retry_pending_ = false;
+  join_timer_.restart(spec_.join_timeout);  // supervision: rejection backstop
+  sf.ep->connect();
+}
+
+void MptcpAgent::fail_join_attempt() {
+  if (!join_in_progress()) return;
+  if (join_retry_pending_) return;  // duplicate signal; retry already scheduled
+  join_timer_.stop();
+  Subflow& sf = subflows_[1];
+  if (!sf.dead) {
+    sf.dead = true;
+    // RST so the server abandons its half-open accept state.
+    Packet rst;
+    rst.connection_id = connection_id_;
+    rst.subflow_id = 1;
+    rst.flags.rst = true;
+    rst.sent_at = sim_.now();
+    if (sf.transmit) sf.transmit(rst);
+    sf.ep->freeze();
+    sf.mappings.clear();  // nothing assigned pre-establishment
+  }
+  if (join_attempts_ >= spec_.join_max_attempts) {
+    give_up_join();
+    return;
+  }
+  if (auto* o = sim_.obs()) o->count(o->ids().mptcp_join_retries);
+  join_retry_pending_ = true;
+  const int shift = join_attempts_ > 0 ? join_attempts_ - 1 : 0;
+  join_timer_.restart(Duration{spec_.join_retry_backoff.usec() << shift});
+}
+
+void MptcpAgent::give_up_join() {
+  if (join_given_up_) return;
+  join_given_up_ = true;
+  join_retry_pending_ = false;
+  join_timer_.stop();
+  if (!achieved_mp_ && negotiation_ == MpNegotiation::kMultipath) {
+    negotiation_ = MpNegotiation::kSubflowRejected;
+    fallback_reason_ = "join_rejected";
+    if (auto* o = sim_.obs()) o->count(o->ids().mptcp_fallback_join_rejected);
+  }
+  // The close path may have been waiting on the join to settle.
+  maybe_close_subflows();
+  maybe_fire_closed();
+}
+
+void MptcpAgent::abandon_join() {
+  // Flow is closing with all data acked: a join still mid-handshake (or
+  // waiting on its retry backoff) no longer serves a purpose.  Not a
+  // failure — no fallback_reason, negotiation state stays as settled.
+  join_given_up_ = true;
+  join_retry_pending_ = false;
+  join_timer_.stop();
+  Subflow& sf = subflows_[1];
+  if (!sf.dead && !sf.ep->established()) kill_subflow(1, /*send_rst=*/true);
+}
+
+void MptcpAgent::on_join_timer() {
+  if (achieved_mp_ || join_given_up_ || shutdown_) return;
+  if (join_retry_pending_) {
+    attempt_join();
+  } else {
+    fail_join_attempt();  // this attempt's handshake timed out
+  }
+}
+
+void MptcpAgent::on_mp_fail(int id) {
+  // The peer saw a data segment on `id` whose DSS mapping a middlebox
+  // destroyed (modelling a DSS-checksum failure).
+  if (fallback_) return;
+  if (fallback_reason_.empty()) {
+    fallback_reason_ = "mid_flow_dss";
+    if (auto* o = sim_.obs()) o->count(o->ids().mptcp_fallback_mid_flow);
+  }
+  negotiation_ = MpNegotiation::kFallbackTcp;
+  Subflow& other = subflows_[static_cast<std::size_t>(1 - id)];
+  const bool other_viable = !other.dead && other.ep->established();
+  if (other_viable || achieved_mp_) {
+    // Infinite-map-style degradation: abandon the poisoned subflow and
+    // drain its in-flight data on the survivor (kill_subflow reinjects
+    // every unacked mapping).  Subflow-acked history is requeued too —
+    // any of it may have arrived DSS-mangled and never been placed, and
+    // without a DATA_ACK the sender cannot tell which.  With multipath
+    // history and no survivor, subflow-sequence reconstruction is
+    // impossible — killing the last subflow aborts the flow, and the
+    // watchdog reports the recorded fallback_reason instead of hanging.
+    Subflow& sf = subflows_[static_cast<std::size_t>(id)];
+    for (const auto& [ds, len] : sf.acked_log) {
+      reinject_.emplace_back(ds, len);
+      if (auto* o = sim_.obs()) o->count(o->ids().mptcp_reinjects);
+    }
+    sf.acked_log.clear();
+    kill_subflow(id, /*send_rst=*/true);
+  } else {
+    // Sole subflow and multipath never achieved: the connection *is* a
+    // plain TCP stream, so continue on it with sequence-space
+    // accounting (the receiver mirrors this on its side).
+    fallback_ = true;
+  }
+}
+
+void MptcpAgent::send_mp_fail(int id) {
+  // One MP_FAIL per unplaceable segment, not one per subflow: the
+  // signal crosses lossy, possibly-blackholed reverse pipes, and the
+  // sender's reaction (kill or fallback) stops the segment stream, so
+  // repetition is naturally bounded by the in-flight window.
+  Packet p;
+  p.connection_id = connection_id_;
+  p.subflow_id = id;
+  p.flags.ack = true;
+  p.mp_option = MpOption::kFail;
+  p.sent_at = sim_.now();
+  Subflow& sf = subflows_[static_cast<std::size_t>(id)];
+  if (sf.transmit) sf.transmit(p);
 }
 
 void MptcpAgent::send_data(std::int64_t bytes) {
@@ -126,6 +361,8 @@ void MptcpAgent::notify_path_state(PathId path, bool up) {
 }
 
 void MptcpAgent::shutdown() {
+  shutdown_ = true;
+  join_timer_.stop();
   for (auto& sf : subflows_) {
     if (sf.ep) sf.ep->freeze();
   }
@@ -241,6 +478,12 @@ void MptcpAgent::on_subflow_acked(int id, std::int64_t newly) {
   while (newly > 0 && !sf.mappings.empty()) {
     auto& [data_seq, len] = sf.mappings.front();
     const std::int64_t n = std::min(newly, len);
+    if (!sf.acked_log.empty() &&
+        sf.acked_log.back().first + sf.acked_log.back().second == data_seq) {
+      sf.acked_log.back().second += n;
+    } else {
+      sf.acked_log.emplace_back(data_seq, n);
+    }
     gained += acked_.add(data_seq, data_seq + n);
     data_seq += n;
     len -= n;
@@ -255,9 +498,31 @@ void MptcpAgent::on_subflow_acked(int id, std::int64_t newly) {
   maybe_close_subflows();
 }
 
-void MptcpAgent::on_subflow_segment(int /*id*/, const Packet& p) {
-  if (p.data_seq < 0 || p.payload <= 0) return;
-  const std::int64_t gained = received_.add(p.data_seq, p.data_seq + p.payload);
+void MptcpAgent::on_subflow_segment(int id, const Packet& p) {
+  if (p.payload <= 0) return;
+  std::int64_t ds = p.data_seq;
+  if (ds < 0) {
+    // A middlebox zeroed the DSS mapping on this segment.
+    if (!fallback_) {
+      if (achieved_mp_ || id != 0) {
+        // Multipath history: data-level placement is unrecoverable for
+        // this segment.  Signal the sender; it kills the poisoned
+        // subflow and re-sends everything it carried on the survivor.
+        mangled_discarded_ += p.payload;
+        send_mp_fail(id);
+        return;
+      }
+      // All data so far rode subflow 0 in assignment order, so its
+      // sequence space *is* the data sequence space: degrade to plain
+      // TCP accounting and notify the sender to mirror the fallback.
+      fallback_ = true;
+      negotiation_ = MpNegotiation::kFallbackTcp;
+      if (fallback_reason_.empty()) fallback_reason_ = "mid_flow_dss";
+      send_mp_fail(id);
+    }
+    ds = p.seq - 1;  // subflow seq 0 is the SYN; data starts at 1
+  }
+  const std::int64_t gained = received_.add(ds, ds + p.payload);
   if (gained > 0) {
     delivered_timeline_.push_back({sim_.now(), received_.total()});
     if (on_data_delivered) on_data_delivered(received_.total());
@@ -296,13 +561,21 @@ void MptcpAgent::kill_subflow(int id, bool send_rst) {
     }
   }
   sf.mappings.clear();
+  // A join whose subflow died under it (path down mid-handshake) is not
+  // retried: the path manager has no liveness signal to wait on, and a
+  // bounded retry against a dead path would only delay the close.
+  if (id == 1 && join_in_progress()) {
+    join_given_up_ = true;
+    join_retry_pending_ = false;
+    join_timer_.stop();
+  }
   // Single-Path mode: open the other subflow now (break-before-make).
-  if (is_client_ && spec_.mode == MpMode::kSinglePath && id == 0) {
+  // Never after a handshake fallback — a plain-TCP connection has no
+  // second subflow to fail over to.
+  if (is_client_ && spec_.mode == MpMode::kSinglePath && id == 0 &&
+      negotiation_ != MpNegotiation::kFallbackTcp) {
     Subflow& backup = subflows_[1];
-    if (!backup.connected_started && !backup.dead) {
-      backup.connected_started = true;
-      backup.ep->connect();
-    }
+    if (!backup.connected_started && !backup.dead) attempt_join();
   }
   pump_all();
   maybe_fire_closed();
@@ -312,6 +585,9 @@ void MptcpAgent::maybe_close_subflows() {
   if (!close_requested_ || subflow_close_issued_) return;
   if (!exhausted()) return;
   if (data_end_ > 0 && acked_.total() < data_end_) return;
+  // All data acked: a join still in flight must not block the close
+  // (close_when_done on a kSynSent endpoint would never reach kDone).
+  if (join_in_progress()) abandon_join();
   subflow_close_issued_ = true;
   for (auto& sf : subflows_) {
     if (sf.dead) continue;

@@ -66,6 +66,22 @@ class MptcpAgent final : public DataSource {
   std::function<void()> on_closed;  // all subflows finished
 
   // ---- introspection ----------------------------------------------------
+  /// Negotiation/fallback state machine (middlebox realism):
+  /// kNegotiating -> kMultipath | kFallbackTcp | kSubflowRejected.
+  [[nodiscard]] MpNegotiation negotiation() const { return negotiation_; }
+  /// Whether MP_CAPABLE survived the primary handshake end to end.
+  [[nodiscard]] bool negotiated_mp() const { return negotiated_mp_; }
+  /// Whether a second subflow actually joined (multipath was *used*,
+  /// not merely negotiated — the Aschenbrenner distinction).
+  [[nodiscard]] bool achieved_mp() const { return achieved_mp_; }
+  /// Why multipath degraded ("" while none): "capable_stripped",
+  /// "syn_dropped", "join_rejected", or "mid_flow_dss".
+  [[nodiscard]] const std::string& fallback_reason() const { return fallback_reason_; }
+  [[nodiscard]] int join_attempts() const { return join_attempts_; }
+  /// Receiver side: payload bytes discarded because a middlebox zeroed
+  /// their DSS mapping and no safe reconstruction existed (upper bound —
+  /// retransmissions may double-count).  Nonzero only under DSS faults.
+  [[nodiscard]] std::int64_t mangled_discarded() const { return mangled_discarded_; }
   [[nodiscard]] std::int64_t data_acked() const { return acked_.total(); }
   [[nodiscard]] std::int64_t data_delivered() const { return received_.total(); }
   /// In-order data-level delivery (what the application could read).
@@ -90,6 +106,12 @@ class MptcpAgent final : public DataSource {
     PacketHandler transmit;
     /// Data ranges assigned, in subflow-send order: (data_seq, len).
     std::deque<std::pair<std::int64_t, std::int64_t>> mappings;
+    /// Data ranges this subflow got subflow-acked, back-coalesced, in
+    /// consumption order.  The MP_FAIL path requeues them wholesale:
+    /// without a DATA_ACK in the model, the sender cannot know which
+    /// "acked" bytes the receiver actually placed once DSS mangling is
+    /// in play (the receiver's interval set dedups re-deliveries).
+    std::vector<std::pair<std::int64_t, std::int64_t>> acked_log;
     bool dead = false;
     bool is_backup = false;
     bool connected_started = false;
@@ -97,6 +119,7 @@ class MptcpAgent final : public DataSource {
 
   [[nodiscard]] std::unique_ptr<CongestionController> make_cc();
   void setup_subflow(int id, PathId path, MpOption syn_option);
+  void install_transmit(int id);
   void start_join();
   void pump_all();
   void on_subflow_acked(int id, std::int64_t newly);
@@ -105,6 +128,22 @@ class MptcpAgent final : public DataSource {
   void maybe_close_subflows();
   void maybe_fire_closed();
   [[nodiscard]] int active_data_subflow() const;
+
+  // -- negotiation / fallback state machine --
+  void on_subflow_negotiated(int id, MpOption opt);
+  void enter_handshake_fallback(const std::string& reason);
+  /// True while subflow 1 is between its first MP_JOIN and either
+  /// success or give-up (the window where an RST means "rejected",
+  /// not "path died").
+  [[nodiscard]] bool join_in_progress() const;
+  void attempt_join();
+  void fail_join_attempt();
+  void give_up_join();
+  void abandon_join();  // flow closing: stop retrying, not a failure
+  void on_join_timer();
+  /// MP_FAIL arrived on `id`: the peer saw mangled DSS options there.
+  void on_mp_fail(int id);
+  void send_mp_fail(int id);
 
   Simulator& sim_;
   std::uint64_t connection_id_;
@@ -129,6 +168,22 @@ class MptcpAgent final : public DataSource {
   std::vector<TimelinePoint> acked_timeline_;
   std::vector<TimelinePoint> delivered_timeline_;
   bool closed_fired_ = false;
+
+  // Negotiation / fallback state.
+  MpNegotiation negotiation_ = MpNegotiation::kNegotiating;
+  std::string fallback_reason_;
+  bool negotiated_mp_ = false;
+  bool achieved_mp_ = false;
+  /// Data-level fallback: the connection is (or became) plain single-
+  /// path TCP, so a receiver may reconstruct data sequence numbers from
+  /// subflow sequence space when a middlebox zeroed the DSS option.
+  bool fallback_ = false;
+  bool shutdown_ = false;
+  int join_attempts_ = 0;       // connection attempts issued for subflow 1
+  bool join_given_up_ = false;
+  bool join_retry_pending_ = false;  // next timer fire = retry, not timeout
+  std::int64_t mangled_discarded_ = 0;  // receiver: unplaceable mangled payload
+  Timer join_timer_;
 };
 
 }  // namespace mn

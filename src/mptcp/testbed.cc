@@ -158,6 +158,19 @@ MptcpFlowResult run_mptcp_flow(Simulator& sim, const MpNetworkSetup& setup,
     bed.shutdown();
   }
 
+  // Negotiation outcome: the client (active opener) is authoritative —
+  // it is the side real measurement tools observe — but when a one-way
+  // middlebox leaves the views asymmetric, a fallback either side saw is
+  // worth reporting.
+  result.negotiation = bed.client().negotiation();
+  result.negotiated_mp = bed.client().negotiated_mp();
+  result.achieved_mp = bed.client().achieved_mp();
+  result.join_attempts = bed.client().join_attempts();
+  result.fallback_reason = bed.client().fallback_reason();
+  if (result.fallback_reason.empty()) {
+    result.fallback_reason = bed.server().fallback_reason();
+  }
+
   // Client-observed data-level clock: delivered for downloads, acked for
   // uploads (the paper measures at the phone's tcpdump).
   const auto& tl = (dir == Direction::kDownload) ? bed.client().delivered_timeline()

@@ -113,6 +113,18 @@ struct MptcpFlowResult {
   Duration max_stall{0};
   /// Why the flow did not complete ("" when it did).
   std::string failure_reason;
+  /// How multipath negotiation settled (client view; middlebox realism).
+  MpNegotiation negotiation = MpNegotiation::kNegotiating;
+  /// MP_CAPABLE survived the primary handshake end to end.
+  bool negotiated_mp = false;
+  /// A second subflow actually joined — multipath was used, not merely
+  /// negotiated (the negotiated-vs-achieved distinction).
+  bool achieved_mp = false;
+  /// Why multipath degraded ("" when it did not): "capable_stripped",
+  /// "syn_dropped", "join_rejected" or "mid_flow_dss".
+  std::string fallback_reason;
+  /// MP_JOIN connection attempts issued by the client's path manager.
+  int join_attempts = 0;
   /// Client-observed MPTCP data-level timeline (relative to first SYN).
   std::vector<TimelinePoint> timeline;
   /// Client-observed per-subflow byte timelines (index = subflow id;

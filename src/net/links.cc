@@ -6,6 +6,18 @@
 
 namespace mn {
 
+void PacketStage::note_drop_slow(obs::DropCause cause, const Packet& p) {
+  obs()->packet_dropped(obs_sim_->now(), cause, p.wire_bytes());
+}
+
+void PacketStage::note_enqueue_slow(const Packet& p, std::int64_t depth) {
+  obs()->packet_enqueued(obs_sim_->now(), p.wire_bytes(), depth);
+}
+
+void PacketStage::note_deliver_slow(const Packet& p) {
+  obs()->packet_delivered(obs_sim_->now(), p.wire_bytes());
+}
+
 void DelayBox::accept(Packet p) {
   ++counters_.accepted;
   const std::uint32_t idx = pool_.put(std::move(p));

@@ -107,18 +107,25 @@ class PacketStage {
   /// exactly once with its cause, right where ++counters_.dropped
   /// happens — the obs per-cause counters stay reconcilable with the
   /// stage counters.
+  /// The hub-present bodies are outlined ([[gnu::cold]], in links.cc) so
+  /// each note_* costs the per-packet hot paths a single predicted
+  /// branch — the registry/ring writes never inline into accept().
   void note_drop(obs::DropCause cause, const Packet& p) {
-    if (auto* o = obs()) o->packet_dropped(obs_sim_->now(), cause, p.wire_bytes());
+    if (obs() != nullptr) [[unlikely]] note_drop_slow(cause, p);
   }
   void note_enqueue(const Packet& p, std::int64_t depth) {
-    if (auto* o = obs()) o->packet_enqueued(obs_sim_->now(), p.wire_bytes(), depth);
+    if (obs() != nullptr) [[unlikely]] note_enqueue_slow(p, depth);
   }
   void note_deliver(const Packet& p) {
-    if (auto* o = obs()) o->packet_delivered(obs_sim_->now(), p.wire_bytes());
+    if (obs() != nullptr) [[unlikely]] note_deliver_slow(p);
   }
   StageCounters counters_;
 
  private:
+  [[gnu::noinline, gnu::cold]] void note_drop_slow(obs::DropCause cause, const Packet& p);
+  [[gnu::noinline, gnu::cold]] void note_enqueue_slow(const Packet& p, std::int64_t depth);
+  [[gnu::noinline, gnu::cold]] void note_deliver_slow(const Packet& p);
+
   PacketHandler next_;
   const Simulator* obs_sim_ = nullptr;
 };

@@ -27,6 +27,7 @@ enum class MpOption : std::uint8_t {
   kNone = 0,
   kCapable,  // on the primary subflow's SYN
   kJoin,     // on a secondary subflow's SYN
+  kFail,     // MP_FAIL on a pure ACK: DSS checksum failure seen upstream
 };
 
 struct Packet {

@@ -22,13 +22,24 @@ OneWayPipe::OneWayPipe(Simulator& sim, const LinkSpec& spec) : sim_(sim) {
   if (spec.loss_rate > 0.0) {
     loss_ = std::make_unique<LossBox>(Rng{spec.loss_seed}, spec.loss_rate);
     loss_->set_next([b = burst_.get()](Packet p) { b->accept(std::move(p)); });
-    entry_ = loss_.get();
-  } else {
-    entry_ = burst_.get();
   }
+  // The middlebox sits at the pipe entry (an in-network box sees the
+  // packet before the loss/capacity model does); pass-through until a
+  // spec is installed here or by the fault injector.
+  const std::uint64_t mbox_seed =
+      spec.middlebox ? spec.middlebox->seed : mix_seed(spec.loss_seed, "mbox");
+  mbox_ = std::make_unique<MiddleboxBox>(mbox_seed);
+  if (spec.middlebox && !spec.middlebox->trivial()) mbox_->set_spec(*spec.middlebox);
+  if (loss_) {
+    mbox_->set_next([l = loss_.get()](Packet p) { l->accept(std::move(p)); });
+  } else {
+    mbox_->set_next([b = burst_.get()](Packet p) { b->accept(std::move(p)); });
+  }
+  entry_ = mbox_.get();
   // Every owned stage reports to the hub installed on this simulator
   // (if any): the per-cause drop counters below each drop site stay in
   // lock-step with the stage counters the soak invariants check.
+  mbox_->attach_obs(sim);
   burst_->attach_obs(sim);
   if (loss_) loss_->attach_obs(sim);
   link_->attach_obs(sim);
@@ -73,7 +84,7 @@ bool OneWayPipe::counters_consistent() const {
                              static_cast<std::uint64_t>(s.queued_packets());
   };
   if (loss_ && !ok(*loss_)) return false;
-  return ok(*burst_) && ok(*link_) && ok(*delay_);
+  return ok(*mbox_) && ok(*burst_) && ok(*link_) && ok(*delay_);
 }
 
 namespace {
@@ -83,6 +94,7 @@ namespace {
 LinkSpec direction_spec(LinkSpec s, std::string_view dir) {
   s.loss_seed = mix_seed(s.loss_seed, dir);
   if (s.burst_loss) s.burst_loss->seed = mix_seed(s.burst_loss->seed, dir);
+  if (s.middlebox) s.middlebox->seed = mix_seed(s.middlebox->seed, dir);
   return s;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/links.hpp"
+#include "net/middlebox.hpp"
 
 namespace mn {
 
@@ -31,10 +32,15 @@ struct LinkSpec {
   /// Correlated (Gilbert-Elliott) loss active from t=0.  Usually left
   /// unset and switched on mid-run by the fault injector instead.
   std::optional<GeLossSpec> burst_loss;
+  /// MPTCP-hostile middlebox on this direction from t=0 (campaign
+  /// stripping sweeps); like burst_loss, usually installed mid-run by
+  /// the fault injector instead.  Seeds fork per direction through
+  /// DuplexPath (mix_seed with "up"/"down").
+  std::optional<MiddleboxSpec> middlebox;
 };
 
-/// One direction: [blackhole gate] -> burst loss -> [loss] -> capacity
-/// link -> propagation delay -> receiver.
+/// One direction: [blackhole gate] -> middlebox -> burst loss ->
+/// [loss] -> capacity link -> propagation delay -> receiver.
 ///
 /// The fault hooks (set_blackhole, set_burst_loss, set_rate_mbps,
 /// set_delay_spike) exist for the FaultInjector but are plain public
@@ -63,6 +69,13 @@ class OneWayPipe {
   void clear_burst_loss() { burst_->disable(); }
   [[nodiscard]] const GilbertElliottLossBox& burst_stage() const { return *burst_; }
 
+  /// Install / clear an MPTCP-hostile middlebox mid-run (fault
+  /// injection; the spec's seed is used as given — direction forking
+  /// already happened when the plan was built).
+  void set_middlebox(const MiddleboxSpec& spec) { mbox_->set_spec(spec); }
+  void clear_middlebox() { mbox_->disable(); }
+  [[nodiscard]] const MiddleboxBox& middlebox_stage() const { return *mbox_; }
+
   /// Crash or restore the link rate (fixed-rate links only; returns
   /// false for trace-driven links, which have no scalar rate to change).
   bool set_rate_mbps(double mbps);
@@ -81,6 +94,7 @@ class OneWayPipe {
 
  private:
   Simulator& sim_;
+  std::unique_ptr<MiddleboxBox> mbox_;            // pass-through until enabled
   std::unique_ptr<GilbertElliottLossBox> burst_;  // pass-through until enabled
   std::unique_ptr<LossBox> loss_;       // null when loss_rate == 0
   std::unique_ptr<PacketStage> link_;   // RateLink or TraceLink

@@ -11,6 +11,7 @@ const char* drop_cause_name(DropCause cause) {
     case DropCause::kRandomLoss: return "random_loss";
     case DropCause::kBurstLoss: return "burst_loss";
     case DropCause::kIfaceDown: return "iface_down";
+    case DropCause::kMiddlebox: return "middlebox";
   }
   return "unknown";
 }
@@ -34,6 +35,13 @@ ObsHub::ObsHub(std::size_t flight_capacity) {
   ids_.mptcp_grants_sf0 = reg_.counter("mptcp.sched_grants_sf0");
   ids_.mptcp_grants_sf1 = reg_.counter("mptcp.sched_grants_sf1");
   ids_.mptcp_reinjects = reg_.counter("mptcp.reinjected_ranges");
+  ids_.mptcp_fallback_handshake = reg_.counter("mptcp.fallback.handshake");
+  ids_.mptcp_fallback_mid_flow = reg_.counter("mptcp.fallback.mid_flow");
+  ids_.mptcp_fallback_join_rejected = reg_.counter("mptcp.fallback.join_rejected");
+  ids_.mptcp_join_retries = reg_.counter("mptcp.join_retries");
+  ids_.middlebox_syn_stripped = reg_.counter("middlebox.syn_stripped");
+  ids_.middlebox_syn_dropped = reg_.counter("middlebox.syn_dropped");
+  ids_.middlebox_dss_mangled = reg_.counter("middlebox.dss_mangled");
   ids_.fault_armed = reg_.counter("fault.armed");
   ids_.fault_applied = reg_.counter("fault.applied");
   ids_.fault_skipped = reg_.counter("fault.skipped");

@@ -37,8 +37,9 @@ enum class DropCause : std::uint8_t {
   kRandomLoss = 2,     // Bernoulli LossBox
   kBurstLoss = 3,      // Gilbert-Elliott bad-state loss
   kIfaceDown = 4,      // NetworkInterface down (soft-disabled/unplugged)
+  kMiddlebox = 5,      // MiddleboxBox rejected a SYN carrying unknown options
 };
-constexpr std::size_t kDropCauseCount = 5;
+constexpr std::size_t kDropCauseCount = 6;
 
 [[nodiscard]] const char* drop_cause_name(DropCause cause);
 
@@ -59,6 +60,9 @@ class ObsHub {
     MetricId tcp_retransmits, tcp_rto_fires, tcp_recovery_enters, tcp_penalizations;
     MetricId tcp_rtt_usec, tcp_cwnd_bytes;  // histograms
     MetricId mptcp_grants_sf0, mptcp_grants_sf1, mptcp_reinjects;
+    MetricId mptcp_fallback_handshake, mptcp_fallback_mid_flow;
+    MetricId mptcp_fallback_join_rejected, mptcp_join_retries;
+    MetricId middlebox_syn_stripped, middlebox_syn_dropped, middlebox_dss_mangled;
     MetricId fault_armed, fault_applied, fault_skipped;
     MetricId energy_transitions, energy_wifi_mj, energy_lte_mj;  // last two: gauges
     MetricId inplace_heap_fallbacks;  // gauge, refreshed at snapshot time

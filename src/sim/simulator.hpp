@@ -102,7 +102,7 @@ class Simulator {
     s.seq = next_seq_++;
     enqueue(slot, s);
     ++live_;
-    if (obs_ != nullptr) obs_->sim_scheduled(now_, at, s.seq);
+    if (obs_ != nullptr) [[unlikely]] note_scheduled(at, s.seq);
     return (static_cast<EventId>(s.generation) << 32) | slot;
   }
   /// Schedule `fn` to run after `delay`.
@@ -150,7 +150,7 @@ class Simulator {
         --live_;
         now_ = TimePoint{batch_tick_};
         ++fired_;
-        if (obs_ != nullptr) obs_->sim_fired(now_, s.seq);
+        if (obs_ != nullptr) [[unlikely]] note_fired(s.seq);
         // Slot addresses are stable (chunked slab) and the slot is not
         // yet on the free list, so the callback runs in place — no move
         // of the 64-byte buffer.  Anything it schedules lands in other
@@ -290,6 +290,16 @@ class Simulator {
   void reap(std::uint32_t slot) {
     free_.push_back(slot);
     --stale_;
+  }
+
+  // Obs hooks, outlined so the (rare) hub-present path costs the hot
+  // loops exactly one predicted branch — the registry/ring writes never
+  // inline into schedule_at()'s template expansions or step():
+  [[gnu::noinline, gnu::cold]] void note_scheduled(TimePoint at, std::uint64_t seq) {
+    obs_->sim_scheduled(now_, at, seq);
+  }
+  [[gnu::noinline, gnu::cold]] void note_fired(std::uint64_t seq) {
+    obs_->sim_fired(now_, seq);
   }
 
   // Cold-path machinery in the .cc:

@@ -33,7 +33,10 @@ namespace mn::store {
 /// Bump on ANY change that alters what a cached run would produce:
 /// simulator semantics, probe sequences, record serialization, metric
 /// names.  Old entries then key differently and simply never hit.
-inline constexpr std::uint32_t kRunFormatVersion = 1;
+/// v2: middlebox adversary layer — MPTCP negotiation/fallback state
+/// machine changed flow semantics, campaign grew an MPTCP probe phase,
+/// and the chaos/run record blobs carry negotiation fields.
+inline constexpr std::uint32_t kRunFormatVersion = 2;
 
 struct ScenarioKey {
   std::uint64_t hi = 0;

@@ -189,7 +189,15 @@ VerifyReport verify_store(const std::string& dir) {
   for (const std::string& path : list_segment_files(dir)) {
     const SegmentReadResult seg = read_segment(path);
     ++report.segments;
-    std::string line = fs::path(path).filename().string() + ": ";
+    SegmentVerify sv;
+    sv.file = fs::path(path).filename().string();
+    sv.records = seg.entries.size();
+    sv.torn_frames = seg.torn_frames;
+    sv.refused = seg.version_mismatch;
+    sv.sealed = seg.sealed;
+    sv.note = seg.note;
+    report.per_segment.push_back(sv);
+    std::string line = sv.file + ": ";
     if (seg.version_mismatch) {
       ++report.version_mismatches;
       line += "REFUSED (" + seg.note + ")";

@@ -114,6 +114,17 @@ class RunStore {
 
 /// Integrity report over a store directory, without opening a RunStore
 /// (pure read: the CLI's `verify`).
+struct SegmentVerify {
+  std::string file;  // basename of the segment file
+  std::uint64_t records = 0;
+  std::uint64_t torn_frames = 0;
+  bool refused = false;  // bad magic / unknown version
+  bool sealed = false;
+  std::string note;  // reader's damage notes (offset of every bad frame)
+
+  [[nodiscard]] bool damaged() const { return refused || torn_frames > 0; }
+};
+
 struct VerifyReport {
   std::uint64_t segments = 0;
   std::uint64_t sealed_segments = 0;
@@ -122,6 +133,10 @@ struct VerifyReport {
   std::uint64_t version_mismatches = 0;
   std::uint64_t truncated_bytes = 0;
   std::string text;  // one line per segment
+  /// One entry per segment file, in load order — the structured form of
+  /// `text`, so callers (the CLI's bad-frame summary, tests) can point
+  /// at exactly which segments hold bad frames.
+  std::vector<SegmentVerify> per_segment;
 
   [[nodiscard]] bool ok() const { return torn_frames == 0 && version_mismatches == 0; }
 };

@@ -53,12 +53,25 @@ void TcpEndpoint::listen() {
   state_ = TcpState::kListen;
 }
 
+MpOption TcpEndpoint::offered_syn_option() {
+  if (config_.syn_option == MpOption::kNone) return MpOption::kNone;
+  // Original + syn_option_retries transmissions carry the option; after
+  // that the handshake retries bare so an option-dropping middlebox can
+  // no longer starve it (Linux MPTCP's SYN fallback).
+  if (syn_sends_ > config_.syn_option_retries) {
+    syn_option_suppressed_ = true;
+    return MpOption::kNone;
+  }
+  return config_.syn_option;
+}
+
 void TcpEndpoint::send_syn() {
   if (syn_sent_at_ == TimePoint{}) syn_sent_at_ = sim_.now();
   Packet p = make_packet();
   p.flags.syn = true;
   p.seq = 0;
-  p.mp_option = config_.syn_option;
+  p.mp_option = offered_syn_option();
+  ++syn_sends_;
   transmit(std::move(p));
 }
 
@@ -69,7 +82,12 @@ void TcpEndpoint::send_syn_ack() {
   p.flags.ack = true;
   p.seq = 0;
   p.ack_seq = 1;
-  p.mp_option = config_.syn_option;
+  // Echo the option only if the peer's SYN still carried it when it
+  // reached us — a stripped SYN negotiates plain TCP on both ends.
+  p.mp_option =
+      peer_syn_option_ == config_.syn_option ? offered_syn_option() : MpOption::kNone;
+  ++syn_sends_;
+  negotiated_option_ = p.mp_option;
   transmit(std::move(p));
 }
 
@@ -237,11 +255,20 @@ void TcpEndpoint::trigger_send() {
 // ---------------------------------------------------------------------
 
 void TcpEndpoint::handle_packet(const Packet& p) {
-  if (frozen_ || state_ == TcpState::kDone || state_ == TcpState::kClosed) return;
+  if (frozen_ || state_ == TcpState::kClosed) return;
+  if (state_ == TcpState::kDone) {
+    // TIME-WAIT responsibility: our final ACK of the peer's FIN may have
+    // been lost, in which case the peer retransmits that FIN until
+    // someone re-acks it.  A fully-closed endpoint that stays silent
+    // wedges the peer forever.
+    if (p.flags.fin) send_pure_ack();
+    return;
+  }
 
   // Handshake transitions.
   if (state_ == TcpState::kListen) {
     if (p.flags.syn && !p.flags.ack) {
+      peer_syn_option_ = p.mp_option;
       rcv_next_ = 1;
       state_ = TcpState::kSynReceived;
       send_syn_ack();
@@ -253,6 +280,9 @@ void TcpEndpoint::handle_packet(const Packet& p) {
     if (p.flags.syn && p.flags.ack && p.ack_seq >= 1) {
       // Karn's rule: only sample if our SYN was never retransmitted.
       if (rto_backoff_ == 0) update_rtt(sim_.now() - syn_sent_at_);
+      peer_syn_option_ = p.mp_option;
+      negotiated_option_ =
+          p.mp_option == config_.syn_option ? config_.syn_option : MpOption::kNone;
       rcv_next_ = 1;
       snd_una_ = 1;
       snd_nxt_ = 1;
@@ -270,7 +300,10 @@ void TcpEndpoint::handle_packet(const Packet& p) {
       enter_established();
       // Fall through: the packet may carry data (or a FIN) too.
     } else if (p.flags.syn && !p.flags.ack) {
-      send_syn_ack();  // retransmitted SYN: answer again
+      // Retransmitted SYN: re-record the option (the client may have
+      // dropped it after its own unanswered retries) and answer again.
+      peer_syn_option_ = p.mp_option;
+      send_syn_ack();
       return;
     } else {
       return;
@@ -497,6 +530,7 @@ void TcpEndpoint::enter_established() {
   rto_timer_.stop();
   rto_backoff_ = 0;
   cc_->on_established();
+  if (on_negotiated) on_negotiated(negotiated_option_);
   if (on_established) on_established();
   trigger_send();
 }

@@ -57,6 +57,11 @@ struct TcpConfig {
   std::uint64_t connection_id = 1;
   int subflow_id = 0;
   MpOption syn_option = MpOption::kNone;  // kCapable / kJoin for MPTCP
+  /// SYN/SYN-ACK retransmissions that keep offering syn_option before
+  /// the endpoint falls back to a bare SYN (Linux's
+  /// tcp_retries1-style MPTCP fallback: a middlebox eating
+  /// option-bearing SYNs must not hang the handshake forever).
+  int syn_option_retries = 2;
   Duration min_rto = msec(200);           // Linux TCP_RTO_MIN
   Duration initial_rto = sec(1);
   Duration max_rto = sec(60);
@@ -105,6 +110,12 @@ class TcpEndpoint {
 
   // ---- callbacks -----------------------------------------------------
   std::function<void()> on_established;
+  /// Fired once, just before on_established, with the MPTCP option that
+  /// actually survived the handshake: config_.syn_option when both SYN
+  /// and SYN-ACK carried it end to end, kNone when a middlebox stripped
+  /// or dropped it (the MptcpAgent's negotiation state machine hangs off
+  /// this).  Plain TCP endpoints always report kNone.
+  std::function<void(MpOption)> on_negotiated;
   /// Sender side: cumulative data bytes newly acknowledged.
   std::function<void(std::int64_t newly, std::int64_t total)> on_acked;
   /// Receiver side: in-order delivered byte total advanced.
@@ -138,6 +149,12 @@ class TcpEndpoint {
   [[nodiscard]] std::uint64_t retransmit_count() const { return retransmits_; }
   [[nodiscard]] std::uint64_t rto_count() const { return rto_events_; }
   [[nodiscard]] std::uint64_t probe_count() const { return probe_events_; }
+  /// The MPTCP option the handshake settled on (valid once established).
+  [[nodiscard]] MpOption negotiated_option() const { return negotiated_option_; }
+  /// True when this endpoint gave up offering its MPTCP option after
+  /// syn_option_retries unanswered option-bearing SYNs (the SYN-drop
+  /// middlebox signature, as opposed to in-flight stripping).
+  [[nodiscard]] bool syn_option_suppressed() const { return syn_option_suppressed_; }
 
  private:
   struct Segment {
@@ -153,6 +170,7 @@ class TcpEndpoint {
   // -- send helpers --
   void transmit(Packet p);
   Packet make_packet() const;
+  MpOption offered_syn_option();
   void send_syn();
   void send_syn_ack();
   void send_pure_ack();
@@ -193,6 +211,12 @@ class TcpEndpoint {
   TimePoint established_at_{};
   TimePoint syn_sent_at_{};  // first SYN / SYN-ACK transmission
   TimePoint last_penalized_{};
+
+  // Negotiation state (what actually crossed the wire, vs config_'s offer).
+  MpOption peer_syn_option_ = MpOption::kNone;  // option on the peer's SYN/SYN-ACK
+  MpOption negotiated_option_ = MpOption::kNone;
+  int syn_sends_ = 0;  // SYN or SYN-ACK transmissions (original + rexmits)
+  bool syn_option_suppressed_ = false;
 
   // Sender sequence space.  SYN occupies seq 0; data starts at 1; FIN
   // occupies one seq after the last data byte.

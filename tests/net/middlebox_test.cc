@@ -1,0 +1,157 @@
+// MiddleboxBox unit tests: box-level policy draws, SYN option
+// stripping/dropping, per-packet DSS mangling, and the zero-cost
+// disabled path.
+#include "net/middlebox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace mn {
+namespace {
+
+Packet syn(MpOption opt) {
+  Packet p;
+  p.flags.syn = true;
+  p.mp_option = opt;
+  return p;
+}
+
+Packet data(std::int64_t data_seq) {
+  Packet p;
+  p.payload = Packet::kMss;
+  p.seq = 1;
+  p.data_seq = data_seq;
+  return p;
+}
+
+TEST(MiddleboxBox, DisabledIsTransparent) {
+  MiddleboxBox box;
+  std::vector<Packet> out;
+  box.set_next([&out](Packet p) { out.push_back(p); });
+  box.accept(syn(MpOption::kCapable));
+  box.accept(data(42));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].mp_option, MpOption::kCapable);
+  EXPECT_EQ(out[1].data_seq, 42);
+  EXPECT_EQ(box.syn_stripped(), 0u);
+  EXPECT_EQ(box.dss_mangled(), 0u);
+}
+
+TEST(MiddleboxBox, PolicyDrawIsDeterministicInSeed) {
+  // The same seed draws the same box; probability 1 / 0 pin the draws.
+  for (const std::uint64_t seed : {1ull, 7ull, 20140814ull}) {
+    MiddleboxSpec spec;
+    spec.strip_capable = 1.0;
+    spec.strip_join = 0.0;
+    spec.seed = seed;
+    MiddleboxBox a, b;
+    a.set_spec(spec);
+    b.set_spec(spec);
+    EXPECT_EQ(a.strips_capable(), b.strips_capable());
+    EXPECT_TRUE(a.strips_capable());
+    EXPECT_FALSE(a.strips_join());
+  }
+}
+
+TEST(MiddleboxBox, StripsCapableButNotJoin) {
+  MiddleboxSpec spec;
+  spec.strip_capable = 1.0;
+  MiddleboxBox box;
+  box.set_spec(spec);
+  std::vector<Packet> out;
+  box.set_next([&out](Packet p) { out.push_back(p); });
+  box.accept(syn(MpOption::kCapable));
+  box.accept(syn(MpOption::kJoin));
+  box.accept(syn(MpOption::kNone));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].mp_option, MpOption::kNone);  // stripped
+  EXPECT_EQ(out[1].mp_option, MpOption::kJoin);  // join policy not drawn
+  EXPECT_EQ(out[2].mp_option, MpOption::kNone);
+  EXPECT_EQ(box.syn_stripped(), 1u);
+}
+
+TEST(MiddleboxBox, DropsSynsCarryingUnknownOptions) {
+  MiddleboxSpec spec;
+  spec.drop_unknown_syn = 1.0;
+  MiddleboxBox box;
+  box.set_spec(spec);
+  std::vector<Packet> out;
+  box.set_next([&out](Packet p) { out.push_back(p); });
+  box.accept(syn(MpOption::kCapable));
+  box.accept(syn(MpOption::kNone));  // plain SYN sails through
+  box.accept(data(0));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[0].flags.syn);  // the surviving plain SYN
+  EXPECT_EQ(out[0].mp_option, MpOption::kNone);
+  EXPECT_FALSE(out[1].flags.syn);  // the data packet
+  EXPECT_EQ(box.syn_dropped(), 1u);
+  EXPECT_EQ(box.counters().dropped, 1);
+  EXPECT_EQ(box.counters().accepted, box.counters().delivered + box.counters().dropped);
+}
+
+TEST(MiddleboxBox, RewriteSeqKillsEveryDss) {
+  MiddleboxSpec spec;
+  spec.rewrite_seq = 1.0;
+  MiddleboxBox box;
+  box.set_spec(spec);
+  std::vector<Packet> out;
+  box.set_next([&out](Packet p) { out.push_back(p); });
+  for (int i = 0; i < 10; ++i) box.accept(data(i * Packet::kMss));
+  ASSERT_EQ(out.size(), 10u);
+  for (const auto& p : out) {
+    EXPECT_EQ(p.data_seq, -1);
+    EXPECT_EQ(p.data_ack, -1);
+  }
+  EXPECT_EQ(box.dss_mangled(), 10u);
+}
+
+TEST(MiddleboxBox, ManglesDssAtConfiguredRate) {
+  MiddleboxSpec spec;
+  spec.mangle_dss = 0.3;
+  MiddleboxBox box;
+  box.set_spec(spec);
+  int mangled = 0;
+  box.set_next([&mangled](Packet p) { mangled += p.data_seq < 0; });
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) box.accept(data(i));
+  const double rate = static_cast<double>(mangled) / n;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+  EXPECT_EQ(box.dss_mangled(), static_cast<std::uint64_t>(mangled));
+}
+
+TEST(MiddleboxBox, MpFailSignalAlwaysPassesThrough) {
+  // MP_FAIL rides a bare ACK with no DSS fields — even a seq-rewriting
+  // box must forward it intact or fallback could never converge.
+  MiddleboxSpec spec;
+  spec.rewrite_seq = 1.0;
+  spec.mangle_dss = 1.0;
+  MiddleboxBox box;
+  box.set_spec(spec);
+  std::vector<Packet> out;
+  box.set_next([&out](Packet p) { out.push_back(p); });
+  Packet fail;
+  fail.flags.ack = true;
+  fail.mp_option = MpOption::kFail;
+  box.accept(fail);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].mp_option, MpOption::kFail);
+}
+
+TEST(MiddleboxBox, DisableRestoresTransparency) {
+  MiddleboxSpec spec;
+  spec.strip_capable = 1.0;
+  MiddleboxBox box;
+  box.set_spec(spec);
+  box.disable();
+  std::vector<Packet> out;
+  box.set_next([&out](Packet p) { out.push_back(p); });
+  box.accept(syn(MpOption::kCapable));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].mp_option, MpOption::kCapable);
+}
+
+}  // namespace
+}  // namespace mn

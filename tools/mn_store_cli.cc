@@ -41,6 +41,22 @@ int cmd_verify(const std::string& dir) {
     std::cout << ", " << report.version_mismatches << " refused segment(s)";
   }
   std::cout << (report.ok() ? "\nOK\n" : "\nDAMAGED\n");
+  if (!report.ok()) {
+    // Per-segment bad-frame summary: exactly which files hold damage,
+    // with the reader's offset notes — what an operator greps for.
+    std::cout << "bad frames by segment:\n";
+    for (const auto& seg : report.per_segment) {
+      if (!seg.damaged()) continue;
+      std::cout << "  " << seg.file << ": ";
+      if (seg.refused) {
+        std::cout << "refused (" << seg.note << ")\n";
+      } else {
+        std::cout << seg.torn_frames << " bad frame(s)";
+        if (!seg.note.empty()) std::cout << " [" << seg.note << "]";
+        std::cout << "\n";
+      }
+    }
+  }
   return report.ok() ? 0 : 1;
 }
 
