@@ -40,7 +40,9 @@ void scenario(const char* label, const char* description, MptcpSpec spec,
   MptcpTestbed bed{sim, symmetric_setup(wifi, lte), spec};
   bed.start_transfer(bytes, Direction::kDownload);
   if (inject) inject(sim, bed);
-  bed.run_until_finished(secs_f(t_max + 60.0));
+  if (!bed.run_until_finished(secs_f(t_max + 60.0))) {
+    std::cout << "  [flow did not complete within the window — timeline truncated]\n";
+  }
   std::cout << render_timeline({{"LTE", event_times(bed.events(PathId::kLte))},
                                 {"WiFi", event_times(bed.events(PathId::kWifi))}},
                                t_max);

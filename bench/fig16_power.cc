@@ -28,7 +28,9 @@ CaseResult run_case(PathId active_path, PathId measured_path, double horizon_s) 
   MptcpSpec spec{active_path, CcAlgo::kDecoupled, MpMode::kBackup};
   MptcpTestbed bed{sim, symmetric_setup(wifi, lte), spec};
   bed.start_transfer(5'000'000, Direction::kDownload);  // ~8 s at 5 Mbit/s
-  bed.run_until_finished(sec(60));
+  if (!bed.run_until_finished(sec(60))) {
+    std::cerr << "WARNING: fig16 flow timed out; power trace covers a truncated flow\n";
+  }
 
   EnergyMeter meter{measured_path == PathId::kLte ? lte_power_params()
                                                   : wifi_power_params()};

@@ -20,6 +20,7 @@ using namespace mn;
 struct Outcome {
   double seconds = 0.0;
   double joules = 0.0;
+  bool completed = false;
 };
 
 /// Run the flow and *measure* time and radio energy on the testbed.
@@ -28,32 +29,39 @@ Outcome run_measured(const MpNetworkSetup& net, const TransportConfig& cfg,
   Simulator sim;
   Outcome out;
   if (cfg.kind == TransportKind::kSinglePath) {
-    // Model single-path as MPTCP in Single-Path mode degenerate? No:
-    // run over one path and meter only that radio.
+    // Run over one path and meter only that radio, from the *actual*
+    // packet events at the client (the tap) — synthetic uniform-20 ms
+    // activity used to stand in here, which flattened every burst and
+    // biased the policy comparison against bursty real traffic.
     DuplexPath path{sim, cfg.path == PathId::kWifi ? net.wifi_up : net.lte_up,
                     cfg.path == PathId::kWifi ? net.wifi_down : net.lte_down};
-    const auto r = run_bulk_flow(sim, path, bytes, Direction::kDownload);
-    out.seconds = r.completion_time.seconds();
     EnergyMeter meter{cfg.path == PathId::kWifi ? wifi_power_params()
                                                 : lte_power_params()};
-    // Approximate activity: uniformly through the transfer.
-    for (double t = 0.0; t < out.seconds; t += 0.02) {
-      meter.add_activity(TimePoint{secs_f(t).usec()});
-    }
+    BulkFlowOptions flow_options;
+    flow_options.timeout = sec(120);
+    flow_options.stall_limit = sec(120);
+    flow_options.client_tap = [&meter](TimePoint t, PacketDir, const Packet&) {
+      meter.add_activity(t);
+    };
+    const auto r = run_bulk_flow(sim, path, bytes, Direction::kDownload,
+                                 reno_factory(), flow_options);
+    out.completed = r.completed;
+    out.seconds = r.completed ? r.completion_time.seconds()
+                              : flow_options.timeout.seconds();
     out.joules = meter.radio_energy_joules(TimePoint{secs_f(out.seconds + 20.0).usec()});
     return out;
   }
-  MptcpTestbed bed{sim, net, cfg.mp};
-  bed.start_transfer(bytes, Direction::kDownload);
-  bed.run_until_finished(sec(120));
-  out.seconds = sim.now().seconds();
-  EnergyMeter wifi_meter{wifi_power_params()};
-  for (const auto& e : bed.events(PathId::kWifi)) wifi_meter.add_activity(e.t);
-  EnergyMeter lte_meter{lte_power_params()};
-  for (const auto& e : bed.events(PathId::kLte)) lte_meter.add_activity(e.t);
-  const TimePoint horizon{secs_f(out.seconds + 20.0).usec()};
-  out.joules =
-      wifi_meter.radio_energy_joules(horizon) + lte_meter.radio_energy_joules(horizon);
+  // MPTCP arm: completion and per-radio joules are first-class flow
+  // results now — a timed-out run is flagged instead of silently
+  // reporting sim.now() (the full timeout) as its completion time.
+  FlowRunOptions flow_options;
+  flow_options.timeout = sec(120);
+  flow_options.stall_limit = sec(120);
+  const MptcpFlowResult r =
+      run_mptcp_flow(sim, net, cfg.mp, bytes, Direction::kDownload, flow_options);
+  out.completed = r.completed;
+  out.seconds = r.completed ? r.completion_time.seconds() : flow_options.timeout.seconds();
+  out.joules = r.energy_wifi_j + r.energy_lte_j;
   return out;
 }
 
@@ -70,6 +78,7 @@ int main() {
   const std::int64_t bytes = 2 * kMB;
   std::map<std::string, Outcome> totals;
   int conditions = 0;
+  int timed_out = 0;
   const double scale = bench::env_scale();
   const auto n_conditions = std::max<std::size_t>(
       4, std::min<std::size_t>(20, static_cast<std::size_t>(20 * scale)));
@@ -92,10 +101,19 @@ int main() {
     };
     for (const auto& [name, cfg] : policies) {
       const Outcome o = run_measured(net, cfg, bytes);
+      if (!o.completed) {
+        ++timed_out;
+        std::cerr << "WARNING: " << name << " at " << loc.city
+                  << " did not complete (timeout charged)\n";
+      }
       totals[name].seconds += o.seconds;
       totals[name].joules += o.joules;
     }
     ++conditions;
+  }
+  if (timed_out > 0) {
+    std::cerr << "WARNING: " << timed_out << " flow(s) timed out; their rows "
+              << "charge the full timeout, not a completion time\n";
   }
 
   Table t{{"Policy", "Mean time (s)", "Mean radio energy (J)"}};

@@ -10,6 +10,7 @@
 
 #include "common.hpp"
 #include "core/experiment.hpp"
+#include "energy/power_model.hpp"
 #include "measure/campaign.hpp"
 #include "net/trace_gen.hpp"
 #include "obs/obs.hpp"
@@ -132,6 +133,23 @@ void BM_IntervalSetMerge(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IntervalSetMerge);
+
+// EnergyMeter under a packet-per-millisecond feed (in timestamp order,
+// the testbed-tap hot path) plus one timeline render.  Guards the
+// sorted-insertion invariant: add_activity must stay O(1) for in-order
+// events, and timeline() must not re-sort per call.
+void BM_EnergyTimeline(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EnergyMeter meter{lte_power_params()};
+    for (int i = 0; i < n; ++i) meter.add_activity(TimePoint{msec(i).usec()});
+    const auto horizon = TimePoint{msec(n + 20'000).usec()};
+    benchmark::DoNotOptimize(meter.timeline(horizon));
+    benchmark::DoNotOptimize(meter.energy_joules(horizon));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EnergyTimeline)->Arg(1000)->Arg(10000);
 
 void BM_TcpBulkFlow1MB(benchmark::State& state) {
   LinkSpec spec;

@@ -166,12 +166,14 @@ int main(int argc, char** argv) {
   const std::string fig07 = run_macro(bench_dir + "/fig07_mptcp_vs_tcp", scale, tmp_json);
   std::cout << "perf_trajectory: chaos_soak (MN_RUN_SCALE=" << scale << ")...\n";
   const std::string chaos = run_macro(bench_dir + "/chaos_soak", scale, tmp_json);
+  std::cout << "perf_trajectory: energy_pareto (MN_RUN_SCALE=" << scale << ")...\n";
+  const std::string pareto = run_macro(bench_dir + "/energy_pareto", scale, tmp_json);
   std::remove(tmp_json.c_str());
 
   std::ostringstream run;
   run << "{\"label\": \"" << label << "\", \"variant\": \"" << variant
       << "\", \"microbench\": " << micro << ", \"fig07\": " << fig07
-      << ", \"chaos_soak\": " << chaos << "}";
+      << ", \"chaos_soak\": " << chaos << ", \"energy_pareto\": " << pareto << "}";
 
   // Re-read any previous runs (one per line, by construction) and
   // rewrite the file with the new one appended.

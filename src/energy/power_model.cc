@@ -23,17 +23,21 @@ RadioPowerParams wifi_power_params() {
   return p;
 }
 
-std::vector<PowerStep> EnergyMeter::timeline(TimePoint horizon) const {
-  std::vector<TimePoint> acts = activity_;
-  std::sort(acts.begin(), acts.end());
+void EnergyMeter::insert_out_of_order(TimePoint t) {
+  // Rare path (timestamps from merged sources); mirrors the
+  // EmpiricalDistribution eager-sorted invariant.
+  activity_.insert(std::upper_bound(activity_.begin(), activity_.end(), t), t);
+}
 
-  // Coalesce packets into active bursts.
+std::vector<PowerStep> EnergyMeter::timeline(TimePoint horizon) const {
+  // Coalesce packets into active bursts.  `activity_` is sorted by the
+  // add_activity invariant — no per-call copy + sort.
   struct Burst {
     TimePoint start;
     TimePoint end;
   };
   std::vector<Burst> bursts;
-  for (const TimePoint t : acts) {
+  for (const TimePoint t : activity_) {
     if (t > horizon) break;
     if (!bursts.empty() && t - bursts.back().end <= params_.burst_hold) {
       bursts.back().end = t;

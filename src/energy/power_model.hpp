@@ -46,8 +46,16 @@ class EnergyMeter {
   explicit EnergyMeter(RadioPowerParams params) : params_(params) {}
 
   /// Record one packet crossing the radio.  Timestamps may arrive in any
-  /// order; they are sorted when the timeline is built.
-  void add_activity(TimePoint t) { activity_.push_back(t); }
+  /// order; `activity_` is kept sorted on insertion (the common in-order
+  /// append is O(1)), so timeline()/energy_joules()/publish() never
+  /// copy-and-sort — they used to re-sort the same vector on every call.
+  void add_activity(TimePoint t) {
+    if (activity_.empty() || !(t < activity_.back())) {
+      activity_.push_back(t);
+      return;
+    }
+    insert_out_of_order(t);
+  }
 
   [[nodiscard]] std::size_t activity_count() const { return activity_.size(); }
 
@@ -68,8 +76,10 @@ class EnergyMeter {
   void publish(obs::ObsHub& hub, TimePoint horizon, std::uint8_t radio_id) const;
 
  private:
+  void insert_out_of_order(TimePoint t);
+
   RadioPowerParams params_;
-  std::vector<TimePoint> activity_;
+  std::vector<TimePoint> activity_;  // invariant: sorted ascending
 };
 
 }  // namespace mn

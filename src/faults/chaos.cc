@@ -73,7 +73,7 @@ MptcpSpec random_spec(Rng& rng) {
     case 1: spec.mode = MpMode::kBackup; break;
     default: spec.mode = MpMode::kSinglePath; break;
   }
-  spec.scheduler = rng.chance(0.5) ? MpScheduler::kLowestRtt : MpScheduler::kRoundRobin;
+  spec.scheduler = static_cast<MpScheduler>(rng.uniform_int(0, kMpSchedulerCount - 1));
   return spec;
 }
 

@@ -128,12 +128,17 @@ void probe_multipath(const RunPlan& plan, const CampaignOptions& opt, Rng& rng,
     bed.path(PathId::kLte).uplink().set_middlebox(lte_box);
     bed.path(PathId::kLte).downlink().set_middlebox(lte_box);
   };
-  const MptcpFlowResult r = run_mptcp_flow(sim, setup, MptcpSpec{}, opt.mp_probe_bytes,
+  MptcpSpec spec;
+  spec.scheduler = opt.mp_scheduler;
+  const MptcpFlowResult r = run_mptcp_flow(sim, setup, spec, opt.mp_probe_bytes,
                                            Direction::kDownload, flow_options);
   rec.mp_probed = true;
   rec.negotiated_mp = r.negotiated_mp;
   rec.achieved_mp = r.achieved_mp;
   rec.fallback_reason = r.fallback_reason;
+  rec.energy_wifi_j = r.energy_wifi_j;
+  rec.energy_lte_j = r.energy_lte_j;
+  rec.scheduler = to_string(r.scheduler);
   if (!r.completed && !rec.failed) {
     rec.failed = true;
     rec.failure_reason = "mp_probe " + r.failure_reason;
@@ -274,7 +279,10 @@ store::ScenarioKey scenario_key(const RunPlan& plan, const CampaignOptions& opti
   }
   key.boolean(plan.has_middlebox);
   if (plan.has_middlebox) {
+    // The scheduler only shapes the MPTCP probe, so it only keys here:
+    // legacy (probe-less) keys are untouched by the knob.
     key.f64(plan.middlebox_strip).u64(plan.middlebox_seed).i64(options.mp_probe_bytes);
+    key.str(to_string(options.mp_scheduler));
   }
   key.i64(options.transfer_bytes).u32(static_cast<std::uint32_t>(options.ping_count));
   return key.finish();
@@ -284,7 +292,9 @@ namespace {
 
 /// Blob layout version for serialized RunRecords (independent of the
 /// key's kRunFormatVersion: layout can evolve without invalidating keys).
-constexpr std::uint8_t kRunRecordBlobVersion = 2;  // v2: MPTCP middlebox probe fields
+constexpr std::uint8_t kRunRecordBlobVersion = 3;  // v3: probe energy + scheduler
+/// Oldest version parse_run_record still reads (missing fields default).
+constexpr std::uint8_t kOldestReadableBlobVersion = 2;
 
 }  // namespace
 
@@ -308,13 +318,17 @@ std::string serialize_run_record(const RunRecord& rec) {
   w.put_bool(rec.negotiated_mp);
   w.put_bool(rec.achieved_mp);
   w.put_str(rec.fallback_reason);
+  w.put_f64(rec.energy_wifi_j);
+  w.put_f64(rec.energy_lte_j);
+  w.put_str(rec.scheduler);
   store::put_metrics_snapshot(w, rec.metrics);
   return w.take();
 }
 
 RunRecord parse_run_record(std::string_view blob) {
   store::BinReader r{blob};
-  if (r.get_u8() != kRunRecordBlobVersion) {
+  const std::uint8_t version = r.get_u8();
+  if (version < kOldestReadableBlobVersion || version > kRunRecordBlobVersion) {
     throw std::runtime_error("run record blob: unknown layout version");
   }
   RunRecord rec;
@@ -335,6 +349,11 @@ RunRecord parse_run_record(std::string_view blob) {
   rec.negotiated_mp = r.get_bool();
   rec.achieved_mp = r.get_bool();
   rec.fallback_reason = r.get_str();
+  if (version >= 3) {
+    rec.energy_wifi_j = r.get_f64();
+    rec.energy_lte_j = r.get_f64();
+    rec.scheduler = r.get_str();
+  }
   rec.metrics = store::get_metrics_snapshot(r);
   r.expect_done();
   return rec;
@@ -393,7 +412,8 @@ obs::MetricsSnapshot merge_run_metrics(const std::vector<RunRecord>& runs) {
 CsvWriter to_csv(const std::vector<RunRecord>& runs) {
   CsvWriter w{{"cluster", "lat", "lon", "wifi_up", "wifi_down", "lte_up", "lte_down",
                "wifi_rtt_ms", "lte_rtt_ms", "m_retransmits", "m_rto", "m_drops",
-               "negotiated_mp", "achieved_mp", "fallback_reason"}};
+               "negotiated_mp", "achieved_mp", "fallback_reason", "m_energy_wifi_j",
+               "m_energy_lte_j", "scheduler"}};
   for (const auto& r : runs) {
     if (!r.complete()) continue;
     // format_double (shortest round-trip form): from_csv(to_csv(runs))
@@ -408,7 +428,10 @@ CsvWriter to_csv(const std::vector<RunRecord>& runs) {
                std::to_string(r.metrics.sum_with_prefix("drop.")),
                r.mp_probed ? (r.negotiated_mp ? "1" : "0") : "",
                r.mp_probed ? (r.achieved_mp ? "1" : "0") : "",
-               r.fallback_reason});
+               r.fallback_reason,
+               r.mp_probed ? format_double(r.energy_wifi_j) : "",
+               r.mp_probed ? format_double(r.energy_lte_j) : "",
+               r.scheduler});
   }
   return w;
 }
@@ -434,6 +457,11 @@ std::vector<RunRecord> from_csv(const CsvData& data) {
   const auto c_nm = data.find_col("negotiated_mp");
   const auto c_am = data.find_col("achieved_mp");
   const auto c_fr = data.find_col("fallback_reason");
+  // Energy + scheduler columns appeared with the pluggable-scheduler
+  // layer; files written before it legitimately lack them.
+  const auto c_ew = data.find_col("m_energy_wifi_j");
+  const auto c_el = data.find_col("m_energy_lte_j");
+  const auto c_sc = data.find_col("scheduler");
   for (std::size_t i = 0; i < data.rows.size(); ++i) {
     const auto& row = data.rows[i];
     // Rows can come from hand-built CsvData, not just parse_csv (which
@@ -461,6 +489,11 @@ std::vector<RunRecord> from_csv(const CsvData& data) {
           r.achieved_mp = row[*c_am] == "1";
           r.fallback_reason = row[*c_fr];
         }
+      }
+      if (r.mp_probed && c_ew && c_el && c_sc) {
+        if (!row[*c_ew].empty()) r.energy_wifi_j = parse_double(row[*c_ew]);
+        if (!row[*c_el].empty()) r.energy_lte_j = parse_double(row[*c_el]);
+        r.scheduler = row[*c_sc];
       }
       if (c_mx && c_mr && c_md) {
         // Rebuild just enough of the snapshot that a re-export emits the

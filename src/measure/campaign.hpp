@@ -14,6 +14,7 @@
 
 #include "faults/fault_plan.hpp"
 #include "measure/world.hpp"
+#include "mptcp/mptcp.hpp"
 #include "obs/metrics.hpp"
 #include "store/key.hpp"
 #include "store/run_store.hpp"
@@ -49,6 +50,13 @@ struct RunRecord {
   /// Why multipath degraded ("" when it did not): "capable_stripped",
   /// "syn_dropped", "join_rejected" or "mid_flow_dss".
   std::string fallback_reason;
+  /// Per-radio energy of the MPTCP probe (Figure-16 power model,
+  /// integrated to flow end + 20 s so the LTE tail is fully counted).
+  /// Zero when mp_probed is false.
+  double energy_wifi_j = 0.0;
+  double energy_lte_j = 0.0;
+  /// Scheduler the MPTCP probe ran under ("" when mp_probed is false).
+  std::string scheduler;
   /// Per-run observability snapshot: every probe simulator in this run
   /// recorded into one private ObsHub, snapshotted here.  Merge across
   /// runs with merge_run_metrics() — the result is bit-identical at any
@@ -85,6 +93,10 @@ struct CampaignOptions {
   /// Bytes moved by the MPTCP middlebox probe (smaller than the 1 MB
   /// app probes: negotiation outcome, not throughput, is the signal).
   std::int64_t mp_probe_bytes = 250'000;
+  /// Scheduler for the MPTCP probe.  Only keys (and only changes the
+  /// result) for runs that carry a middlebox probe, so the legacy
+  /// campaign stream and keys stay byte-identical at the default.
+  MpScheduler mp_scheduler = MpScheduler::kLowestRtt;
   /// Worker threads for the execute phase: 0/1 = serial, negative =
   /// follow MN_THREADS.  Output is bit-identical for every value —
   /// the plan phase pre-draws all randomness serially and each run

@@ -1,7 +1,10 @@
 // MPTCP configuration types (paper Section 3 terminology).
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "util/time.hpp"
 
@@ -50,14 +53,39 @@ enum class MpMode {
   return "?";
 }
 
-/// Which subflow gets data first when several have window space.
+/// Which subflow gets data first when several have window space, and
+/// how the path manager treats the costly (LTE) radio.  The first two
+/// are the kernel schedulers; the last three answer the paper's
+/// Section-7 energy question with policies from the eMPTCP literature.
 enum class MpScheduler {
   kLowestRtt,   // Linux MPTCP default (what the paper measured)
   kRoundRobin,  // the kernel's alternative scheduler; ablation knob
+  kRedundant,   // duplicate every grant on all subflows; first ACK wins
+  kEnergyAware, // eMPTCP: delay the LTE subflow until the flow proves big
+  kTailBatch,   // coalesce LTE grants so each batch amortises the 15 s tail
 };
 
+constexpr int kMpSchedulerCount = 5;
+
 [[nodiscard]] inline std::string to_string(MpScheduler s) {
-  return s == MpScheduler::kLowestRtt ? "LowestRTT" : "RoundRobin";
+  switch (s) {
+    case MpScheduler::kLowestRtt: return "LowestRTT";
+    case MpScheduler::kRoundRobin: return "RoundRobin";
+    case MpScheduler::kRedundant: return "Redundant";
+    case MpScheduler::kEnergyAware: return "EnergyAware";
+    case MpScheduler::kTailBatch: return "TailBatch";
+  }
+  return "?";
+}
+
+/// Inverse of to_string(MpScheduler); nullopt on anything else (the CSV
+/// scheduler column round-trips through this).
+[[nodiscard]] inline std::optional<MpScheduler> parse_scheduler(std::string_view name) {
+  for (int i = 0; i < kMpSchedulerCount; ++i) {
+    const auto s = static_cast<MpScheduler>(i);
+    if (to_string(s) == name) return s;
+  }
+  return std::nullopt;
 }
 
 /// Connection-level multipath negotiation outcome (middlebox realism).
@@ -121,6 +149,17 @@ struct MptcpSpec {
   int join_max_attempts = 3;
   Duration join_retry_backoff = msec(500);
   Duration join_timeout = sec(3);
+  /// kEnergyAware: the LTE subflow is not joined (and gets no fresh
+  /// data) until the un-acked backlog reaches this many bytes — flows
+  /// that stay below it never wake the LTE radio and never pay its
+  /// 15-second tail.  <= 0 disables the gate (always engage).
+  std::int64_t energy_engage_bytes = 512'000;
+  /// kTailBatch hysteresis on the *unassigned* backlog: LTE fresh
+  /// grants open at >= open bytes and close once it drains to
+  /// <= close bytes, so the costly radio wakes only for batches worth
+  /// its tail and dribbles ride WiFi.
+  std::int64_t tail_batch_open_bytes = 256'000;
+  std::int64_t tail_batch_close_bytes = 64'000;
 };
 
 }  // namespace mn

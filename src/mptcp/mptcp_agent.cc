@@ -11,6 +11,7 @@ MptcpAgent::MptcpAgent(Simulator& sim, std::uint64_t connection_id, MptcpSpec sp
       connection_id_(connection_id),
       spec_(spec),
       is_client_(is_client),
+      scheduler_(make_scheduler(spec)),
       join_timer_(sim, [this] { on_join_timer(); }) {
   // Subflow 0 rides the primary network; subflow 1 the other one.
   setup_subflow(0, spec_.primary, MpOption::kCapable);
@@ -119,10 +120,21 @@ void MptcpAgent::listen() {
 }
 
 void MptcpAgent::start_join() {
+  join_deferred_ = false;
   if (spec_.mode == MpMode::kSinglePath) return;  // joined only on failure
   if (join_given_up_ || negotiation_ == MpNegotiation::kFallbackTcp) return;
   Subflow& sf = subflows_[1];
   if (sf.connected_started || sf.dead) return;
+  // The policy may hold the costly radio back until the flow proves big
+  // (eMPTCP delayed subflow establishment); pump_all re-polls it.
+  {
+    std::array<SubflowSnapshot, 2> snaps;
+    fill_snapshots(snaps);
+    if (!scheduler_->allow_join(snaps, sf.path, sched_context())) {
+      join_deferred_ = true;
+      return;
+    }
+  }
   sf.connected_started = true;
   if (spec_.join_delay.usec() > 0) {
     sim_.schedule_after(spec_.join_delay, [this] { attempt_join(); });
@@ -236,6 +248,7 @@ void MptcpAgent::fail_join_attempt() {
     if (sf.transmit) sf.transmit(rst);
     sf.ep->freeze();
     sf.mappings.clear();  // nothing assigned pre-establishment
+    sf.dup_queue.clear();
   }
   if (join_attempts_ >= spec_.join_max_attempts) {
     give_up_join();
@@ -389,6 +402,7 @@ std::optional<DataSource::Chunk> MptcpAgent::take(std::int64_t max_bytes,
     return std::nullopt;  // backup withholding
   }
   Chunk c;
+  bool fresh_grant = false;
   if (!reinject_.empty()) {
     auto& [start, len] = reinject_.front();
     c.data_seq = start;
@@ -396,15 +410,29 @@ std::optional<DataSource::Chunk> MptcpAgent::take(std::int64_t max_bytes,
     start += c.bytes;
     len -= c.bytes;
     if (len == 0) reinject_.pop_front();
+  } else if (scheduler_->duplicate_grants() && take_duplicate(sf, max_bytes, c)) {
+    // Duplicate of a fresh grant issued to another subflow (redundant
+    // scheduling); the receiver's interval set makes the first arrival
+    // win and deduplicates the rest.
   } else {
     const std::int64_t cum_ack = acked_.contiguous_from(0);
     const std::int64_t window_limit =
         cum_ack + std::max<std::int64_t>(spec_.receive_window_bytes, 64'000);
-    if (next_data_seq_ < data_end_ && next_data_seq_ < window_limit) {
+    bool fresh_allowed = next_data_seq_ < data_end_ && next_data_seq_ < window_limit;
+    if (fresh_allowed) {
+      // Policy gate on *new* data only — reinjections and duplicates
+      // above serve reliability and always pass.
+      std::array<SubflowSnapshot, 2> snaps;
+      fill_snapshots(snaps);
+      fresh_allowed = scheduler_->allow_fresh_grant(
+          snaps[static_cast<std::size_t>(subflow_id)], snaps, sched_context());
+    }
+    if (fresh_allowed) {
       c.data_seq = next_data_seq_;
       c.bytes = std::min({max_bytes, data_end_ - next_data_seq_,
                           window_limit - next_data_seq_});
       next_data_seq_ += c.bytes;
+      fresh_grant = true;
     } else if (spec_.opportunistic_reinjection && data_end_ > 0 &&
                cum_ack < data_end_ && cum_ack > last_opportunistic_seq_) {
       // Blocked: either the receive window is closed mid-flow, or all
@@ -439,6 +467,16 @@ std::optional<DataSource::Chunk> MptcpAgent::take(std::int64_t max_bytes,
   }
   sf.mappings.emplace_back(c.data_seq, c.bytes);
   last_grant_subflow_ = subflow_id;
+  if (fresh_grant && scheduler_->duplicate_grants()) {
+    // Mirror the fresh range onto every other live subflow's duplicate
+    // queue; each serves it when its own window opens.
+    for (int other = 0; other < 2; ++other) {
+      if (other == subflow_id) continue;
+      Subflow& o = subflows_[static_cast<std::size_t>(other)];
+      if (!o.dead) o.dup_queue.emplace_back(c.data_seq, c.bytes);
+    }
+  }
+  scheduler_->on_grant(subflow_id, c.data_seq, c.bytes, sched_context());
   if (auto* o = sim_.obs()) {
     o->count(subflow_id == 0 ? o->ids().mptcp_grants_sf0 : o->ids().mptcp_grants_sf1);
     o->record(sim_.now(), obs::FlightEventType::kSchedGrant,
@@ -447,27 +485,64 @@ std::optional<DataSource::Chunk> MptcpAgent::take(std::int64_t max_bytes,
   return c;
 }
 
+bool MptcpAgent::take_duplicate(Subflow& sf, std::int64_t max_bytes, Chunk& c) {
+  while (!sf.dup_queue.empty()) {
+    auto& [start, len] = sf.dup_queue.front();
+    if (acked_.covers(start, start + len)) {
+      sf.dup_queue.pop_front();  // first ACK already won; nothing to gain
+      continue;
+    }
+    c.data_seq = start;
+    c.bytes = std::min(max_bytes, len);
+    start += c.bytes;
+    len -= c.bytes;
+    if (len == 0) sf.dup_queue.pop_front();
+    return true;
+  }
+  return false;
+}
+
 bool MptcpAgent::exhausted() const {
   return reinject_.empty() && next_data_seq_ >= data_end_;
 }
 
-void MptcpAgent::pump_all() {
-  std::array<int, 2> order{0, 1};
-  if (spec_.scheduler == MpScheduler::kLowestRtt) {
-    // Lowest-SRTT-first (the Linux MPTCP default scheduler).
-    const auto key = [this](int id) {
-      const Subflow& sf = subflows_[static_cast<std::size_t>(id)];
-      return sf.ep->srtt().usec() > 0 ? sf.ep->srtt().usec() : msec(100).usec();
-    };
-    if (key(1) < key(0)) std::swap(order[0], order[1]);
-  } else {
-    // Round-robin: offer data first to the subflow that did NOT receive
-    // the previous grant (robust against pump_all being invoked several
-    // times per ACK).
-    if (last_grant_subflow_ == 0) std::swap(order[0], order[1]);
+SchedContext MptcpAgent::sched_context() const {
+  SchedContext ctx;
+  ctx.now = sim_.now();
+  ctx.data_end = data_end_;
+  ctx.next_data_seq = next_data_seq_;
+  ctx.cum_acked = acked_.contiguous_from(0);
+  ctx.delivered = received_.contiguous_from(0);
+  ctx.last_grant_subflow = last_grant_subflow_;
+  return ctx;
+}
+
+void MptcpAgent::fill_snapshots(std::array<SubflowSnapshot, 2>& out) const {
+  for (int id = 0; id < 2; ++id) {
+    const Subflow& sf = subflows_[static_cast<std::size_t>(id)];
+    SubflowSnapshot& s = out[static_cast<std::size_t>(id)];
+    s.id = id;
+    s.path = sf.path;
+    s.dead = sf.dead;
+    s.usable = !sf.dead && sf.ep->established();
+    s.can_carry =
+        s.usable && (spec_.mode == MpMode::kFull || id == active_data_subflow());
+    s.is_backup = sf.is_backup;
+    s.srtt = sf.ep->srtt();
   }
-  for (int id : order) {
-    Subflow& sf = subflows_[static_cast<std::size_t>(id)];
+}
+
+void MptcpAgent::pump_all() {
+  // A deferred join is re-polled before pumping: the policy may have
+  // engaged the costly radio now that the backlog grew, or lost its
+  // last cheap subflow and need the failover.
+  if (join_deferred_) start_join();
+  std::array<SubflowSnapshot, 2> snaps;
+  fill_snapshots(snaps);
+  std::array<int, 2> order{0, 1};
+  const std::size_t n = scheduler_->pump_order(snaps, sched_context(), order);
+  for (std::size_t i = 0; i < n; ++i) {
+    Subflow& sf = subflows_[static_cast<std::size_t>(order[i])];
     if (!sf.dead && sf.ep->established()) sf.ep->pump();
   }
 }
@@ -526,6 +601,10 @@ void MptcpAgent::on_subflow_segment(int id, const Packet& p) {
   if (gained > 0) {
     delivered_timeline_.push_back({sim_.now(), received_.total()});
     if (on_data_delivered) on_data_delivered(received_.total());
+    // A pure receiver's pump_all rarely runs, but delivered bytes are
+    // exactly the engage signal a delayed-establishment policy watches
+    // on the download side — re-poll a deferred join as they grow.
+    if (join_deferred_) start_join();
   }
 }
 
@@ -561,6 +640,7 @@ void MptcpAgent::kill_subflow(int id, bool send_rst) {
     }
   }
   sf.mappings.clear();
+  sf.dup_queue.clear();
   // A join whose subflow died under it (path down mid-handshake) is not
   // retried: the path manager has no liveness signal to wait on, and a
   // bounded retry against a dead path would only delay the close.

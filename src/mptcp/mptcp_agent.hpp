@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "mptcp/mptcp.hpp"
+#include "mptcp/scheduler.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/tcp_endpoint.hpp"
@@ -112,6 +113,10 @@ class MptcpAgent final : public DataSource {
     /// "acked" bytes the receiver actually placed once DSS mangling is
     /// in play (the receiver's interval set dedups re-deliveries).
     std::vector<std::pair<std::int64_t, std::int64_t>> acked_log;
+    /// Redundant scheduling: fresh grants issued to *other* subflows,
+    /// queued for duplication here.  Entries already covered by the
+    /// data-level ack set are skipped at serve time (first ACK wins).
+    std::deque<std::pair<std::int64_t, std::int64_t>> dup_queue;
     bool dead = false;
     bool is_backup = false;
     bool connected_started = false;
@@ -128,6 +133,12 @@ class MptcpAgent final : public DataSource {
   void maybe_close_subflows();
   void maybe_fire_closed();
   [[nodiscard]] int active_data_subflow() const;
+  /// Scheduler decision-point inputs, rebuilt per consultation.
+  [[nodiscard]] SchedContext sched_context() const;
+  void fill_snapshots(std::array<SubflowSnapshot, 2>& out) const;
+  /// Serve subflow `sf` from its duplicate-grant queue (redundant
+  /// scheduling); false when nothing un-acked is queued.
+  bool take_duplicate(Subflow& sf, std::int64_t max_bytes, Chunk& c);
 
   // -- negotiation / fallback state machine --
   void on_subflow_negotiated(int id, MpOption opt);
@@ -153,6 +164,12 @@ class MptcpAgent final : public DataSource {
   OliaGroup olia_group_;
 
   std::array<Subflow, 2> subflows_;
+
+  /// The pluggable data-level scheduler / path policy (never null).
+  std::unique_ptr<Scheduler> scheduler_;
+  /// The policy denied allow_join for subflow 1; re-polled every pump
+  /// (eMPTCP delayed subflow establishment).
+  bool join_deferred_ = false;
 
   // Scheduler state (sender side).
   std::int64_t data_end_ = 0;       // total bytes enqueued

@@ -1,0 +1,115 @@
+// The pluggable MPTCP data-level scheduler / path-policy interface.
+//
+// MptcpAgent used to branch on an MpScheduler enum inside pump_all() and
+// take(); the strategy now lives behind this interface so new policies
+// (and eventually N-subflow path managers) plug in without touching the
+// agent.  The agent hands every decision point a *span* of per-subflow
+// snapshots — nothing in the contract assumes two subflows.
+//
+// Decision points, in the order the agent consults them:
+//   pump_order        — which established subflows to offer data, and in
+//                       what order (the classic "scheduler" question)
+//   allow_join        — may the path manager open a subflow on `path`
+//                       now?  Denials are re-polled every pump, so a
+//                       policy can delay a radio and release it later
+//                       (eMPTCP delayed subflow establishment)
+//   allow_fresh_grant — may this subflow be assigned *new* data?
+//                       Reinjections and duplicate grants are always
+//                       allowed: they serve reliability, not scheduling
+//   duplicate_grants  — mirror every fresh grant onto the other
+//                       subflows' duplicate queues (first ACK wins)
+//   on_grant          — grant history callback (any policy state)
+//
+// All policies are deterministic and allocation-free on the hot path.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "mptcp/mptcp.hpp"
+
+namespace mn {
+
+/// Point-in-time view of one subflow, rebuilt by the agent per decision.
+struct SubflowSnapshot {
+  int id = 0;
+  PathId path = PathId::kWifi;
+  /// Alive and established: eligible to carry data right now.
+  bool usable = false;
+  /// Usable AND the agent would actually hand it a fresh grant (in
+  /// Backup / Single-Path mode the non-active subflow withholds).  The
+  /// energy policies' failover guard keys off this, not `usable`: a
+  /// withheld backup is no substitute for the path being denied.
+  bool can_carry = false;
+  bool dead = false;
+  bool is_backup = false;
+  /// Smoothed RTT (zero until the first sample).
+  Duration srtt{0};
+};
+
+/// Connection-level sender state shared by every decision point.
+struct SchedContext {
+  TimePoint now{0};
+  std::int64_t data_end = 0;       // total bytes enqueued so far
+  std::int64_t next_data_seq = 0;  // next unassigned byte
+  std::int64_t cum_acked = 0;      // contiguous data-level ack
+  /// Receiver side: in-order data-level bytes delivered.  On a pure
+  /// data receiver (the client of a download) the sender-side fields
+  /// above are all zero — policies sizing up the flow must look at
+  /// both directions (see workload_seen()).
+  std::int64_t delivered = 0;
+  int last_grant_subflow = 1;      // round-robin history
+
+  /// Bytes enqueued but not yet assigned to any subflow.
+  [[nodiscard]] std::int64_t unassigned() const { return data_end - next_data_seq; }
+  /// Bytes enqueued but not yet data-level acked (total remaining work).
+  [[nodiscard]] std::int64_t outstanding() const { return data_end - cum_acked; }
+  /// How big the flow has proven itself so far, whichever direction the
+  /// data rides: the engage signal for delayed-establishment policies
+  /// (a download's client path manager sees zero sender backlog).
+  [[nodiscard]] std::int64_t workload_seen() const {
+    return std::max(outstanding(), delivered);
+  }
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  virtual ~Scheduler() = default;
+
+  /// Fill `out` with subflow ids in pump-offer order and return how many
+  /// were written (<= subflows.size(); out.size() >= subflows.size()).
+  /// Every subflow should appear: pumping also drives retransmission and
+  /// ack clocking, so policies starve a radio via allow_fresh_grant, not
+  /// by hiding it from the pump.
+  virtual std::size_t pump_order(std::span<const SubflowSnapshot> subflows,
+                                 const SchedContext& ctx, std::span<int> out);
+
+  /// May the path manager open a subflow on `path` now?  Returning false
+  /// defers the join; the agent re-asks on later pumps.
+  virtual bool allow_join(std::span<const SubflowSnapshot> subflows, PathId path,
+                          const SchedContext& ctx);
+
+  /// May subflow `sf` be assigned fresh (never-sent) data?
+  virtual bool allow_fresh_grant(const SubflowSnapshot& sf,
+                                 std::span<const SubflowSnapshot> subflows,
+                                 const SchedContext& ctx);
+
+  /// Mirror fresh grants onto the other subflows (redundant mode).
+  [[nodiscard]] virtual bool duplicate_grants() const { return false; }
+
+  /// A grant was issued (fresh, reinject, or duplicate) to `subflow_id`.
+  virtual void on_grant(int subflow_id, std::int64_t data_seq, std::int64_t bytes,
+                        const SchedContext& ctx);
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Build the policy object for `spec.scheduler` (never null).
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(const MptcpSpec& spec);
+
+}  // namespace mn

@@ -15,7 +15,7 @@ MpNetworkSetup symmetric_setup(const LinkSpec& wifi, const LinkSpec& lte) {
 
 MptcpTestbed::MptcpTestbed(Simulator& sim, const MpNetworkSetup& setup, MptcpSpec spec,
                            std::uint64_t connection_id)
-    : sim_(sim) {
+    : sim_(sim), meters_{EnergyMeter{wifi_power_params()}, EnergyMeter{lte_power_params()}} {
   wifi_path_ = std::make_unique<DuplexPath>(sim, setup.wifi_up, setup.wifi_down);
   lte_path_ = std::make_unique<DuplexPath>(sim, setup.lte_up, setup.lte_down);
   ifaces_[0] = std::make_unique<NetworkInterface>("wifi", sim, *wifi_path_,
@@ -46,11 +46,13 @@ MptcpTestbed::MptcpTestbed(Simulator& sim, const MpNetworkSetup& setup, MptcpSpe
     const auto path = static_cast<PathId>(pi);
     ifaces_[static_cast<std::size_t>(pi)]->add_state_listener(
         [this, path](bool up) { client_->notify_path_state(path, up); });
-    // Packet-event taps (Figure 15 / energy model).
+    // Packet-event taps (Figure 15 / energy model).  The same events
+    // feed the per-radio energy meters first-class.
     ifaces_[static_cast<std::size_t>(pi)]->set_tap(
         [this, pi](TimePoint t, PacketDir dir, const Packet& p) {
           events_[static_cast<std::size_t>(pi)].push_back(
               PacketEvent{t, dir, p.flags, p.payload});
+          meters_[static_cast<std::size_t>(pi)].add_activity(t);
         });
   }
 }
@@ -73,7 +75,11 @@ bool MptcpTestbed::run_until_finished(Duration timeout) {
   while (!(client_->finished() && server_->finished()) && sim_.now() < deadline) {
     if (!sim_.step()) break;
   }
-  return client_->finished() && server_->finished();
+  const bool finished = client_->finished() && server_->finished();
+  if (!finished && sim_.now() >= deadline) {
+    if (auto* o = sim_.obs()) o->count(o->ids().mptcp_run_timeouts);
+  }
+  return finished;
 }
 
 std::uint64_t MptcpTestbed::progress_signature() const {
@@ -128,6 +134,7 @@ WatchdogResult MptcpTestbed::run_with_watchdog(Duration timeout, Duration stall_
                     " ms";
   } else if (sim_.now() >= deadline) {
     result.reason = "timeout";
+    if (auto* o = sim_.obs()) o->count(o->ids().mptcp_run_timeouts);
   } else {
     result.reason = "idle: event queue drained before completion";
   }
@@ -162,6 +169,17 @@ MptcpFlowResult run_mptcp_flow(Simulator& sim, const MpNetworkSetup& setup,
   // it is the side real measurement tools observe — but when a one-way
   // middlebox leaves the views asymmetric, a fallback either side saw is
   // worth reporting.
+  // Per-radio energy: integrate to end-of-run + 20 s so the LTE tail
+  // (15 s after the FIN) is fully charged to the flow that caused it.
+  result.scheduler = spec.scheduler;
+  const TimePoint energy_horizon = sim.now() + sec(20);
+  result.energy_wifi_j = bed.radio_energy_joules(PathId::kWifi, energy_horizon);
+  result.energy_lte_j = bed.radio_energy_joules(PathId::kLte, energy_horizon);
+  if (auto* o = sim.obs()) {
+    bed.meter(PathId::kWifi).publish(*o, energy_horizon, /*radio_id=*/0);
+    bed.meter(PathId::kLte).publish(*o, energy_horizon, /*radio_id=*/1);
+  }
+
   result.negotiation = bed.client().negotiation();
   result.negotiated_mp = bed.client().negotiated_mp();
   result.achieved_mp = bed.client().achieved_mp();

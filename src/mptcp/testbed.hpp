@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "energy/power_model.hpp"
 #include "mptcp/mptcp_agent.hpp"
 #include "net/path.hpp"
 #include "tcp/flow.hpp"
@@ -75,12 +76,26 @@ class MptcpTestbed {
   [[nodiscard]] const std::vector<PacketEvent>& events(PathId path) const {
     return events_[static_cast<std::size_t>(path)];
   }
+  /// First-class radio energy: every packet crossing a client interface
+  /// feeds that radio's EnergyMeter (Figure-16 parameters), so per-radio
+  /// joules are available on any testbed run without re-deriving them
+  /// from the event lists.
+  [[nodiscard]] const EnergyMeter& meter(PathId path) const {
+    return meters_[static_cast<std::size_t>(path)];
+  }
+  /// Radio energy above base load over [0, horizon], in joules.
+  [[nodiscard]] double radio_energy_joules(PathId path, TimePoint horizon) const {
+    return meter(path).radio_energy_joules(horizon);
+  }
 
   /// Begin a bulk transfer: server.listen + client.connect + data enqueue.
   void start_transfer(std::int64_t bytes, Direction dir);
   /// Step the simulator until both agents finish or `timeout` elapses.
-  /// Returns true when the transfer completed cleanly.
-  bool run_until_finished(Duration timeout);
+  /// Returns true when the transfer completed cleanly.  The result must
+  /// not be ignored: a timed-out run left the agents mid-flow, and
+  /// reading sim.now() as a completion time silently reports the
+  /// timeout as the result.  Timeouts count as mptcp.run_timeouts.
+  [[nodiscard]] bool run_until_finished(Duration timeout);
   /// Like run_until_finished, but also aborts when no *progress* has been
   /// made for `stall_limit` — wall-clock caps alone let a blackholed flow
   /// burn the whole timeout retransmitting into the void.
@@ -101,6 +116,7 @@ class MptcpTestbed {
   std::unique_ptr<MptcpAgent> client_;
   std::unique_ptr<MptcpAgent> server_;
   std::array<std::vector<PacketEvent>, 2> events_;
+  std::array<EnergyMeter, 2> meters_;  // index = PathId
 };
 
 /// Result of one MPTCP bulk flow (run_mptcp_flow).
@@ -125,6 +141,12 @@ struct MptcpFlowResult {
   std::string fallback_reason;
   /// MP_JOIN connection attempts issued by the client's path manager.
   int join_attempts = 0;
+  /// Which data-level scheduler policy the flow ran under.
+  MpScheduler scheduler = MpScheduler::kLowestRtt;
+  /// Per-radio energy above base load (joules), integrated from flow
+  /// start to end-of-run + 20 s so the LTE tail is fully charged.
+  double energy_wifi_j = 0.0;
+  double energy_lte_j = 0.0;
   /// Client-observed MPTCP data-level timeline (relative to first SYN).
   std::vector<TimelinePoint> timeline;
   /// Client-observed per-subflow byte timelines (index = subflow id;

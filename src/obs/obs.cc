@@ -39,6 +39,7 @@ ObsHub::ObsHub(std::size_t flight_capacity) {
   ids_.mptcp_fallback_mid_flow = reg_.counter("mptcp.fallback.mid_flow");
   ids_.mptcp_fallback_join_rejected = reg_.counter("mptcp.fallback.join_rejected");
   ids_.mptcp_join_retries = reg_.counter("mptcp.join_retries");
+  ids_.mptcp_run_timeouts = reg_.counter("mptcp.run_timeouts");
   ids_.middlebox_syn_stripped = reg_.counter("middlebox.syn_stripped");
   ids_.middlebox_syn_dropped = reg_.counter("middlebox.syn_dropped");
   ids_.middlebox_dss_mangled = reg_.counter("middlebox.dss_mangled");

@@ -62,6 +62,7 @@ class ObsHub {
     MetricId mptcp_grants_sf0, mptcp_grants_sf1, mptcp_reinjects;
     MetricId mptcp_fallback_handshake, mptcp_fallback_mid_flow;
     MetricId mptcp_fallback_join_rejected, mptcp_join_retries;
+    MetricId mptcp_run_timeouts;
     MetricId middlebox_syn_stripped, middlebox_syn_dropped, middlebox_dss_mangled;
     MetricId fault_armed, fault_applied, fault_skipped;
     MetricId energy_transitions, energy_wifi_mj, energy_lte_mj;  // last two: gauges

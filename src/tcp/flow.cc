@@ -31,9 +31,21 @@ FlowResult run_bulk_flow(Simulator& sim, DuplexPath& path, std::int64_t bytes,
 
   TcpEndpoint client{sim, client_cfg, cc_factory()};
   TcpEndpoint server{sim, server_cfg, cc_factory()};
-  client.set_transmit([&path](Packet p) { path.send_up(std::move(p)); });
+  const InterfaceTap& tap = options.client_tap;  // outlives the run loop below
+  if (tap) {
+    client.set_transmit([&path, &tap, &sim](Packet p) {
+      tap(sim.now(), PacketDir::kSent, p);
+      path.send_up(std::move(p));
+    });
+    path.set_client_receiver([&client, &tap, &sim](Packet p) {
+      tap(sim.now(), PacketDir::kReceived, p);
+      client.handle_packet(p);
+    });
+  } else {
+    client.set_transmit([&path](Packet p) { path.send_up(std::move(p)); });
+    path.set_client_receiver([&client](Packet p) { client.handle_packet(p); });
+  }
   server.set_transmit([&path](Packet p) { path.send_down(std::move(p)); });
-  path.set_client_receiver([&client](Packet p) { client.handle_packet(p); });
   path.set_server_receiver([&server](Packet p) { server.handle_packet(p); });
 
   const TimePoint start = sim.now();

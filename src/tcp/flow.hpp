@@ -47,6 +47,11 @@ struct BulkFlowOptions {
   /// burns the whole timeout retransmitting into the void.
   Duration stall_limit = sec(30);
   std::uint64_t connection_id = 1;
+  /// Observes every packet crossing the *client* side of the path (sent
+  /// and received), like NetworkInterface taps on the MPTCP testbed —
+  /// the energy model meters real single-path traffic through this
+  /// instead of fabricating synthetic activity.
+  InterfaceTap client_tap;
 };
 
 /// Average throughput implied by a timeline at time `t` since flow start

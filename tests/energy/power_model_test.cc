@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/obs.hpp"
+
 namespace mn {
 namespace {
 
@@ -96,6 +98,92 @@ TEST(EnergyMeter, TimelineIsContiguousAndCoversHorizon) {
   for (std::size_t i = 1; i < tl.size(); ++i) {
     EXPECT_EQ(tl[i - 1].end.usec(), tl[i].start.usec());
   }
+}
+
+TEST(EnergyMeter, ActivityBeyondHorizonIsIgnored) {
+  const RadioPowerParams p = lte_power_params();
+  EnergyMeter meter{p};
+  meter.add_activity(TimePoint{sec(2).usec()});
+  meter.add_activity(TimePoint{sec(50).usec()});  // past the horizon
+  const auto horizon = TimePoint{sec(10).usec()};
+  // One burst at t=2: active for burst_hold, tail clipped at the horizon.
+  const double active_s = p.burst_hold.seconds();
+  const double tail_s = 10.0 - 2.0 - active_s;
+  EXPECT_NEAR(meter.radio_energy_joules(horizon),
+              p.active_watts * active_s + p.tail_watts * tail_s, 0.01);
+  const auto tl = meter.timeline(horizon);
+  ASSERT_FALSE(tl.empty());
+  EXPECT_EQ(tl.back().end.usec(), horizon.usec());
+}
+
+TEST(EnergyMeter, BurstStraddlingHorizonIsClipped) {
+  const RadioPowerParams p = lte_power_params();
+  EnergyMeter meter{p};
+  const auto horizon = TimePoint{sec(10).usec()};
+  meter.add_activity(horizon - msec(50));
+  // Only 50 ms of the active hold fit before the horizon; no tail fits.
+  EXPECT_NEAR(meter.radio_energy_joules(horizon), p.active_watts * 0.05, 0.001);
+  const auto tl = meter.timeline(horizon);
+  ASSERT_FALSE(tl.empty());
+  EXPECT_EQ(tl.back().end.usec(), horizon.usec());
+  EXPECT_DOUBLE_EQ(tl.back().watts, kBasePowerWatts + p.active_watts);
+}
+
+// Regression for the sorted-insertion invariant: timeline() stops
+// scanning at the first beyond-horizon timestamp, which is only correct
+// if out-of-order add_activity calls kept the vector ascending.  With
+// the invariant broken ([20 s, 1 s, 5 s] stored as-is) the scan would
+// bail at the leading 20 s entry and report an idle radio.
+TEST(EnergyMeter, OutOfOrderInsertKeepsHorizonCutoffCorrect) {
+  EnergyMeter unordered{lte_power_params()};
+  unordered.add_activity(TimePoint{sec(20).usec()});
+  unordered.add_activity(TimePoint{sec(1).usec()});
+  unordered.add_activity(TimePoint{sec(5).usec()});
+  EnergyMeter ordered{lte_power_params()};
+  ordered.add_activity(TimePoint{sec(1).usec()});
+  ordered.add_activity(TimePoint{sec(5).usec()});
+  const auto horizon = TimePoint{sec(10).usec()};
+  const double got = unordered.radio_energy_joules(horizon);
+  EXPECT_GT(got, 0.0);
+  EXPECT_DOUBLE_EQ(got, ordered.radio_energy_joules(horizon));
+}
+
+TEST(EnergyMeter, PacketsCloserThanBurstHoldCostOneBurst) {
+  const RadioPowerParams p = lte_power_params();
+  EnergyMeter meter{p};
+  meter.add_activity(TimePoint{0});
+  meter.add_activity(TimePoint{msec(50).usec()});  // inside the 100 ms hold
+  const auto horizon = TimePoint{sec(30).usec()};
+  // One coalesced burst [0, 50 ms] + hold, then one tail — identical in
+  // shape to a lone packet, just 50 ms more active time.
+  const double active_s = 0.05 + p.burst_hold.seconds();
+  EXPECT_NEAR(meter.radio_energy_joules(horizon),
+              p.active_watts * active_s + p.tail_watts * p.tail_duration.seconds(),
+              0.01);
+}
+
+// publish() classifies steps by wattage; when tail_watts == active_watts
+// the two states are indistinguishable by power and must classify as
+// active (state 1), never as a phantom tail.
+TEST(EnergyMeter, EqualTailAndActiveWattsPublishAsActive) {
+  RadioPowerParams p;
+  p.active_watts = 1.5;
+  p.tail_watts = 1.5;
+  p.tail_duration = sec(5);
+  p.burst_hold = msec(100);
+  EnergyMeter meter{p};
+  meter.add_activity(TimePoint{sec(1).usec()});
+  obs::ObsHub hub{/*flight_capacity=*/64};
+  meter.publish(hub, TimePoint{sec(10).usec()}, /*radio_id=*/1);
+  ASSERT_NE(hub.flight(), nullptr);
+  bool saw_active = false;
+  for (const auto& e : hub.flight()->events()) {
+    if (e.type != obs::FlightEventType::kRadioState) continue;
+    EXPECT_NE(e.arg32, 2u) << "tail state published despite equal wattage";
+    if (e.arg32 == 1u) saw_active = true;
+  }
+  EXPECT_TRUE(saw_active);
+  EXPECT_GT(hub.snapshot().value_of("energy.state_transitions"), 0);
 }
 
 TEST(EnergyMeter, UnsortedActivityIsHandled) {

@@ -79,7 +79,9 @@ TEST(MptcpMechanisms, ReinjectionRescuesSilentPathDeath) {
     bed.start_transfer(2'000'000, Direction::kDownload);
     sim.schedule_at(TimePoint{msec(300).usec()},
                     [&bed] { bed.iface(PathId::kLte).unplug(); });
-    bed.run_until_finished(sec(30));
+    // The reinjection=false arm is *expected* to stall out here — the
+    // assertion below is on delivered bytes, not completion.
+    (void)bed.run_until_finished(sec(30));
     return bed.client().data_delivered_in_order();
   };
   EXPECT_EQ(run_scenario(true), 2'000'000) << "reinjection must drain the dead path";

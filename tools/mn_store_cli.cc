@@ -10,6 +10,7 @@
 #include <iostream>
 #include <string>
 
+#include "measure/campaign.hpp"
 #include "store/run_store.hpp"
 
 namespace {
@@ -22,7 +23,21 @@ int usage() {
 int cmd_dump(const std::string& dir) {
   mn::store::RunStore store{dir};
   for (const auto& [key, blob] : store.sorted_entries()) {
-    std::cout << key.hex() << "  " << blob.size() << " bytes\n";
+    std::cout << key.hex() << "  " << blob.size() << " bytes";
+    // Campaign stores hold RunRecord blobs; decode what we can so the
+    // operator sees the payload, not just its size.  Foreign blobs
+    // (or future layouts) degrade to the size-only line.
+    try {
+      const mn::RunRecord rec = mn::parse_run_record(blob);
+      std::cout << "  cluster=" << rec.cluster;
+      if (rec.mp_probed) {
+        std::cout << "  scheduler=" << (rec.scheduler.empty() ? "-" : rec.scheduler)
+                  << "  energy_wifi_j=" << rec.energy_wifi_j
+                  << "  energy_lte_j=" << rec.energy_lte_j;
+      }
+    } catch (const std::exception&) {
+    }
+    std::cout << "\n";
   }
   std::cout << store.size() << " record(s)\n";
   return 0;
