@@ -51,6 +51,20 @@ inline double env_scale(const char* name = "MN_RUN_SCALE", double fallback = 1.0
   return fallback;
 }
 
+/// MN_BENCH_REPS (default 1): in-process repetitions of a macro bench's
+/// workload.  Process startup — exec, static init, first-touch page
+/// faults — costs about as much wall clock as one whole workload body
+/// at default scale, so a single-shot run understates engine
+/// throughput by ~2x.  The perf_trajectory driver sets this so the
+/// events/s record measures steady state, not cold start.
+inline int env_reps() {
+  if (const char* v = std::getenv("MN_BENCH_REPS")) {
+    const int r = std::atoi(v);
+    if (r > 0) return r;
+  }
+  return 1;
+}
+
 /// MN_THREADS worker count for the replicated-run harnesses (0 = serial).
 /// Results are bit-identical at any value — the drivers pre-draw every
 /// random input serially before fanning out (see util/parallel.hpp).

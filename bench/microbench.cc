@@ -40,6 +40,17 @@ BENCHMARK(BM_EventQueueChurn);
 // The O(1)-cancel path: schedule `n` events, cancel every other one,
 // fire the rest.  The slab engine pays a generation bump per cancel
 // where the old engine paid unordered_map/unordered_set traffic.
+//
+// Per-item cost is NOT flat across the args, and that is cache
+// capacity, not an algorithmic regression: every phase (schedule,
+// cancel, fire) walks the meta slab in a different order, so the
+// working set is n live metas plus the id vector — ~40 B/item.  At
+// n=1e3 (40 KB) that sits in L1/L2 and at n=1e4 (400 KB) mostly in
+// LLC, but n=1e5 (4 MB) spills, and the random bucket order of the
+// (i*7919)%100000 schedule pattern turns each spilled access into a
+// memory round trip.  The 1e5 arg pins that cliff in the trajectory
+// so a future change to Meta layout (today 32 B, one cache line per
+// pair) shows up as a step in items_per_second.
 void BM_ScheduleCancel(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));
   std::vector<EventId> ids;
@@ -57,7 +68,7 @@ void BM_ScheduleCancel(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_ScheduleCancel)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_ScheduleCancel)->Arg(1000)->Arg(10000)->Arg(100000);
 
 // The RTO pattern: a timer re-armed before it can fire, `n` times —
 // pure schedule+cancel churn through the Timer wrapper.

@@ -2,17 +2,32 @@
 // one measurement record to a repo-level BENCH_<label>.json file, so
 // every PR leaves a comparable before/after trail of engine throughput.
 //
-//   perf_trajectory --label pr3 --variant slab \
+//   perf_trajectory --label pr3 --variant slab
 //       [--bench-dir build/bench] [--out BENCH_pr3.json] [--scale 0.2]
+//       [--reps N] [--macro-reps R] [--floor-from F [--floor-frac x]]
 //
 // What it measures:
-//   - microbench (google-benchmark, --benchmark_min_time=0.01 smoke):
-//     per-benchmark real time in ns, parsed from console output
+//   - microbench (google-benchmark): per-benchmark real time in ns,
+//     parsed from console output.  Run --reps times (default 3) at
+//     --benchmark_min_time=0.10 and merged by per-benchmark MINIMUM —
+//     on a shared box the mean tracks scheduler noise (observed 2x
+//     swings within minutes at identical code), while the minimum
+//     tracks the code.
 //   - fig07_mptcp_vs_tcp: the full-figure macro workload, via the
 //     MN_BENCH_JSON hook in bench/common.hpp ({wall_s, events,
-//     events_per_s, allocs})
-//   - chaos_soak at MN_RUN_SCALE=<scale>: the fault-heavy workload,
-//     same hook
+//     events_per_s, allocs}); MN_BENCH_REPS=<macro-reps> (default 10)
+//     repeats the workload in-process so steady-state throughput
+//     dominates the record rather than exec/static-init/page-fault
+//     cold start (~half the single-shot wall time at default scale)
+//   - chaos_soak / energy_pareto at MN_RUN_SCALE=<scale>: the
+//     fault-heavy workloads, same hook
+//
+// Perf-floor mode (the CI smoke check): --floor-from <file> compares
+// the run just recorded against the most recent run in <file> and
+// fails (exit 3) when fig07 events/s dropped below --floor-frac
+// (default 0.9) of the floor, or when fig07 reports any InplaceFunction
+// heap fallbacks (allocs > 0) — the per-event path must stay
+// allocation-free regardless of machine speed.
 //
 // The output file holds one run object per line so records append
 // across invocations (and across PRs) without a JSON library:
@@ -20,10 +35,12 @@
 //   {"label": "pr3", "variant": "baseline", ...},
 //   {"label": "pr3", "variant": "slab", ...}
 //   ]}
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
+#include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -76,11 +93,12 @@ bool run_capture(const std::string& cmd, std::string& output) {
 }
 
 /// Parse google-benchmark console lines: "BM_Name/123  4567 ns  4560 ns  99".
-/// Emits {"BM_Name/123": <real time in ns>, ...} JSON body entries.
-std::string parse_microbench(const std::string& console) {
+/// Merges into `best` keeping the per-benchmark minimum real time (ns);
+/// `order` preserves first-seen output order.
+void parse_microbench(const std::string& console, std::map<std::string, double>& best,
+                      std::vector<std::string>& order) {
   std::istringstream in(console);
   std::string line;
-  std::vector<std::string> entries;
   while (std::getline(in, line)) {
     std::istringstream ls(line);
     std::string name;
@@ -93,26 +111,33 @@ std::string parse_microbench(const std::string& console) {
     else if (unit == "ms") ns *= 1e6;
     else if (unit == "s") ns *= 1e9;
     else if (unit != "ns") continue;
-    std::ostringstream e;
-    e << "\"" << name << "\": " << ns;
-    entries.push_back(e.str());
+    const auto [it, inserted] = best.try_emplace(name, ns);
+    if (inserted) order.push_back(name);
+    else if (ns < it->second) it->second = ns;
   }
-  std::string body = "{";
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    if (i) body += ", ";
-    body += entries[i];
+}
+
+std::string render_microbench(const std::map<std::string, double>& best,
+                              const std::vector<std::string>& order) {
+  std::ostringstream body;
+  body << "{";
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i) body << ", ";
+    body << "\"" << order[i] << "\": " << best.at(order[i]);
   }
-  return body + "}";
+  body << "}";
+  return body.str();
 }
 
 /// Run one macro bench with the MN_BENCH_JSON hook; returns its record
 /// (or "null" if the bench failed / produced nothing).
 std::string run_macro(const std::string& binary, const std::string& scale,
-                      const std::string& tmp_json) {
+                      const std::string& macro_reps, const std::string& tmp_json) {
   std::remove(tmp_json.c_str());
   std::string out;
   const std::string cmd = "MN_BENCH_JSON=" + shell_quote(tmp_json) +
-                          " MN_RUN_SCALE=" + shell_quote(scale) + " " +
+                          " MN_RUN_SCALE=" + shell_quote(scale) +
+                          " MN_BENCH_REPS=" + shell_quote(macro_reps) + " " +
                           shell_quote(binary) + " > /dev/null";
   if (!run_capture(cmd, out)) {
     std::cerr << "perf_trajectory: " << binary << " failed:\n" << out;
@@ -120,6 +145,31 @@ std::string run_macro(const std::string& binary, const std::string& scale,
   }
   const std::string record = trim(read_file(tmp_json));
   return record.empty() ? "null" : record;
+}
+
+/// Pull `"key": <number>` out of a JSON fragment starting at `from`.
+/// Good enough for the records this driver itself writes.
+double json_number(const std::string& text, const std::string& key, std::size_t from,
+                   double fallback) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = text.find(needle, from);
+  if (pos == std::string::npos) return fallback;
+  return std::atof(text.c_str() + pos + needle.size());
+}
+
+/// fig07 events/s of the LAST run recorded in a trajectory file ("the
+/// previous BENCH"), or -1 when none is parseable.
+double last_fig07_events_per_s(const std::string& path) {
+  std::istringstream in(read_file(path));
+  std::string line;
+  double found = -1.0;
+  while (std::getline(in, line)) {
+    const auto fig = line.find("\"fig07\":");
+    if (fig == std::string::npos) continue;
+    const double v = json_number(line, "events_per_s", fig, -1.0);
+    if (v > 0.0) found = v;
+  }
+  return found;
 }
 
 }  // namespace
@@ -130,6 +180,10 @@ int main(int argc, char** argv) {
   std::string bench_dir = dirname_of(argv[0]);
   std::string out_path;
   std::string scale = "0.2";
+  std::string floor_from;
+  double floor_frac = 0.9;
+  int reps = 3;
+  std::string macro_reps = "10";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* flag) -> std::string {
@@ -144,30 +198,54 @@ int main(int argc, char** argv) {
     else if (arg == "--bench-dir") bench_dir = next("--bench-dir");
     else if (arg == "--out") out_path = next("--out");
     else if (arg == "--scale") scale = next("--scale");
+    else if (arg == "--reps") reps = std::max(1, std::atoi(next("--reps").c_str()));
+    else if (arg == "--macro-reps") macro_reps = next("--macro-reps");
+    else if (arg == "--floor-from") floor_from = next("--floor-from");
+    else if (arg == "--floor-frac") floor_frac = std::atof(next("--floor-frac").c_str());
     else {
       std::cerr << "usage: perf_trajectory [--label L] [--variant V] [--bench-dir D]"
-                   " [--out F] [--scale S]\n";
+                   " [--out F] [--scale S] [--reps N] [--macro-reps R]"
+                   " [--floor-from F [--floor-frac x]]\n";
       return 2;
     }
   }
   if (out_path.empty()) out_path = "BENCH_" + label + ".json";
   const std::string tmp_json = out_path + ".tmp";
 
-  std::cout << "perf_trajectory: microbench smoke...\n";
-  std::string console;
-  if (!run_capture(shell_quote(bench_dir + "/microbench") + " --benchmark_min_time=0.01",
-                   console)) {
-    std::cerr << "perf_trajectory: microbench failed:\n" << console;
-    return 1;
+  // Read the floor before measuring: --floor-from may name the same
+  // file this run appends to.
+  double floor_events_per_s = -1.0;
+  if (!floor_from.empty()) {
+    floor_events_per_s = last_fig07_events_per_s(floor_from);
+    if (floor_events_per_s <= 0.0) {
+      std::cerr << "perf_trajectory: no fig07 events_per_s found in " << floor_from
+                << "\n";
+      return 2;
+    }
   }
-  const std::string micro = parse_microbench(console);
 
-  std::cout << "perf_trajectory: fig07_mptcp_vs_tcp...\n";
-  const std::string fig07 = run_macro(bench_dir + "/fig07_mptcp_vs_tcp", scale, tmp_json);
+  std::map<std::string, double> best;
+  std::vector<std::string> order;
+  for (int r = 0; r < reps; ++r) {
+    std::cout << "perf_trajectory: microbench pass " << (r + 1) << "/" << reps << "...\n";
+    std::string console;
+    if (!run_capture(shell_quote(bench_dir + "/microbench") + " --benchmark_min_time=0.10",
+                     console)) {
+      std::cerr << "perf_trajectory: microbench failed:\n" << console;
+      return 1;
+    }
+    parse_microbench(console, best, order);
+  }
+  const std::string micro = render_microbench(best, order);
+
+  std::cout << "perf_trajectory: fig07_mptcp_vs_tcp (MN_BENCH_REPS=" << macro_reps
+            << ")...\n";
+  const std::string fig07 =
+      run_macro(bench_dir + "/fig07_mptcp_vs_tcp", scale, macro_reps, tmp_json);
   std::cout << "perf_trajectory: chaos_soak (MN_RUN_SCALE=" << scale << ")...\n";
-  const std::string chaos = run_macro(bench_dir + "/chaos_soak", scale, tmp_json);
+  const std::string chaos = run_macro(bench_dir + "/chaos_soak", scale, "1", tmp_json);
   std::cout << "perf_trajectory: energy_pareto (MN_RUN_SCALE=" << scale << ")...\n";
-  const std::string pareto = run_macro(bench_dir + "/energy_pareto", scale, tmp_json);
+  const std::string pareto = run_macro(bench_dir + "/energy_pareto", scale, "1", tmp_json);
   std::remove(tmp_json.c_str());
 
   std::ostringstream run;
@@ -202,5 +280,24 @@ int main(int argc, char** argv) {
   out << "]}\n";
   std::cout << "perf_trajectory: appended variant '" << variant << "' to " << out_path
             << " (" << runs.size() << " run(s))\n";
+
+  if (!floor_from.empty()) {
+    const double got = json_number(fig07, "events_per_s", 0, -1.0);
+    const double allocs = json_number(fig07, "allocs", 0, -1.0);
+    const double floor = floor_events_per_s * floor_frac;
+    std::cout << "perf_trajectory: floor check — fig07 " << got << " events/s vs floor "
+              << floor << " (" << floor_frac << " x " << floor_events_per_s
+              << "), allocs " << allocs << "\n";
+    if (allocs != 0.0) {
+      std::cerr << "perf_trajectory: FAIL — fig07 per-event path allocated (allocs="
+                << allocs << ")\n";
+      return 3;
+    }
+    if (got < floor) {
+      std::cerr << "perf_trajectory: FAIL — fig07 events/s below perf floor\n";
+      return 3;
+    }
+    std::cout << "perf_trajectory: floor check passed\n";
+  }
   return 0;
 }

@@ -21,11 +21,18 @@ std::size_t lowest_rtt_order(std::span<const SubflowSnapshot> subflows,
                              std::span<int> out) {
   const std::size_t n = std::min(subflows.size(), out.size());
   for (std::size_t i = 0; i < n; ++i) out[i] = subflows[i].id;
-  std::stable_sort(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(n),
-                   [&subflows](int a, int b) {
-                     return srtt_key(subflows[static_cast<std::size_t>(a)]) <
-                            srtt_key(subflows[static_cast<std::size_t>(b)]);
-                   });
+  // Stable insertion sort.  Subflow counts are tiny (two in every paper
+  // scenario) and this runs once per pump on the hottest MPTCP path —
+  // std::stable_sort's temporary buffer costs a heap round-trip per call.
+  for (std::size_t i = 1; i < n; ++i) {
+    const int v = out[i];
+    const std::int64_t key = srtt_key(subflows[static_cast<std::size_t>(v)]);
+    std::size_t j = i;
+    for (; j > 0 && srtt_key(subflows[static_cast<std::size_t>(out[j - 1])]) > key; --j) {
+      out[j] = out[j - 1];
+    }
+    out[j] = v;
+  }
   return n;
 }
 

@@ -37,9 +37,19 @@ MptcpTestbed::MptcpTestbed(Simulator& sim, const MpNetworkSetup& setup, MptcpSpe
   // the packet selects the endpoint); same on the server.
   for (auto& iface : ifaces_) {
     iface->set_receiver([this](Packet p) { client_->handle_packet(p); });
+    iface->set_receiver_batch([this](std::span<Packet> ps) {
+      client_->on_packets({ps.data(), ps.size()});
+    });
   }
+  // The client side installs taps below, which forces its interfaces
+  // onto the per-packet path; the untapped server side takes each
+  // tick's deliveries as one span.
   wifi_path_->set_server_receiver([this](Packet p) { server_->handle_packet(p); });
   lte_path_->set_server_receiver([this](Packet p) { server_->handle_packet(p); });
+  wifi_path_->set_server_receiver_batch(
+      [this](std::span<Packet> ps) { server_->on_packets({ps.data(), ps.size()}); });
+  lte_path_->set_server_receiver_batch(
+      [this](std::span<Packet> ps) { server_->on_packets({ps.data(), ps.size()}); });
 
   // Interface state changes drive MPTCP path management on the client.
   for (int pi = 0; pi < 2; ++pi) {
@@ -60,6 +70,8 @@ MptcpTestbed::MptcpTestbed(Simulator& sim, const MpNetworkSetup& setup, MptcpSpe
 MptcpTestbed::~MptcpTestbed() {
   wifi_path_->set_server_receiver({});
   lte_path_->set_server_receiver({});
+  wifi_path_->set_server_receiver_batch({});
+  lte_path_->set_server_receiver_batch({});
 }
 
 void MptcpTestbed::start_transfer(std::int64_t bytes, Direction dir) {
@@ -83,20 +95,22 @@ bool MptcpTestbed::run_until_finished(Duration timeout) {
 }
 
 std::uint64_t MptcpTestbed::progress_signature() const {
-  // Order-sensitive hash of every monotone transfer counter plus the
-  // subflow states (handshake transitions count as progress too).
-  std::uint64_t sig = 1469598103934665603ULL;
-  const auto mix = [&sig](std::uint64_t v) {
-    sig ^= v + 0x9e3779b97f4a7c15ULL + (sig << 6) + (sig >> 2);
-  };
+  // Weighted sum of every monotone transfer counter plus the subflow
+  // states (handshake transitions count as progress too).  Because the
+  // byte counters only ever increase, a sum changes exactly when any
+  // component changes — no hash needed.  States get a 2^40 weight so a
+  // state transition can never be cancelled by a byte-counter delta
+  // (individual flows move far fewer than a terabyte).  This runs after
+  // every simulator step, so it must stay a handful of inline loads.
+  std::uint64_t sig = 0;
   for (const MptcpAgent* agent : {client_.get(), server_.get()}) {
-    mix(static_cast<std::uint64_t>(agent->data_acked()));
-    mix(static_cast<std::uint64_t>(agent->data_delivered()));
+    sig += static_cast<std::uint64_t>(agent->data_acked());
+    sig += static_cast<std::uint64_t>(agent->data_delivered());
     for (int id = 0; id < 2; ++id) {
       const TcpEndpoint& ep = agent->subflow(id);
-      mix(static_cast<std::uint64_t>(ep.bytes_acked()));
-      mix(static_cast<std::uint64_t>(ep.bytes_delivered()));
-      mix(static_cast<std::uint64_t>(ep.state()));
+      sig += static_cast<std::uint64_t>(ep.bytes_acked());
+      sig += static_cast<std::uint64_t>(ep.bytes_delivered());
+      sig += static_cast<std::uint64_t>(ep.state()) << 40;
     }
   }
   return sig;

@@ -18,19 +18,46 @@ void PacketStage::note_deliver_slow(const Packet& p) {
   obs()->packet_delivered(obs_sim_->now(), p.wire_bytes());
 }
 
+void PacketStage::note_deliver_batch_slow(std::span<const Packet> ps) {
+  obs::ObsHub* o = obs();
+  o->count(o->ids().pkt_delivered, static_cast<std::int64_t>(ps.size()));
+  if (o->flight() != nullptr) {
+    for (const Packet& p : ps) {
+      o->record(obs_sim_->now(), obs::FlightEventType::kPktDeliver, 0, 0, p.wire_bytes());
+    }
+  }
+}
+
+DelayBox::DelayBox(Simulator& sim, Duration delay) : sim_(sim), delay_(delay) {
+  sink_ = sim_.register_sink([this](SinkSpan idxs) { deliver_batch(idxs); });
+}
+
 void DelayBox::accept(Packet p) {
   ++counters_.accepted;
   const std::uint32_t idx = pool_.put(std::move(p));
-  sim_.schedule_after(delay_, [this, idx] { deliver(idx); });
+  sim_.schedule_item_after(delay_, sink_, idx);
 }
 
-void DelayBox::deliver(std::uint32_t idx) {
-  // The DelayBox is the pipeline exit, so this is the one place a
-  // packet counts as delivered by the pipe (kPktDeliver); per-stage
-  // forwards in the middle of the pipe are not separately recorded.
-  Packet p = pool_.take(idx);
-  note_deliver(p);
-  forward(std::move(p));
+void DelayBox::deliver_batch(SinkSpan idxs) {
+  // The DelayBox is the pipeline exit, so this is the one place packets
+  // count as delivered by the pipe (kPktDeliver); per-stage forwards in
+  // the middle of the pipe are not separately recorded.
+  if (batch_next_) {
+    // Whole-sweep path: reclaim every slot first, then one downstream
+    // call with the packets in delivery order.
+    counters_.delivered += idxs.size();
+    sweep_.clear();
+    for (const std::uint64_t idx : idxs)
+      sweep_.push_back(pool_.take(static_cast<std::uint32_t>(idx)));
+    note_deliver_batch(std::span<const Packet>{sweep_.data(), sweep_.size()});
+    batch_next_(std::span<Packet>{sweep_.data(), sweep_.size()});
+    return;
+  }
+  for (const std::uint64_t idx : idxs) {
+    Packet p = pool_.take(static_cast<std::uint32_t>(idx));
+    note_deliver(p);
+    forward(std::move(p));
+  }
 }
 
 void LossBox::accept(Packet p) {
@@ -89,6 +116,11 @@ RateLink::RateLink(Simulator& sim, double mbps, int queue_packets)
     : sim_(sim), mbps_(mbps), queue_limit_(queue_packets) {
   if (mbps <= 0.0) throw std::invalid_argument("RateLink: rate must be positive");
   if (queue_packets <= 0) throw std::invalid_argument("RateLink: queue must hold >= 1 packet");
+  // At most one drain completion is ever live, so the span is width-1;
+  // the loop is defensive symmetry with the other sink stages.
+  sink_ = sim_.register_sink([this](SinkSpan s) {
+    for (std::size_t i = 0; i < s.size(); ++i) finish_head();
+  });
 }
 
 void RateLink::set_rate(double mbps) {
@@ -108,8 +140,8 @@ void RateLink::set_rate(double mbps) {
   head_wire_bytes_ -= sent;
   head_start_ = sim_.now();
   mbps_ = mbps;
-  drain_event_ = sim_.schedule_after(transmission_time(head_wire_bytes_, mbps_),
-                                     [this] { finish_head(); });
+  drain_event_ =
+      sim_.schedule_item_after(transmission_time(head_wire_bytes_, mbps_), sink_, 0);
 }
 
 void RateLink::accept(Packet p) {
@@ -128,14 +160,13 @@ void RateLink::begin_head() {
   sending_ = true;
   head_start_ = sim_.now();
   head_wire_bytes_ = queue_.front().wire_bytes();
-  drain_event_ = sim_.schedule_after(transmission_time(head_wire_bytes_, mbps_),
-                                     [this] { finish_head(); });
+  drain_event_ =
+      sim_.schedule_item_after(transmission_time(head_wire_bytes_, mbps_), sink_, 0);
 }
 
 void RateLink::finish_head() {
   sending_ = false;
-  Packet p = std::move(queue_.front());
-  queue_.pop_front();
+  Packet p = queue_.pop_front();
   forward(std::move(p));
   // forward() can synchronously re-enter accept() (tight loopback
   // wiring), which may have restarted the serializer already.
@@ -147,6 +178,11 @@ TraceLink::TraceLink(Simulator& sim, TracePtr trace, int queue_packets)
   if (!trace_) throw std::invalid_argument("TraceLink: null trace");
   if (queue_packets <= 0) throw std::invalid_argument("TraceLink: queue must hold >= 1 packet");
   cursor_ = DeliveryTrace::Cursor{*trace_};
+  // drain_armed_ guarantees a single live opportunity event; see
+  // RateLink for why the loop is still written over the span.
+  sink_ = sim_.register_sink([this](SinkSpan s) {
+    for (std::size_t i = 0; i < s.size(); ++i) drain();
+  });
 }
 
 void TraceLink::accept(Packet p) {
@@ -165,19 +201,18 @@ void TraceLink::arm_drain() {
   if (drain_armed_ || queue_.empty()) return;
   const TimePoint when = cursor_.next(std::max(sim_.now(), next_allowed_));
   drain_armed_ = true;
-  sim_.schedule_at(when, [this] { drain(); });
+  sim_.schedule_item_at(when, sink_, 0);
 }
 
 void TraceLink::drain() {
   drain_armed_ = false;
-  // This opportunity is consumed regardless of how much it carries.
+  // This opportunity is consumed regardless of how much it carries: the
+  // whole MTU's worth of queued packets leaves in one contiguous sweep.
   next_allowed_ = sim_.now() + usec(1);
   std::int64_t budget = Packet::kMtu;
   while (!queue_.empty() && queue_.front().wire_bytes() <= budget) {
     budget -= queue_.front().wire_bytes();
-    Packet p = std::move(queue_.front());
-    queue_.pop_front();
-    forward(std::move(p));
+    forward(queue_.pop_front());
   }
   arm_drain();
 }

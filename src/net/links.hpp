@@ -9,13 +9,17 @@
 // Scheduling discipline: stages never capture a Packet (~120 bytes) in a
 // simulator callback.  Delayed packets park either in the stage's own
 // queue (RateLink, TraceLink) or in a FlightPool slot (DelayBox,
-// ReorderBox), and the scheduled callback captures only {this, index} —
-// 16 bytes, well inside the simulator's inline-callback budget, keeping
-// the per-hop path allocation-free.
+// ReorderBox), and the stage schedules a *sink item* — the bare slot
+// index, 8 bytes in the event's cold slot — instead of a closure.  The
+// simulator then hands a whole tick's worth of same-stage firings back
+// as one span (see Simulator sinks), which is what lets DelayBox drain
+// every same-tick delivery as a single contiguous sweep into one
+// downstream call.  ReorderBox keeps the classic {this, index} closure:
+// its jittered deliveries are rare and never batch.
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -32,6 +36,12 @@ namespace mn {
 /// long-lived closures, not per-event state — but they still must not
 /// allocate, so the figure benches can assert a zero fallback count.
 using PacketHandler = InplaceFunction<void(Packet), 128>;
+
+/// Batch variant of the inter-stage handler: one call per delivery
+/// sweep, carrying every packet the stage released this tick in
+/// delivery order.  The span is mutable so the receiver may move the
+/// packets out; it is only valid for the duration of the call.
+using PacketBatchHandler = InplaceFunction<void(std::span<Packet>), 128>;
 
 struct StageCounters {
   std::uint64_t accepted = 0;
@@ -67,6 +77,45 @@ class FlightPool {
  private:
   std::vector<Packet> slots_;
   std::vector<std::uint32_t> free_;
+};
+
+/// Flat power-of-two ring buffer of packets: the DropTail queue of
+/// RateLink/TraceLink.  Replaces std::deque, whose per-block heap
+/// traffic dominated the steady-state allocation profile of a long
+/// flow; the ring allocates only when it grows past its high-water
+/// mark, so a warmed-up link queues and drains allocation-free.
+class PacketRing {
+ public:
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] Packet& front() { return buf_[head_]; }
+  [[nodiscard]] const Packet& front() const { return buf_[head_]; }
+
+  void push_back(Packet p) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & (buf_.size() - 1)] = std::move(p);
+    ++size_;
+  }
+  Packet pop_front() {
+    Packet p = std::move(buf_[head_]);
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --size_;
+    return p;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 64 : buf_.size() * 2;
+    std::vector<Packet> next(cap);
+    for (std::size_t i = 0; i < size_; ++i)
+      next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<Packet> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
 };
 
 /// Base for pipeline stages.  Not copyable: stages are wired by reference.
@@ -119,22 +168,41 @@ class PacketStage {
   void note_deliver(const Packet& p) {
     if (obs() != nullptr) [[unlikely]] note_deliver_slow(p);
   }
+  /// Batched delivery accounting: one counter add for the whole sweep.
+  /// With a flight recorder attached the per-packet ring events are
+  /// still emitted (in delivery order) so .mnfr dumps keep one record
+  /// per packet regardless of batch width.
+  void note_deliver_batch(std::span<const Packet> ps) {
+    if (obs() != nullptr) [[unlikely]] note_deliver_batch_slow(ps);
+  }
   StageCounters counters_;
 
  private:
   [[gnu::noinline, gnu::cold]] void note_drop_slow(obs::DropCause cause, const Packet& p);
   [[gnu::noinline, gnu::cold]] void note_enqueue_slow(const Packet& p, std::int64_t depth);
   [[gnu::noinline, gnu::cold]] void note_deliver_slow(const Packet& p);
+  [[gnu::noinline, gnu::cold]] void note_deliver_batch_slow(std::span<const Packet> ps);
 
   PacketHandler next_;
   const Simulator* obs_sim_ = nullptr;
 };
 
 /// Constant one-way propagation delay.
+///
+/// The pipeline exit.  Parked packets are simulator *sink items* (their
+/// FlightPool index), so every packet due at one tick arrives back as a
+/// single span and drains as one contiguous sweep.  With a batch
+/// handler installed (set_next_batch) the whole sweep is forwarded in
+/// ONE downstream call; otherwise it falls back to the per-packet
+/// scalar handler, preserving delivery order either way.
 class DelayBox final : public PacketStage {
  public:
-  DelayBox(Simulator& sim, Duration delay) : sim_(sim), delay_(delay) {}
+  DelayBox(Simulator& sim, Duration delay);
   void accept(Packet p) override;
+
+  /// Install a batch receiver: takes precedence over the scalar
+  /// set_next handler for whole-sweep delivery.  Pass {} to clear.
+  void set_next_batch(PacketBatchHandler next) { batch_next_ = std::move(next); }
 
   /// Change the propagation delay for packets accepted from now on
   /// (fault injection: delay spikes).  In-flight packets keep their
@@ -145,11 +213,14 @@ class DelayBox final : public PacketStage {
   [[nodiscard]] std::int64_t queued_packets() const override { return pool_.in_flight(); }
 
  private:
-  void deliver(std::uint32_t idx);
+  void deliver_batch(SinkSpan idxs);
 
   Simulator& sim_;
   Duration delay_;
   FlightPool pool_;
+  SinkId sink_;
+  PacketBatchHandler batch_next_;
+  std::vector<Packet> sweep_;  // scratch for the batched forward
 };
 
 /// Independent (Bernoulli) packet loss.
@@ -228,8 +299,9 @@ class RateLink final : public PacketStage {
   Simulator& sim_;
   double mbps_;
   int queue_limit_;
-  std::deque<Packet> queue_;
+  PacketRing queue_;
   bool sending_ = false;            // head serialization in progress
+  SinkId sink_;                     // drain completions (at most one live)
   EventId drain_event_ = 0;
   TimePoint head_start_{0};         // when the current head('s remainder) started
   std::int64_t head_wire_bytes_ = 0;  // bytes still to serialize of the head
@@ -278,8 +350,9 @@ class TraceLink final : public PacketStage {
   TracePtr trace_;
   DeliveryTrace::Cursor cursor_;
   int queue_limit_;
-  std::deque<Packet> queue_;
+  PacketRing queue_;
   bool drain_armed_ = false;
+  SinkId sink_;                // delivery opportunities (at most one live)
   TimePoint next_allowed_{0};  // first instant a new opportunity may fire
 };
 

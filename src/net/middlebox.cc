@@ -57,6 +57,14 @@ void MiddleboxBox::accept(Packet p) {
   forward(std::move(p));
 }
 
+void MiddleboxBox::accept_batch(std::span<Packet> ps) {
+  // Per-batch entry point.  The policy itself stays packet-by-packet —
+  // the mangle draw must consume the RNG stream in arrival order for
+  // determinism — so this is one call into the box per burst, not a
+  // changed decision procedure.
+  for (Packet& p : ps) accept(std::move(p));
+}
+
 void MiddleboxBox::note_syn_stripped() {
   if (auto* o = obs()) o->count(o->ids().middlebox_syn_stripped);
 }

@@ -49,6 +49,9 @@ class MiddleboxBox final : public PacketStage {
   explicit MiddleboxBox(std::uint64_t seed = 0x6d626f78) : rng_(seed) {}
 
   void accept(Packet p) override;
+  /// Batch entry (see OneWayPipe::send_batch): one call per burst; the
+  /// per-packet policy and RNG draw order are identical to accept().
+  void accept_batch(std::span<Packet> ps);
 
   /// Install (or replace) the middlebox policy: draws the box-level
   /// decisions from spec.seed and starts interfering with traffic.

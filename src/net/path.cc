@@ -18,10 +18,8 @@ OneWayPipe::OneWayPipe(Simulator& sim, const LinkSpec& spec) : sim_(sim) {
       spec.burst_loss ? spec.burst_loss->seed : mix_seed(spec.loss_seed, "burst");
   burst_ = std::make_unique<GilbertElliottLossBox>(burst_seed);
   if (spec.burst_loss) burst_->set_spec(*spec.burst_loss);
-  burst_->set_next([l = link_.get()](Packet p) { l->accept(std::move(p)); });
   if (spec.loss_rate > 0.0) {
     loss_ = std::make_unique<LossBox>(Rng{spec.loss_seed}, spec.loss_rate);
-    loss_->set_next([b = burst_.get()](Packet p) { b->accept(std::move(p)); });
   }
   // The middlebox sits at the pipe entry (an in-network box sees the
   // packet before the loss/capacity model does); pass-through until a
@@ -30,12 +28,7 @@ OneWayPipe::OneWayPipe(Simulator& sim, const LinkSpec& spec) : sim_(sim) {
       spec.middlebox ? spec.middlebox->seed : mix_seed(spec.loss_seed, "mbox");
   mbox_ = std::make_unique<MiddleboxBox>(mbox_seed);
   if (spec.middlebox && !spec.middlebox->trivial()) mbox_->set_spec(*spec.middlebox);
-  if (loss_) {
-    mbox_->set_next([l = loss_.get()](Packet p) { l->accept(std::move(p)); });
-  } else {
-    mbox_->set_next([b = burst_.get()](Packet p) { b->accept(std::move(p)); });
-  }
-  entry_ = mbox_.get();
+  rewire();
   // Every owned stage reports to the hub installed on this simulator
   // (if any): the per-cause drop counters below each drop site stay in
   // lock-step with the stage counters the soak invariants check.
@@ -44,6 +37,27 @@ OneWayPipe::OneWayPipe(Simulator& sim, const LinkSpec& spec) : sim_(sim) {
   if (loss_) loss_->attach_obs(sim);
   link_->attach_obs(sim);
   delay_->attach_obs(sim);
+}
+
+void OneWayPipe::rewire() {
+  // Build the entry chain back-to-front out of the stages that are
+  // actually active; a disabled pass-through stage is bypassed
+  // entirely, so a packet on a clean path goes straight to the link.
+  // RNG streams are unaffected: disabled stages never draw.
+  PacketStage* tail = link_.get();
+  if (loss_) {
+    loss_->set_next([n = tail](Packet p) { n->accept(std::move(p)); });
+    tail = loss_.get();
+  }
+  if (burst_->enabled()) {
+    burst_->set_next([n = tail](Packet p) { n->accept(std::move(p)); });
+    tail = burst_.get();
+  }
+  if (mbox_->enabled()) {
+    mbox_->set_next([n = tail](Packet p) { n->accept(std::move(p)); });
+    tail = mbox_.get();
+  }
+  entry_ = tail;
 }
 
 void OneWayPipe::send(Packet p) {
@@ -57,7 +71,28 @@ void OneWayPipe::send(Packet p) {
   entry_->accept(std::move(p));
 }
 
+void OneWayPipe::send_batch(std::span<Packet> ps) {
+  if (blackholed_) {
+    blackholed_drops_ += ps.size();
+    if (auto* o = sim_.obs()) {
+      for (const Packet& p : ps) {
+        o->packet_dropped(sim_.now(), obs::DropCause::kBlackhole, p.wire_bytes());
+      }
+    }
+    return;
+  }
+  if (entry_ == mbox_.get()) {
+    mbox_->accept_batch(ps);
+    return;
+  }
+  for (Packet& p : ps) entry_->accept(std::move(p));
+}
+
 void OneWayPipe::set_receiver(PacketHandler h) { delay_->set_next(std::move(h)); }
+
+void OneWayPipe::set_receiver_batch(PacketBatchHandler h) {
+  delay_->set_next_batch(std::move(h));
+}
 
 const StageCounters& OneWayPipe::link_counters() const { return link_->counters(); }
 
@@ -118,6 +153,25 @@ NetworkInterface::NetworkInterface(std::string name, Simulator& sim, DuplexPath&
     if (tap_) tap_(sim_.now(), PacketDir::kReceived, p);
     if (receiver_) receiver_(std::move(p));
   });
+  // Batched delivery: whole-span hand-off when the endpoint accepts
+  // batches and no tap watches the interface; otherwise fall back to
+  // the per-packet loop above so tap events interleave with the
+  // endpoint's reaction exactly as scalar delivery would order them.
+  path_.set_client_receiver_batch([this](std::span<Packet> ps) {
+    if (!up_) {
+      rx_dropped_down_ += ps.size();
+      for (const Packet& p : ps) note_down_drop(p);
+      return;
+    }
+    if (!tap_ && batch_receiver_) {
+      batch_receiver_(ps);
+      return;
+    }
+    for (Packet& p : ps) {
+      if (tap_) tap_(sim_.now(), PacketDir::kReceived, p);
+      if (receiver_) receiver_(std::move(p));
+    }
+  });
 }
 
 void NetworkInterface::send(Packet p) {
@@ -137,6 +191,10 @@ void NetworkInterface::note_down_drop(const Packet& p) {
 }
 
 void NetworkInterface::set_receiver(PacketHandler h) { receiver_ = std::move(h); }
+
+void NetworkInterface::set_receiver_batch(PacketBatchHandler h) {
+  batch_receiver_ = std::move(h);
+}
 
 void NetworkInterface::add_state_listener(std::function<void(bool)> listener) {
   listeners_.push_back(std::move(listener));

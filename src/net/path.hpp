@@ -42,6 +42,14 @@ struct LinkSpec {
 /// One direction: [blackhole gate] -> middlebox -> burst loss ->
 /// [loss] -> capacity link -> propagation delay -> receiver.
 ///
+/// Entry flattening: the middlebox and burst stages are pass-through
+/// until a fault enables them, so the pipe wires its entry directly to
+/// the first stage that actually does something — a packet on a clean
+/// path pays zero disabled-stage hops.  The fault hooks rewire the
+/// chain when a stage flips; a bypassed (disabled) stage sees no
+/// packets and keeps zeroed counters, which still satisfies the
+/// conservation invariant.
+///
 /// The fault hooks (set_blackhole, set_burst_loss, set_rate_mbps,
 /// set_delay_spike) exist for the FaultInjector but are plain public
 /// API: tests may drive them directly.
@@ -52,7 +60,14 @@ class OneWayPipe {
   OneWayPipe& operator=(const OneWayPipe&) = delete;
 
   void send(Packet p);
+  /// Feed a whole burst through the pipe entry in one call (the batch
+  /// counterpart of send(); one blackhole check for the burst).
+  void send_batch(std::span<Packet> ps);
   void set_receiver(PacketHandler h);
+  /// Batch receiver: every packet the pipe delivers in one tick arrives
+  /// as a single span (delivery order preserved).  Takes precedence
+  /// over set_receiver; pass {} to fall back to per-packet delivery.
+  void set_receiver_batch(PacketBatchHandler h);
 
   [[nodiscard]] const StageCounters& link_counters() const;
 
@@ -65,15 +80,27 @@ class OneWayPipe {
   [[nodiscard]] std::uint64_t blackholed_packets() const { return blackholed_drops_; }
 
   /// Enable / reconfigure / clear Gilbert-Elliott burst loss mid-run.
-  void set_burst_loss(const GeLossSpec& spec) { burst_->set_spec(spec); }
-  void clear_burst_loss() { burst_->disable(); }
+  void set_burst_loss(const GeLossSpec& spec) {
+    burst_->set_spec(spec);
+    rewire();
+  }
+  void clear_burst_loss() {
+    burst_->disable();
+    rewire();
+  }
   [[nodiscard]] const GilbertElliottLossBox& burst_stage() const { return *burst_; }
 
   /// Install / clear an MPTCP-hostile middlebox mid-run (fault
   /// injection; the spec's seed is used as given — direction forking
   /// already happened when the plan was built).
-  void set_middlebox(const MiddleboxSpec& spec) { mbox_->set_spec(spec); }
-  void clear_middlebox() { mbox_->disable(); }
+  void set_middlebox(const MiddleboxSpec& spec) {
+    mbox_->set_spec(spec);
+    rewire();
+  }
+  void clear_middlebox() {
+    mbox_->disable();
+    rewire();
+  }
   [[nodiscard]] const MiddleboxBox& middlebox_stage() const { return *mbox_; }
 
   /// Crash or restore the link rate (fixed-rate links only; returns
@@ -93,6 +120,12 @@ class OneWayPipe {
   [[nodiscard]] bool counters_consistent() const;
 
  private:
+  /// Recompute the entry chain: each enabled stage forwards to the next
+  /// enabled stage, and entry_ is the first of them (the link itself on
+  /// a clean path).  Called at construction and whenever a fault hook
+  /// flips a pass-through stage.
+  void rewire();
+
   Simulator& sim_;
   std::unique_ptr<MiddleboxBox> mbox_;            // pass-through until enabled
   std::unique_ptr<GilbertElliottLossBox> burst_;  // pass-through until enabled
@@ -118,10 +151,18 @@ class DuplexPath {
 
   /// Client -> server direction.
   void send_up(Packet p) { up_.send(std::move(p)); }
+  void send_up_batch(std::span<Packet> ps) { up_.send_batch(ps); }
   /// Server -> client direction.
   void send_down(Packet p) { down_.send(std::move(p)); }
+  void send_down_batch(std::span<Packet> ps) { down_.send_batch(ps); }
   void set_server_receiver(PacketHandler h) { up_.set_receiver(std::move(h)); }
   void set_client_receiver(PacketHandler h) { down_.set_receiver(std::move(h)); }
+  void set_server_receiver_batch(PacketBatchHandler h) {
+    up_.set_receiver_batch(std::move(h));
+  }
+  void set_client_receiver_batch(PacketBatchHandler h) {
+    down_.set_receiver_batch(std::move(h));
+  }
 
   [[nodiscard]] OneWayPipe& uplink() { return up_; }
   [[nodiscard]] OneWayPipe& downlink() { return down_; }
@@ -162,6 +203,11 @@ class NetworkInterface {
   void send(Packet p);
   /// Endpoint's receive hook (delivery is suppressed while down).
   void set_receiver(PacketHandler h);
+  /// Batch receive hook: a tick's deliveries arrive as one span.  Used
+  /// only when no tap is installed (a tap interleaves per-packet with
+  /// the endpoint's reaction, so taps force the per-packet path to keep
+  /// the recorded order identical); pass {} to clear.
+  void set_receiver_batch(PacketBatchHandler h);
 
   void set_tap(InterfaceTap tap) { tap_ = std::move(tap); }
   /// Subscribe to up/down notifications (bool: new up-state).
@@ -193,6 +239,7 @@ class NetworkInterface {
   std::uint64_t tx_dropped_down_ = 0;
   std::uint64_t rx_dropped_down_ = 0;
   PacketHandler receiver_;
+  PacketBatchHandler batch_receiver_;
   InterfaceTap tap_;
   std::vector<std::function<void(bool)>> listeners_;
 };

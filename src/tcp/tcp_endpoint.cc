@@ -116,9 +116,9 @@ void TcpEndpoint::send_pure_ack() {
   transmit(std::move(p));
 }
 
-void TcpEndpoint::send_segment(std::int64_t seq, const Segment& seg, bool is_rexmit) {
+void TcpEndpoint::send_segment(const Segment& seg, bool is_rexmit) {
   Packet p = make_packet();
-  p.seq = seq;
+  p.seq = seg.seq;
   p.payload = seg.len;
   p.data_seq = seg.data_seq;
   if (is_rexmit) {
@@ -126,7 +126,7 @@ void TcpEndpoint::send_segment(std::int64_t seq, const Segment& seg, bool is_rex
     if (auto* o = sim_.obs()) {
       o->count(o->ids().tcp_retransmits);
       o->record(sim_.now(), obs::FlightEventType::kRetransmit,
-                static_cast<std::uint8_t>(config_.subflow_id), 0, seq, seg.len);
+                static_cast<std::uint8_t>(config_.subflow_id), 0, seg.seq, seg.len);
     }
   }
   transmit(std::move(p));
@@ -161,14 +161,23 @@ void TcpEndpoint::pump() {
   if (!established() || frozen_) return;
   while (window_space() > 0) {
     // Retransmissions (RTO-marked losses) take priority over new data.
-    auto lost = std::find_if(outstanding_.begin(), outstanding_.end(),
-                             [](const auto& kv) { return kv.second.lost; });
-    if (lost != outstanding_.end()) {
-      lost->second.lost = false;
-      lost->second.retransmitted = true;
-      lost->second.last_sent = sim_.now();
-      flight_bytes_ += lost->second.len;
-      send_segment(lost->first, lost->second, /*is_rexmit=*/true);
+    // The lost_ counter keeps the common no-loss iteration O(1); the
+    // scan only runs while marked losses actually exist.
+    if (lost_ > 0) {
+      Segment* lost = nullptr;
+      for (std::size_t i = 0; i < outstanding_.size(); ++i) {
+        if (outstanding_[i].lost) {
+          lost = &outstanding_[i];
+          break;
+        }
+      }
+      assert(lost != nullptr);
+      lost->lost = false;
+      --lost_;
+      lost->retransmitted = true;
+      lost->last_sent = sim_.now();
+      flight_bytes_ += lost->len;
+      send_segment(*lost, /*is_rexmit=*/true);
       continue;
     }
     const std::int64_t space = window_space();
@@ -189,15 +198,15 @@ void TcpEndpoint::pump() {
       break;
     }
     Segment seg;
+    seg.seq = snd_nxt_;
     seg.len = chunk.bytes;
     seg.data_seq = chunk.data_seq;
     seg.first_sent = sim_.now();
     seg.last_sent = seg.first_sent;
-    const std::int64_t seq = snd_nxt_;
-    outstanding_.emplace(seq, seg);
+    outstanding_.push_back(seg);
     snd_nxt_ += seg.len;
     flight_bytes_ += seg.len;
-    send_segment(seq, seg, /*is_rexmit=*/false);
+    send_segment(seg, /*is_rexmit=*/false);
     if (!rto_timer_.armed()) arm_rto();
     arm_probe();
   }
@@ -323,13 +332,17 @@ std::int64_t TcpEndpoint::apply_sack(const Packet& p) {
   for (int i = 0; i < p.sack_count; ++i) {
     const auto [start, end] = p.sack[static_cast<std::size_t>(i)];
     highest_sacked_ = std::max(highest_sacked_, end);
-    for (auto it = outstanding_.lower_bound(start);
-         it != outstanding_.end() && it->first + it->second.len <= end; ++it) {
-      Segment& seg = it->second;
+    for (std::size_t k = outstanding_.lower_bound(start); k < outstanding_.size(); ++k) {
+      Segment& seg = outstanding_[k];
+      if (seg.seq + seg.len > end) break;
       if (!seg.sacked) {
-        if (!seg.lost) flight_bytes_ -= seg.len;
+        if (seg.lost) {
+          seg.lost = false;
+          --lost_;
+        } else {
+          flight_bytes_ -= seg.len;
+        }
         seg.sacked = true;
-        seg.lost = false;
         newly_sacked += seg.len;
         newest_sacked_xmit_ = std::max(newest_sacked_xmit_, seg.last_sent);
       }
@@ -354,8 +367,9 @@ void TcpEndpoint::infer_losses() {
   const Duration reorder_window =
       Duration{std::max<std::int64_t>(srtt_.usec() / 4, msec(2).usec())};
   bool any = false;
-  for (auto& [seq, seg] : outstanding_) {
-    if (seq + seg.len + 3 * kMss > highest_sacked_) break;
+  for (std::size_t i = 0; i < outstanding_.size(); ++i) {
+    Segment& seg = outstanding_[i];
+    if (seg.seq + seg.len + 3 * kMss > highest_sacked_) break;
     if (seg.sacked || seg.lost) continue;
     if (seg.retransmitted) {
       if (sim_.now() - seg.last_sent < rexmit_window) continue;
@@ -363,6 +377,7 @@ void TcpEndpoint::infer_losses() {
       if (newest_sacked_xmit_ - seg.last_sent < reorder_window) continue;
     }
     seg.lost = true;
+    ++lost_;
     flight_bytes_ -= seg.len;
     any = true;
   }
@@ -383,16 +398,21 @@ void TcpEndpoint::process_ack(const Packet& p) {
     // New cumulative ACK.
     std::int64_t newly_data = 0;
     Duration rtt_sample{0};
-    auto it = outstanding_.begin();
-    while (it != outstanding_.end() && it->first + it->second.len <= p.ack_seq) {
-      if (!it->second.lost && !it->second.sacked) flight_bytes_ -= it->second.len;
+    while (!outstanding_.empty() &&
+           outstanding_.front().seq + outstanding_.front().len <= p.ack_seq) {
+      const Segment& seg = outstanding_.front();
+      if (seg.lost) {
+        --lost_;
+      } else if (!seg.sacked) {
+        flight_bytes_ -= seg.len;
+      }
       // Karn's rule, plus: never sample a segment the receiver SACKed
       // earlier — its delivery predates this cumulative ACK.
-      if (!it->second.retransmitted && !it->second.sacked) {
-        rtt_sample = sim_.now() - it->second.first_sent;
+      if (!seg.retransmitted && !seg.sacked) {
+        rtt_sample = sim_.now() - seg.first_sent;
       }
-      newly_data += it->second.len;
-      it = outstanding_.erase(it);
+      newly_data += seg.len;
+      outstanding_.pop_front();
     }
     snd_una_ = p.ack_seq;
     if (fin_sent_ && p.ack_seq >= fin_seq_ + 1) fin_acked_ = true;
@@ -400,6 +420,7 @@ void TcpEndpoint::process_ack(const Packet& p) {
     rto_backoff_ = 0;
     if (newly_data > 0) {
       max_acked_data_ += newly_data;
+      if (acked_timeline_.capacity() == 0) acked_timeline_.reserve(256);
       acked_timeline_.push_back({sim_.now(), max_acked_data_});
     }
     dupacks_ = 0;
@@ -412,11 +433,11 @@ void TcpEndpoint::process_ack(const Packet& p) {
       } else if (!outstanding_.empty() && highest_sacked_ <= snd_una_) {
         // No SACK information (tail case): NewReno partial ACK —
         // retransmit the next missing segment.
-        auto& [seq, seg] = *outstanding_.begin();
+        Segment& seg = outstanding_.front();
         if (!seg.lost && !seg.sacked) {
           seg.retransmitted = true;
           seg.last_sent = sim_.now();
-          send_segment(seq, seg, /*is_rexmit=*/true);
+          send_segment(seg, /*is_rexmit=*/true);
         }
       }
     } else if (newly_data > 0) {
@@ -464,15 +485,35 @@ void TcpEndpoint::process_data(const Packet& p) {
     send_pure_ack();  // stale retransmission: re-ACK
     return;
   }
-  // Merge [start, end) into the out-of-order store.
-  auto [it, inserted] = ooo_.emplace(start, end);
-  if (!inserted) {
+  if (ooo_.empty() && start <= rcv_next_) {
+    // In-order fast path (the overwhelmingly common case): nothing
+    // buffered and this segment extends the contiguous prefix, so the
+    // merge/advance scan below would insert one range and immediately
+    // consume it.  advance_rcv_next() on the empty store still handles
+    // FIN consumption and the delivered-bytes timeline.
+    delivered_data_ += end - rcv_next_;
+    rcv_next_ = end;
+    advance_rcv_next();
+    last_rcv_range_ = {start, end};
+    send_pure_ack();
+    return;
+  }
+  // Merge [start, end) into the out-of-order store (start-sorted flat
+  // vector; an existing range with the same start keeps the longer end).
+  auto it = std::lower_bound(
+      ooo_.begin(), ooo_.end(), start,
+      [](const auto& r, std::int64_t s) { return r.first < s; });
+  if (it != ooo_.end() && it->first == start) {
     it->second = std::max(it->second, end);
+  } else {
+    ooo_.insert(it, {start, end});
   }
   advance_rcv_next();
   // Record the merged range containing this segment for SACK block #1.
   last_rcv_range_ = {start, end};
-  auto containing = ooo_.upper_bound(start);
+  auto containing = std::upper_bound(
+      ooo_.begin(), ooo_.end(), start,
+      [](std::int64_t s, const auto& r) { return s < r.first; });
   if (containing != ooo_.begin()) {
     --containing;
     if (containing->second >= start) {
@@ -486,20 +527,20 @@ void TcpEndpoint::advance_rcv_next() {
   bool advanced = true;
   while (advanced) {
     advanced = false;
-    for (auto it = ooo_.begin(); it != ooo_.end();) {
-      if (it->second <= rcv_next_) {
-        it = ooo_.erase(it);  // fully stale
+    for (std::size_t i = 0; i < ooo_.size();) {
+      if (ooo_[i].second <= rcv_next_) {
+        ooo_.erase(ooo_.begin() + static_cast<std::ptrdiff_t>(i));  // fully stale
         continue;
       }
-      if (it->first <= rcv_next_) {
-        const std::int64_t gained = it->second - rcv_next_;
-        rcv_next_ = it->second;
+      if (ooo_[i].first <= rcv_next_) {
+        const std::int64_t gained = ooo_[i].second - rcv_next_;
+        rcv_next_ = ooo_[i].second;
         delivered_data_ += gained;
-        it = ooo_.erase(it);
+        ooo_.erase(ooo_.begin() + static_cast<std::ptrdiff_t>(i));
         advanced = true;
         continue;
       }
-      ++it;
+      ++i;
     }
   }
   if (peer_fin_received_ && rcv_next_ == peer_fin_seq_) {
@@ -509,6 +550,7 @@ void TcpEndpoint::advance_rcv_next() {
       delivered_timeline_.back().bytes == delivered_data_) {
     return;
   }
+  if (delivered_timeline_.capacity() == 0) delivered_timeline_.reserve(256);
   delivered_timeline_.push_back({sim_.now(), delivered_data_});
   if (on_delivered) on_delivered(delivered_data_);
 }
@@ -594,13 +636,13 @@ void TcpEndpoint::on_probe_fire() {
   // to generate dupacks.  Retransmit the highest un-SACKed outstanding
   // segment to elicit a SACK and trigger normal fast recovery.
   if (frozen_ || state_ != TcpState::kEstablished) return;
-  for (auto it = outstanding_.rbegin(); it != outstanding_.rend(); ++it) {
-    Segment& seg = it->second;
+  for (std::size_t i = outstanding_.size(); i-- > 0;) {
+    Segment& seg = outstanding_[i];
     if (seg.sacked || seg.lost) continue;
     seg.retransmitted = true;
     seg.last_sent = sim_.now();
     ++probe_events_;
-    send_segment(it->first, seg, /*is_rexmit=*/true);
+    send_segment(seg, /*is_rexmit=*/true);
     break;
   }
   // One probe per silence period; the RTO remains the backstop.
@@ -641,20 +683,23 @@ void TcpEndpoint::on_rto_fire() {
   in_recovery_ = false;
   dupacks_ = 0;
   // Everything outstanding and un-SACKed is presumed lost.
-  for (auto& [seq, seg] : outstanding_) {
+  for (std::size_t i = 0; i < outstanding_.size(); ++i) {
+    Segment& seg = outstanding_[i];
     if (!seg.lost && !seg.sacked) {
       seg.lost = true;
+      ++lost_;
       seg.retransmitted = false;  // allow re-inference after this epoch
       flight_bytes_ -= seg.len;
     }
   }
   if (!outstanding_.empty()) {
-    auto& [seq, seg] = *outstanding_.begin();
+    Segment& seg = outstanding_.front();
+    if (seg.lost) --lost_;
     seg.lost = false;
     seg.retransmitted = true;
     seg.last_sent = sim_.now();
     flight_bytes_ += seg.len;
-    send_segment(seq, seg, /*is_rexmit=*/true);
+    send_segment(seg, /*is_rexmit=*/true);
   } else if (fin_sent_ && !fin_acked_) {
     Packet p = make_packet();
     p.flags.fin = true;

@@ -17,9 +17,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "net/links.hpp"
@@ -83,6 +84,13 @@ class TcpEndpoint {
   // ---- wiring --------------------------------------------------------
   void set_transmit(PacketHandler transmit) { transmit_ = std::move(transmit); }
   void handle_packet(const Packet& p);
+  /// Batched receive: process a span of packets delivered at one tick,
+  /// in order.  Wire behaviour is identical to calling handle_packet on
+  /// each element — every data packet still elicits its own ACK — so
+  /// scalar and batched dispatch produce byte-identical traces.
+  void on_packets(std::span<const Packet> ps) {
+    for (const Packet& p : ps) handle_packet(p);
+  }
 
   // ---- control -------------------------------------------------------
   void connect();  // active open (client)
@@ -158,6 +166,7 @@ class TcpEndpoint {
 
  private:
   struct Segment {
+    std::int64_t seq = 0;  // subflow-level sequence of the first byte
     std::int64_t len = 0;
     std::int64_t data_seq = -1;
     TimePoint first_sent{};
@@ -167,6 +176,60 @@ class TcpEndpoint {
     bool sacked = false;  // receiver holds it; not counted in flight
   };
 
+  /// The retransmission queue as a flat ring.  Segments enter strictly
+  /// in seq order (snd_nxt_ is monotonic) and leave only from the front
+  /// (cumulative ACK), so the container is a FIFO of sorted records:
+  /// no per-segment heap node, front pops are O(1), and SACK lookups
+  /// binary-search the ring.  Capacity persists across windows — after
+  /// warmup the steady state allocates nothing.
+  class SegRing {
+   public:
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] Segment& operator[](std::size_t i) {
+      return buf_[(head_ + i) & mask_];
+    }
+    [[nodiscard]] const Segment& operator[](std::size_t i) const {
+      return buf_[(head_ + i) & mask_];
+    }
+    [[nodiscard]] Segment& front() { return (*this)[0]; }
+    void push_back(const Segment& s) {
+      if (size_ == buf_.size()) grow();
+      buf_[(head_ + size_) & mask_] = s;
+      ++size_;
+    }
+    void pop_front() {
+      head_ = (head_ + 1) & mask_;
+      --size_;
+    }
+    /// First index i with (*this)[i].seq >= seq (seqs strictly increase).
+    [[nodiscard]] std::size_t lower_bound(std::int64_t seq) const {
+      std::size_t lo = 0, hi = size_;
+      while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if ((*this)[mid].seq < seq) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      return lo;
+    }
+
+   private:
+    void grow() {
+      std::vector<Segment> next(buf_.empty() ? 64 : buf_.size() * 2);
+      for (std::size_t i = 0; i < size_; ++i) next[i] = (*this)[i];
+      buf_ = std::move(next);
+      head_ = 0;
+      mask_ = buf_.size() - 1;
+    }
+    std::vector<Segment> buf_;  // power-of-two capacity
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+    std::size_t mask_ = 0;
+  };
+
   // -- send helpers --
   void transmit(Packet p);
   Packet make_packet() const;
@@ -174,7 +237,7 @@ class TcpEndpoint {
   void send_syn();
   void send_syn_ack();
   void send_pure_ack();
-  void send_segment(std::int64_t seq, const Segment& seg, bool is_rexmit);
+  void send_segment(const Segment& seg, bool is_rexmit);
   void maybe_send_fin();
   void trigger_send();
 
@@ -223,7 +286,8 @@ class TcpEndpoint {
   std::int64_t snd_una_ = 0;
   std::int64_t snd_nxt_ = 0;
   std::int64_t buffer_bytes_ = 0;  // buffer mode backlog
-  std::map<std::int64_t, Segment> outstanding_;
+  SegRing outstanding_;
+  std::size_t lost_ = 0;  // segments with .lost set (skips pump's scan)
   std::int64_t flight_bytes_ = 0;
   std::int64_t max_acked_data_ = 0;  // cumulative data bytes acked
   bool want_close_ = false;
@@ -238,9 +302,11 @@ class TcpEndpoint {
   std::int64_t highest_sacked_ = 0;
   TimePoint newest_sacked_xmit_{};  // RACK: send time of newest delivered seg
 
-  // Receiver state.
+  // Receiver state.  The out-of-order store is a start-sorted flat
+  // vector (start -> end, exclusive): loss windows hold a handful of
+  // ranges, and the in-order common case costs no node allocation.
   std::int64_t rcv_next_ = 0;
-  std::map<std::int64_t, std::int64_t> ooo_;  // start -> end (exclusive)
+  std::vector<std::pair<std::int64_t, std::int64_t>> ooo_;
   std::pair<std::int64_t, std::int64_t> last_rcv_range_{0, 0};  // newest SACK block
   std::int64_t delivered_data_ = 0;
   bool peer_fin_received_ = false;

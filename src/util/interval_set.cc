@@ -23,10 +23,12 @@ std::int64_t IntervalSet::add(std::int64_t start, std::int64_t end) {
   }
   intervals_.emplace(start, end);
   total_ += std::max<std::int64_t>(gained, 0);
+  const auto& first = *intervals_.begin();
+  prefix_ = (first.first <= 0 && first.second > 0) ? first.second : 0;
   return std::max<std::int64_t>(gained, 0);
 }
 
-std::int64_t IntervalSet::contiguous_from(std::int64_t from) const {
+std::int64_t IntervalSet::contiguous_from_slow(std::int64_t from) const {
   auto it = intervals_.upper_bound(from);
   if (it == intervals_.begin()) return 0;
   --it;

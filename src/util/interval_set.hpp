@@ -20,15 +20,24 @@ class IntervalSet {
   /// Total bytes covered.
   [[nodiscard]] std::int64_t total() const { return total_; }
   /// Length of the contiguous run starting at `from` (0 if uncovered).
-  [[nodiscard]] std::int64_t contiguous_from(std::int64_t from) const;
+  /// `from == 0` is the cumulative-ack / in-order-prefix pattern and by
+  /// far the hottest caller (once per pump on the MPTCP data path), so
+  /// it reads a cached prefix length instead of walking the tree.
+  [[nodiscard]] std::int64_t contiguous_from(std::int64_t from) const {
+    if (from == 0) return prefix_;
+    return contiguous_from_slow(from);
+  }
   /// Whether [start, end) is fully covered.
   [[nodiscard]] bool covers(std::int64_t start, std::int64_t end) const;
   [[nodiscard]] bool empty() const { return intervals_.empty(); }
   [[nodiscard]] std::size_t interval_count() const { return intervals_.size(); }
 
  private:
+  [[nodiscard]] std::int64_t contiguous_from_slow(std::int64_t from) const;
+
   std::map<std::int64_t, std::int64_t> intervals_;  // start -> end
   std::int64_t total_ = 0;
+  std::int64_t prefix_ = 0;  // == contiguous_from(0), maintained by add()
 };
 
 }  // namespace mn

@@ -302,5 +302,130 @@ TEST(DuplexPath, DirectionsDeriveIndependentLossStreams) {
   EXPECT_NE(up_ids, down_ids);
 }
 
+TEST(OneWayPipe, BatchReceiverSeesWholeTickSweepAsOneSpan) {
+  Simulator sim;
+  OneWayPipe pipe{sim, fast_spec()};
+  std::vector<std::vector<std::int64_t>> spans;
+  pipe.set_receiver_batch([&](std::span<Packet> ps) {
+    std::vector<std::int64_t> seqs;
+    for (const Packet& p : ps) seqs.push_back(p.seq);
+    spans.push_back(std::move(seqs));
+  });
+  std::vector<Packet> burst(3);
+  for (std::int64_t i = 0; i < 3; ++i) burst[static_cast<std::size_t>(i)].seq = i;
+  pipe.send_batch({burst.data(), burst.size()});
+  sim.run_until_idle();
+  // The rate link serializes, so deliveries may land on distinct ticks
+  // (width-1 spans); order across all spans is what the contract fixes.
+  ASSERT_FALSE(spans.empty());
+  std::vector<std::int64_t> all;
+  for (const auto& s : spans) all.insert(all.end(), s.begin(), s.end());
+  EXPECT_EQ(all, (std::vector<std::int64_t>{0, 1, 2}));
+  EXPECT_TRUE(pipe.counters_consistent());
+}
+
+TEST(OneWayPipe, SendBatchMatchesScalarSendExactly) {
+  const auto run = [](bool batched) {
+    Simulator sim;
+    LinkSpec spec;
+    spec.rate_mbps = 12.0;
+    spec.one_way_delay = msec(3);
+    OneWayPipe pipe{sim, spec};
+    std::vector<std::pair<std::int64_t, std::int64_t>> trace;
+    pipe.set_receiver([&](Packet p) { trace.emplace_back(sim.now().usec(), p.seq); });
+    std::vector<Packet> burst(5);
+    for (std::int64_t i = 0; i < 5; ++i) {
+      burst[static_cast<std::size_t>(i)].seq = i;
+      burst[static_cast<std::size_t>(i)].payload = 1000;
+    }
+    if (batched) {
+      pipe.send_batch({burst.data(), burst.size()});
+    } else {
+      for (Packet& p : burst) pipe.send(std::move(p));
+    }
+    sim.run_until_idle();
+    return trace;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(OneWayPipe, BlackholedBatchCountsEveryPacket) {
+  Simulator sim;
+  OneWayPipe pipe{sim, fast_spec()};
+  int delivered = 0;
+  pipe.set_receiver([&](Packet) { ++delivered; });
+  pipe.set_blackhole(true);
+  std::vector<Packet> burst(4);
+  pipe.send_batch({burst.data(), burst.size()});
+  sim.run_until_idle();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(pipe.blackholed_packets(), 4u);
+  EXPECT_TRUE(pipe.counters_consistent());
+}
+
+// Entry flattening: while middlebox and burst stages are disabled the
+// pipe entry bypasses them entirely, so their counters must stay zero;
+// fault toggles mid-run rewire the chain and the stages start (and
+// stop) counting, with conservation holding throughout.
+TEST(OneWayPipe, EntryBypassesDisabledStagesAndRewiresOnFaultToggles) {
+  Simulator sim;
+  OneWayPipe pipe{sim, fast_spec()};
+  int delivered = 0;
+  pipe.set_receiver([&](Packet) { ++delivered; });
+
+  pipe.send(data_packet(100));
+  sim.run_until_idle();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(pipe.middlebox_stage().counters().accepted, 0u)
+      << "disabled middlebox saw traffic: entry not flattened";
+  EXPECT_EQ(pipe.burst_stage().counters().accepted, 0u);
+
+  MiddleboxSpec transparent;  // all probabilities zero, but enabled
+  pipe.set_middlebox(transparent);
+  pipe.send(data_packet(100));
+  sim.run_until_idle();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(pipe.middlebox_stage().counters().accepted, 1u);
+
+  pipe.clear_middlebox();
+  pipe.send(data_packet(100));
+  sim.run_until_idle();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(pipe.middlebox_stage().counters().accepted, 1u)
+      << "cleared middlebox still on the path";
+  EXPECT_TRUE(pipe.counters_consistent());
+}
+
+TEST(NetworkInterface, TapForcesPerPacketDeliveryOverBatchReceiver) {
+  Simulator sim;
+  DuplexPath path{sim, fast_spec(), fast_spec()};
+  NetworkInterface iface{"wifi", sim, path, false};
+  int scalar_calls = 0;
+  int batch_calls = 0;
+  int tap_events = 0;
+  iface.set_receiver([&](Packet) { ++scalar_calls; });
+  iface.set_receiver_batch([&](std::span<Packet>) { ++batch_calls; });
+  iface.set_tap([&](TimePoint, PacketDir, const Packet&) { ++tap_events; });
+  for (int i = 0; i < 3; ++i) path.send_down(data_packet(50));
+  sim.run_until_idle();
+  EXPECT_EQ(scalar_calls, 3);
+  EXPECT_EQ(batch_calls, 0) << "tapped interface must take the per-packet path";
+  EXPECT_EQ(tap_events, 3);
+}
+
+TEST(NetworkInterface, UntappedBatchReceiverTakesSweeps) {
+  Simulator sim;
+  DuplexPath path{sim, fast_spec(), fast_spec()};
+  NetworkInterface iface{"wifi", sim, path, false};
+  int scalar_calls = 0;
+  std::size_t batched_packets = 0;
+  iface.set_receiver([&](Packet) { ++scalar_calls; });
+  iface.set_receiver_batch([&](std::span<Packet> ps) { batched_packets += ps.size(); });
+  for (int i = 0; i < 3; ++i) path.send_down(data_packet(50));
+  sim.run_until_idle();
+  EXPECT_EQ(batched_packets, 3u);
+  EXPECT_EQ(scalar_calls, 0);
+}
+
 }  // namespace
 }  // namespace mn

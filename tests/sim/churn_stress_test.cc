@@ -48,6 +48,20 @@ TEST(ChurnStress, SlabStateIsCleanAfterChurn) {
   EXPECT_EQ(static_cast<std::uint64_t>(fired), sim.events_fired());
 }
 
+// The batch-dispatch extension of the audit contract: bookkeeping must
+// reconcile when queried from inside a sink callback, mid-span, in
+// every build type — and the whole churn trace must be identical under
+// batched and scalar dispatch.
+TEST(ChurnStress, SinkChurnAuditsHoldMidBatchAndMatchScalar) {
+  const auto batched = churn::run_sink_churn(/*batch_dispatch=*/true);
+  const auto scalar = churn::run_sink_churn(/*batch_dispatch=*/false);
+  EXPECT_EQ(batched.audit_failures, 0u);
+  EXPECT_EQ(scalar.audit_failures, 0u);
+  EXPECT_GT(batched.fired, 0u);
+  EXPECT_EQ(batched.fired, scalar.fired);
+  EXPECT_EQ(batched.checksum, scalar.checksum);
+}
+
 TEST(ChurnStress, CancelAfterSlotReuseIsNoOp) {
   Simulator sim;
   int fired = 0;

@@ -16,6 +16,7 @@ namespace mn::churn {
 struct Result {
   std::uint64_t fired = 0;
   std::uint64_t checksum = 0;
+  std::uint64_t audit_failures = 0;  // run_sink_churn only
 };
 
 inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
@@ -100,6 +101,65 @@ inline Result run_timer_torture() {
       sim.run_until(sim.now() + usec(static_cast<std::int64_t>((r >> 8) % 500)));
     }
     if ((i & 0xFFF) == 0) (void)sim.pending_events();
+  }
+  sim.run_until_idle();
+  return result;
+}
+
+/// Sink-dispatch churn with mid-batch audits: two sinks and a closure
+/// stream over bursty same-tick schedules plus cancels, where every
+/// sink delivery folds its span into the checksum and periodically runs
+/// the full bookkeeping audit FROM INSIDE the callback — the items of
+/// the span being delivered are already fired, so the audit must
+/// reconcile with them gone.  Run under batched and scalar dispatch the
+/// results must match field for field (the golden grouping contract);
+/// audit_failures must be zero in every build type.
+inline Result run_sink_churn(bool batch_dispatch) {
+  Simulator sim;
+  sim.set_batch_dispatch(batch_dispatch);
+  XorShift64 rng{0xC6A4A7935BD1E995ull};
+  Result result;
+  result.checksum = kFnvOffset;
+  auto fold = [&](std::uint64_t v) {
+    result.checksum = (result.checksum ^ v) * kFnvPrime;
+    ++result.fired;
+  };
+  std::uint64_t deliveries = 0;
+  const auto make_sink = [&](std::uint64_t tag) {
+    return [&, tag](SinkSpan s) {
+      for (const std::uint64_t item : s) {
+        fold(static_cast<std::uint64_t>(sim.now().usec()) ^ item ^ tag);
+      }
+      if ((++deliveries & 0x3F) == 0) {
+        // Mid-batch: pending_events() debug-asserts the audit; the
+        // explicit call checks it in release builds too.
+        (void)sim.pending_events();
+        if (!sim.bookkeeping_consistent()) ++result.audit_failures;
+      }
+    };
+  };
+  const SinkId sa = sim.register_sink(make_sink(0));
+  const SinkId sb = sim.register_sink(make_sink(0x8000000000000000ull));
+  std::vector<EventId> ids;
+  ids.reserve(120'000);
+  constexpr int kOps = 200'000;
+  for (int i = 0; i < kOps; ++i) {
+    const std::uint64_t r = rng.next();
+    const std::int64_t at = sim.now().usec() + static_cast<std::int64_t>((r >> 16) % 400);
+    const std::uint64_t op = r % 8;
+    if (op < 3) {
+      ids.push_back(sim.schedule_item_at(TimePoint{at}, sa, r >> 32));
+    } else if (op < 5) {
+      ids.push_back(sim.schedule_item_at(TimePoint{at}, sb, r >> 32));
+    } else if (op < 6) {
+      ids.push_back(sim.schedule_at(TimePoint{at}, [&fold, &sim] {
+        fold(static_cast<std::uint64_t>(sim.now().usec()));
+      }));
+    } else if (op < 7) {
+      if (!ids.empty()) sim.cancel(ids[(r >> 8) % ids.size()]);
+    } else {
+      sim.run_until(sim.now() + usec(static_cast<std::int64_t>((r >> 8) % 200)));
+    }
   }
   sim.run_until_idle();
   return result;
