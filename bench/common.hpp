@@ -6,8 +6,9 @@
 // heavyweight sweeps during development; results at reduced scale are
 // noisier but structurally identical.
 // Perf emission: when MN_BENCH_JSON=<path> is set, every binary that
-// includes this header writes {wall_s, events, events_per_s, allocs}
-// JSON to <path> at process exit (see PerfJsonAtExit below).  The
+// includes this header writes {wall_s, events, events_per_s, allocs,
+// peak_rss_bytes} JSON to <path> at process exit (see PerfJsonAtExit
+// below).  The
 // bench/perf_trajectory driver aggregates those into the repo-level
 // BENCH_<label>.json trajectory files.
 #pragma once
@@ -89,6 +90,24 @@ inline double relative_diff_pct(double a, double b) {
   return std::abs(a - b) / b * 100.0;
 }
 
+/// Peak resident set size of this process in bytes (Linux VmHWM from
+/// /proc/self/status), or -1 where unavailable.  Benches record it next
+/// to events/s so memory-bounded claims — streaming aggregation instead
+/// of per-run vectors — are machine-checked, not asserted in prose.
+inline std::int64_t read_peak_rss_bytes() {
+  std::ifstream in("/proc/self/status");
+  if (!in) return -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      // Format: "VmHWM:    123456 kB"
+      const std::int64_t kb = std::atoll(line.c_str() + 6);
+      return kb > 0 ? kb * 1024 : -1;
+    }
+  }
+  return -1;
+}
+
 namespace detail {
 
 /// Writes the perf record for this process to $MN_BENCH_JSON at exit:
@@ -99,6 +118,8 @@ namespace detail {
 ///   events_per_s  the headline engine-throughput number
 ///   allocs        InplaceFunction heap fallbacks — 0 proves the
 ///                 per-event path stayed allocation-free
+///   peak_rss_bytes  process peak RSS (VmHWM; -1 off-Linux) — pins the
+///                 bounded-memory claims of the streaming aggregators
 /// One inline instance per bench binary; no-op when the env var is unset.
 struct PerfJsonAtExit {
   std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
@@ -109,11 +130,12 @@ struct PerfJsonAtExit {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     const std::uint64_t events = Simulator::process_events_fired();
     const std::uint64_t allocs = inplace_function_heap_fallbacks();
+    const std::int64_t peak_rss = read_peak_rss_bytes();
     std::ofstream out(path);
     if (!out) return;
     out << "{\"wall_s\": " << wall_s << ", \"events\": " << events
         << ", \"events_per_s\": " << (wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0)
-        << ", \"allocs\": " << allocs << "}\n";
+        << ", \"allocs\": " << allocs << ", \"peak_rss_bytes\": " << peak_rss << "}\n";
   }
 };
 inline PerfJsonAtExit g_perf_json_at_exit;

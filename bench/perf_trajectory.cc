@@ -21,6 +21,10 @@
 //     cold start (~half the single-shot wall time at default scale)
 //   - chaos_soak / energy_pareto at MN_RUN_SCALE=<scale>: the
 //     fault-heavy workloads, same hook
+//   - table1_at_scale at MN_WORLD_USERS=2000: the shared-cell world
+//     (span-swept grant batches, streaming aggregation), same hook;
+//     its record also carries peak_rss_bytes for the bounded-memory
+//     claim
 //
 // Perf-floor mode (the CI smoke check): --floor-from <file> compares
 // the run just recorded against the most recent run in <file> and
@@ -130,12 +134,15 @@ std::string render_microbench(const std::map<std::string, double>& best,
 }
 
 /// Run one macro bench with the MN_BENCH_JSON hook; returns its record
-/// (or "null" if the bench failed / produced nothing).
+/// (or "null" if the bench failed / produced nothing).  `extra_env` is
+/// prepended verbatim (already-quoted VAR=value assignments).
 std::string run_macro(const std::string& binary, const std::string& scale,
-                      const std::string& macro_reps, const std::string& tmp_json) {
+                      const std::string& macro_reps, const std::string& tmp_json,
+                      const std::string& extra_env = {}) {
   std::remove(tmp_json.c_str());
   std::string out;
-  const std::string cmd = "MN_BENCH_JSON=" + shell_quote(tmp_json) +
+  const std::string cmd = extra_env + (extra_env.empty() ? "" : " ") +
+                          "MN_BENCH_JSON=" + shell_quote(tmp_json) +
                           " MN_RUN_SCALE=" + shell_quote(scale) +
                           " MN_BENCH_REPS=" + shell_quote(macro_reps) + " " +
                           shell_quote(binary) + " > /dev/null";
@@ -157,16 +164,17 @@ double json_number(const std::string& text, const std::string& key, std::size_t 
   return std::atof(text.c_str() + pos + needle.size());
 }
 
-/// fig07 events/s of the LAST run recorded in a trajectory file ("the
-/// previous BENCH"), or -1 when none is parseable.
-double last_fig07_events_per_s(const std::string& path) {
+/// events/s under record `key` of the LAST run recorded in a trajectory
+/// file ("the previous BENCH"), or -1 when none is parseable.
+double last_events_per_s(const std::string& path, const std::string& key) {
   std::istringstream in(read_file(path));
   std::string line;
+  const std::string needle = "\"" + key + "\":";
   double found = -1.0;
   while (std::getline(in, line)) {
-    const auto fig = line.find("\"fig07\":");
-    if (fig == std::string::npos) continue;
-    const double v = json_number(line, "events_per_s", fig, -1.0);
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos) continue;
+    const double v = json_number(line, "events_per_s", pos, -1.0);
     if (v > 0.0) found = v;
   }
   return found;
@@ -184,6 +192,7 @@ int main(int argc, char** argv) {
   double floor_frac = 0.9;
   int reps = 3;
   std::string macro_reps = "10";
+  std::string world_users = "2000";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* flag) -> std::string {
@@ -202,10 +211,11 @@ int main(int argc, char** argv) {
     else if (arg == "--macro-reps") macro_reps = next("--macro-reps");
     else if (arg == "--floor-from") floor_from = next("--floor-from");
     else if (arg == "--floor-frac") floor_frac = std::atof(next("--floor-frac").c_str());
+    else if (arg == "--world-users") world_users = next("--world-users");
     else {
       std::cerr << "usage: perf_trajectory [--label L] [--variant V] [--bench-dir D]"
                    " [--out F] [--scale S] [--reps N] [--macro-reps R]"
-                   " [--floor-from F [--floor-frac x]]\n";
+                   " [--world-users U] [--floor-from F [--floor-frac x]]\n";
       return 2;
     }
   }
@@ -215,13 +225,15 @@ int main(int argc, char** argv) {
   // Read the floor before measuring: --floor-from may name the same
   // file this run appends to.
   double floor_events_per_s = -1.0;
+  double table1_floor_events_per_s = -1.0;  // optional: older files lack the record
   if (!floor_from.empty()) {
-    floor_events_per_s = last_fig07_events_per_s(floor_from);
+    floor_events_per_s = last_events_per_s(floor_from, "fig07");
     if (floor_events_per_s <= 0.0) {
       std::cerr << "perf_trajectory: no fig07 events_per_s found in " << floor_from
                 << "\n";
       return 2;
     }
+    table1_floor_events_per_s = last_events_per_s(floor_from, "table1_at_scale");
   }
 
   std::map<std::string, double> best;
@@ -246,12 +258,21 @@ int main(int argc, char** argv) {
   const std::string chaos = run_macro(bench_dir + "/chaos_soak", scale, "1", tmp_json);
   std::cout << "perf_trajectory: energy_pareto (MN_RUN_SCALE=" << scale << ")...\n";
   const std::string pareto = run_macro(bench_dir + "/energy_pareto", scale, "1", tmp_json);
+  // Fixed user count regardless of --scale so floor comparisons across
+  // PRs measure the engine, not the workload size (default 2000;
+  // --world-users records one-off large-scale variants).
+  std::cout << "perf_trajectory: table1_at_scale (MN_WORLD_USERS=" << world_users
+            << ")...\n";
+  const std::string table1 =
+      run_macro(bench_dir + "/table1_at_scale", scale, "1", tmp_json,
+                "MN_WORLD_USERS=" + shell_quote(world_users));
   std::remove(tmp_json.c_str());
 
   std::ostringstream run;
   run << "{\"label\": \"" << label << "\", \"variant\": \"" << variant
       << "\", \"microbench\": " << micro << ", \"fig07\": " << fig07
-      << ", \"chaos_soak\": " << chaos << ", \"energy_pareto\": " << pareto << "}";
+      << ", \"chaos_soak\": " << chaos << ", \"energy_pareto\": " << pareto
+      << ", \"table1_at_scale\": " << table1 << "}";
 
   // Re-read any previous runs (one per line, by construction) and
   // rewrite the file with the new one appended.
@@ -296,6 +317,23 @@ int main(int argc, char** argv) {
     if (got < floor) {
       std::cerr << "perf_trajectory: FAIL — fig07 events/s below perf floor\n";
       return 3;
+    }
+    // Same gate for the shared-world bench, once a floor file records it.
+    if (table1_floor_events_per_s > 0.0) {
+      const double t_got = json_number(table1, "events_per_s", 0, -1.0);
+      const double t_allocs = json_number(table1, "allocs", 0, -1.0);
+      const double t_floor = table1_floor_events_per_s * floor_frac;
+      std::cout << "perf_trajectory: floor check — table1_at_scale " << t_got
+                << " events/s vs floor " << t_floor << ", allocs " << t_allocs << "\n";
+      if (t_allocs != 0.0) {
+        std::cerr << "perf_trajectory: FAIL — table1_at_scale per-event path allocated"
+                     " (allocs=" << t_allocs << ")\n";
+        return 3;
+      }
+      if (t_got < t_floor) {
+        std::cerr << "perf_trajectory: FAIL — table1_at_scale events/s below perf floor\n";
+        return 3;
+      }
     }
     std::cout << "perf_trajectory: floor check passed\n";
   }

@@ -5,6 +5,9 @@
 // a pcap capture, and a Prometheus metrics dump.
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
+// Artifacts (trace, pcap, result store) land in quickstart_out/, which
+// is gitignored — delete the directory to start fresh.
+#include <filesystem>
 #include <iostream>
 
 #include "core/experiment.hpp"
@@ -16,6 +19,9 @@
 
 int main() {
   using namespace mn;
+
+  // All on-disk artifacts go under one gitignored directory.
+  std::filesystem::create_directories("quickstart_out");
 
   // 1. Describe the two access networks (fixed-rate links here; see
   //    net/trace_gen.hpp for Mahimahi-style trace-driven links).
@@ -75,16 +81,17 @@ int main() {
     sim.run_until(TimePoint{sec(30).usec()});
 
     const obs::MetricsSnapshot snap = hub.snapshot();
-    std::cout << "\nInstrumented MPTCP download (see quickstart_trace.json,"
-                 " quickstart.pcap):\n"
+    std::cout << "\nInstrumented MPTCP download (see quickstart_out/"
+                 "quickstart_trace.json, quickstart_out/quickstart.pcap):\n"
               << "  packets delivered: " << snap.value_of("net.pkt_delivered")
               << "  dropped: " << snap.sum_with_prefix("drop.")
               << "  retransmits: " << snap.value_of("tcp.retransmits") << "\n"
               << "  scheduler grants wifi/lte: "
               << snap.value_of("mptcp.sched_grants_sf0") << "/"
               << snap.value_of("mptcp.sched_grants_sf1") << "\n";
-    obs::write_chrome_trace("quickstart_trace.json", hub.flight()->events());
-    log.save_pcap("quickstart.pcap");
+    obs::write_chrome_trace("quickstart_out/quickstart_trace.json",
+                            hub.flight()->events());
+    log.save_pcap("quickstart_out/quickstart.pcap");
     // Full dump, scrapeable format: std::cout << snap.prometheus_text();
   }
 
@@ -93,14 +100,15 @@ int main() {
   //    the second replays from cache without simulating anything.  Kill
   //    the process mid-sweep and rerun: completed points are kept and
   //    only the missing ones execute (crash-resume).  Inspect with
-  //    ./build/tools/mn_store verify quickstart_store
+  //    ./build/tools/mn_store verify quickstart_out/quickstart_store
   {
-    store::RunStore cache{"quickstart_store"};
+    store::RunStore cache{"quickstart_out/quickstart_store"};
     SweepOptions sweep;
     sweep.store = &cache;
     const std::vector<std::int64_t> sizes{10'000, 100'000, 1'000'000};
     const TransportConfig config = TransportConfig::mptcp(PathId::kWifi, CcAlgo::kCoupled);
-    std::cout << "\nFlow-size sweep through the result store (quickstart_store/):\n";
+    std::cout << "\nFlow-size sweep through the result store"
+                 " (quickstart_out/quickstart_store/):\n";
     for (int pass = 1; pass <= 2; ++pass) {
       const auto points = sweep_flow_sizes(net, config, sizes, sweep);
       const auto stats = cache.stats();

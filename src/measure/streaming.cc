@@ -1,0 +1,110 @@
+#include "measure/streaming.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace mn {
+
+void StreamingClusterStats::merge_from(const StreamingClusterStats& other) {
+  assert(name == other.name);
+  users_started += other.users_started;
+  users_completed += other.users_completed;
+  both_measured += other.both_measured;
+  lte_wins += other.lte_wins;
+  wifi_down_mbps.merge_from(other.wifi_down_mbps);
+  lte_down_mbps.merge_from(other.lte_down_mbps);
+  mptcp_down_mbps.merge_from(other.mptcp_down_mbps);
+  wifi_rtt_ms.merge_from(other.wifi_rtt_ms);
+  lte_rtt_ms.merge_from(other.lte_rtt_ms);
+}
+
+std::size_t StreamingClusterStats::memory_bytes() const {
+  return sizeof(*this) + wifi_down_mbps.memory_bytes() + lte_down_mbps.memory_bytes() +
+         mptcp_down_mbps.memory_bytes() + wifi_rtt_ms.memory_bytes() +
+         lte_rtt_ms.memory_bytes();
+}
+
+StreamingRunStats::StreamingRunStats(const std::vector<ClusterSpec>& world) {
+  clusters_.resize(world.size());
+  for (std::size_t i = 0; i < world.size(); ++i) clusters_[i].name = world[i].name;
+}
+
+void StreamingRunStats::merge_from(const StreamingRunStats& other) {
+  assert(clusters_.size() == other.clusters_.size());
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    clusters_[i].merge_from(other.clusters_[i]);
+  }
+}
+
+void StreamingRunStats::add_run_record(std::size_t cluster_idx, const RunRecord& rec) {
+  assert(cluster_idx < clusters_.size());
+  StreamingClusterStats& c = clusters_[cluster_idx];
+  ++c.users_started;
+  if (rec.failed) return;  // the campaign analysis filters these too
+  ++c.users_completed;
+  if (rec.wifi_measured) {
+    c.wifi_down_mbps.add(rec.wifi_down_mbps);
+    c.wifi_rtt_ms.add(rec.wifi_rtt_ms);
+  }
+  if (rec.lte_measured) {
+    c.lte_down_mbps.add(rec.lte_down_mbps);
+    c.lte_rtt_ms.add(rec.lte_rtt_ms);
+  }
+  if (rec.complete()) {
+    ++c.both_measured;
+    if (rec.lte_wins()) ++c.lte_wins;
+  }
+}
+
+namespace {
+void append_sketch(std::string& out, const char* label, const QuantileSketch& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "  %s n=%llu q0=%.17g q25=%.17g q50=%.17g q90=%.17g q99=%.17g q100=%.17g\n",
+                label, static_cast<unsigned long long>(s.count()), s.quantile(0.0),
+                s.quantile(0.25), s.quantile(0.5), s.quantile(0.9), s.quantile(0.99),
+                s.quantile(1.0));
+  out += buf;
+}
+}  // namespace
+
+std::string StreamingRunStats::digest() const {
+  std::string out;
+  out.reserve(clusters_.size() * 640);
+  char buf[256];
+  for (const StreamingClusterStats& c : clusters_) {
+    std::snprintf(buf, sizeof buf,
+                  "%s started=%llu completed=%llu both=%llu lte_wins=%llu\n",
+                  c.name.c_str(), static_cast<unsigned long long>(c.users_started),
+                  static_cast<unsigned long long>(c.users_completed),
+                  static_cast<unsigned long long>(c.both_measured),
+                  static_cast<unsigned long long>(c.lte_wins));
+    out += buf;
+    append_sketch(out, "wifi_down", c.wifi_down_mbps);
+    append_sketch(out, "lte_down", c.lte_down_mbps);
+    append_sketch(out, "mptcp_down", c.mptcp_down_mbps);
+    append_sketch(out, "wifi_rtt", c.wifi_rtt_ms);
+    append_sketch(out, "lte_rtt", c.lte_rtt_ms);
+  }
+  return out;
+}
+
+Table StreamingRunStats::table1() const {
+  Table t{{"Location Name", "Users", "LTE %", "WiFi p50 (Mbps)", "LTE p50 (Mbps)",
+           "MPTCP p50 (Mbps)", "WiFi p50 RTT (ms)", "LTE p50 RTT (ms)"}};
+  for (const StreamingClusterStats& c : clusters_) {
+    t.add_row({c.name, std::to_string(c.users_completed), Table::pct(c.lte_win_fraction()),
+               Table::num(c.wifi_down_mbps.median()), Table::num(c.lte_down_mbps.median()),
+               Table::num(c.mptcp_down_mbps.median()), Table::num(c.wifi_rtt_ms.median(), 1),
+               Table::num(c.lte_rtt_ms.median(), 1)});
+  }
+  return t;
+}
+
+std::size_t StreamingRunStats::memory_bytes() const {
+  std::size_t total = sizeof(*this);
+  for (const StreamingClusterStats& c : clusters_) total += c.memory_bytes();
+  return total;
+}
+
+}  // namespace mn

@@ -160,6 +160,11 @@ struct MptcpSpec {
   /// its tail and dribbles ride WiFi.
   std::int64_t tail_batch_open_bytes = 256'000;
   std::int64_t tail_batch_close_bytes = 64'000;
+  /// Forwarded to every subflow's TcpConfig: record the per-subflow
+  /// acked/delivered timelines.  Leave on for figure benches; turn off
+  /// when attaching many agents at once (shared-cell worlds) so
+  /// per-connection memory stays bounded.
+  bool record_timelines = true;
 };
 
 }  // namespace mn

@@ -40,6 +40,7 @@ void MptcpAgent::setup_subflow(int id, PathId path, MpOption syn_option) {
   cfg.min_rto = spec_.subflow_min_rto;
   cfg.initial_rto = spec_.subflow_initial_rto;
   cfg.max_rto = spec_.subflow_max_rto;
+  cfg.record_timelines = spec_.record_timelines;
   sf.ep = std::make_unique<TcpEndpoint>(sim_, cfg, make_cc());
   sf.ep->set_source(this);
   sf.ep->on_send_possible = [this] { pump_all(); };

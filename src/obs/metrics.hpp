@@ -88,7 +88,10 @@ class MetricsRegistry {
   /// Fixed capacity: at most this many metrics, of which at most
   /// kMaxHistograms histograms.  Exceeding either throws at
   /// *registration* time — never at record time.
-  static constexpr std::size_t kMaxMetrics = 192;
+  /// 256 leaves headroom for the world layer's per-cell series (four
+  /// per cell) on top of the ~50 pre-registered hub metrics — a test
+  /// that builds a dozen cells on one sim must not trip the cap.
+  static constexpr std::size_t kMaxMetrics = 256;
   static constexpr std::size_t kMaxHistograms = 16;
   static constexpr std::uint32_t kSubBucketBits = 3;  // 8 sub-buckets/octave
   static constexpr std::uint32_t kSubBuckets = 1u << kSubBucketBits;

@@ -420,8 +420,10 @@ void TcpEndpoint::process_ack(const Packet& p) {
     rto_backoff_ = 0;
     if (newly_data > 0) {
       max_acked_data_ += newly_data;
-      if (acked_timeline_.capacity() == 0) acked_timeline_.reserve(256);
-      acked_timeline_.push_back({sim_.now(), max_acked_data_});
+      if (config_.record_timelines) {
+        if (acked_timeline_.capacity() == 0) acked_timeline_.reserve(256);
+        acked_timeline_.push_back({sim_.now(), max_acked_data_});
+      }
     }
     dupacks_ = 0;
     infer_losses();
@@ -546,12 +548,15 @@ void TcpEndpoint::advance_rcv_next() {
   if (peer_fin_received_ && rcv_next_ == peer_fin_seq_) {
     rcv_next_ += 1;  // consume the FIN
   }
-  if (!delivered_timeline_.empty() &&
-      delivered_timeline_.back().bytes == delivered_data_) {
-    return;
+  // No-progress dedupe is keyed on the delivered counter itself (not on
+  // the timeline tail) so that disabling timeline recording does not
+  // change when on_delivered fires.
+  if (last_delivered_notified_ == delivered_data_) return;
+  last_delivered_notified_ = delivered_data_;
+  if (config_.record_timelines) {
+    if (delivered_timeline_.capacity() == 0) delivered_timeline_.reserve(256);
+    delivered_timeline_.push_back({sim_.now(), delivered_data_});
   }
-  if (delivered_timeline_.capacity() == 0) delivered_timeline_.reserve(256);
-  delivered_timeline_.push_back({sim_.now(), delivered_data_});
   if (on_delivered) on_delivered(delivered_data_);
 }
 

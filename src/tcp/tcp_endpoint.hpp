@@ -67,6 +67,12 @@ struct TcpConfig {
   Duration initial_rto = sec(1);
   Duration max_rto = sec(60);
   bool auto_close_on_peer_fin = true;     // respond to FIN with our FIN
+  /// Record the (time, bytes) acked/delivered timelines.  They are the
+  /// raw material of every throughput-vs-time figure but grow without
+  /// bound over a connection's life — worlds attaching thousands of
+  /// endpoints to shared cells turn this off so per-endpoint memory
+  /// stays constant (timeline accessors then return empty vectors).
+  bool record_timelines = true;
 };
 
 /// A point of (time, cumulative bytes) used for throughput-vs-time curves.
@@ -309,6 +315,7 @@ class TcpEndpoint {
   std::vector<std::pair<std::int64_t, std::int64_t>> ooo_;
   std::pair<std::int64_t, std::int64_t> last_rcv_range_{0, 0};  // newest SACK block
   std::int64_t delivered_data_ = 0;
+  std::int64_t last_delivered_notified_ = -1;  // dedupe for on_delivered/timeline
   bool peer_fin_received_ = false;
   std::int64_t peer_fin_seq_ = -1;
 

@@ -1,12 +1,146 @@
 #include "util/stats.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 
 namespace mn {
+
+namespace {
+// Magnitudes below this collapse into the sketch's zero bucket.
+constexpr double kSketchMinMagnitude = 0x1p-32;
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+QuantileSketch::QuantileSketch() : pos_(kBuckets, 0) {}
+
+std::size_t QuantileSketch::bucket_of(double magnitude) {
+  // Caller guarantees: finite, >= kSketchMinMagnitude (so never
+  // subnormal — the biased exponent is meaningful).
+  const auto bits = std::bit_cast<std::uint64_t>(magnitude);
+  const int e = static_cast<int>((bits >> 52) & 0x7ff) - 1023;
+  if (e >= kMaxExp2) return kBuckets - 1;
+  const auto sub = static_cast<std::size_t>((bits >> (52 - kSubBits)) &
+                                            ((std::uint64_t{1} << kSubBits) - 1));
+  return (static_cast<std::size_t>(e - kMinExp2) << kSubBits) | sub;
+}
+
+double QuantileSketch::bucket_lo(std::size_t b) {
+  const auto e = static_cast<std::uint64_t>(
+      kMinExp2 + static_cast<int>(b >> kSubBits) + 1023);
+  const std::uint64_t sub = b & ((std::uint64_t{1} << kSubBits) - 1);
+  return std::bit_cast<double>((e << 52) | (sub << (52 - kSubBits)));
+}
+
+double QuantileSketch::bucket_hi(std::size_t b) { return bucket_lo(b + 1); }
+
+void QuantileSketch::add(double x) {
+  if (!std::isfinite(x)) {
+    ++rejected_;
+    return;
+  }
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double mag = std::fabs(x);
+  if (mag < kSketchMinMagnitude) {
+    ++zero_;
+  } else if (x > 0.0) {
+    ++pos_[bucket_of(mag)];
+  } else {
+    if (neg_.empty()) neg_.assign(kBuckets, 0);
+    ++neg_[bucket_of(mag)];
+  }
+}
+
+void QuantileSketch::merge_from(const QuantileSketch& other) {
+  if (other.count_ > 0) {
+    if (count_ > 0) {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    } else {
+      min_ = other.min_;
+      max_ = other.max_;
+    }
+  }
+  count_ += other.count_;
+  rejected_ += other.rejected_;
+  zero_ += other.zero_;
+  for (std::size_t b = 0; b < kBuckets; ++b) pos_[b] += other.pos_[b];
+  if (!other.neg_.empty()) {
+    if (neg_.empty()) neg_.assign(kBuckets, 0);
+    for (std::size_t b = 0; b < kBuckets; ++b) neg_[b] += other.neg_[b];
+  }
+}
+
+double QuantileSketch::min() const { return count_ ? min_ : kNan; }
+double QuantileSketch::max() const { return count_ ? max_ : kNan; }
+
+double QuantileSketch::mean() const {
+  if (count_ == 0) return kNan;
+  // Bucket midpoints accumulated in fixed index order: the result
+  // depends only on the merged counts, never on insertion order.
+  double sum = 0.0;
+  if (!neg_.empty()) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (neg_[b]) {
+        sum -= static_cast<double>(neg_[b]) * 0.5 * (bucket_lo(b) + bucket_hi(b));
+      }
+    }
+  }
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (pos_[b]) {
+      sum += static_cast<double>(pos_[b]) * 0.5 * (bucket_lo(b) + bucket_hi(b));
+    }
+  }
+  return sum / static_cast<double>(count_);
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return kNan;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const double target = q * static_cast<double>(count_ - 1);
+  double cum = 0.0;
+  const auto in_region = [&](std::uint64_t cnt, double lo, double hi,
+                             double* out) {
+    if (cnt == 0) return false;
+    const double c = static_cast<double>(cnt);
+    if (target <= cum + c - 1.0) {
+      const double local = target - cum;
+      const double frac = cnt > 1 ? local / (c - 1.0) : 0.5;
+      *out = std::clamp(lo + (hi - lo) * frac, min_, max_);
+      return true;
+    }
+    cum += c;
+    return false;
+  };
+  double out = 0.0;
+  // Ascending value order: most-negative bucket first, then the zero
+  // bucket, then positives.
+  if (!neg_.empty()) {
+    for (std::size_t b = kBuckets; b-- > 0;) {
+      if (in_region(neg_[b], -bucket_hi(b), -bucket_lo(b), &out)) return out;
+    }
+  }
+  if (in_region(zero_, 0.0, 0.0, &out)) return out;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (in_region(pos_[b], bucket_lo(b), bucket_hi(b), &out)) return out;
+  }
+  return max_;  // numeric slack: target fell off the end
+}
+
+std::size_t QuantileSketch::memory_bytes() const {
+  return (pos_.capacity() + neg_.capacity()) * sizeof(std::uint64_t);
+}
 
 void OnlineStats::add(double x) {
   if (n_ == 0) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -73,6 +74,94 @@ class EmpiricalDistribution {
 
  private:
   std::vector<double> samples_;  // invariant: always sorted ascending
+};
+
+/// Bounded-memory streaming quantile sketch with a *bit-exact
+/// associative* merge.
+///
+/// The million-user world cannot keep a per-run sample vector per
+/// cluster (EmpiricalDistribution is O(samples)); it needs an
+/// accumulator whose size is independent of the stream length and whose
+/// merge gives the same bits no matter how the stream was sharded —
+/// otherwise the MN_THREADS golden (cluster results identical at any
+/// parallelism) would be unprovable.  Classic t-digest fails that bar:
+/// its centroids depend on insertion and merge order.  This sketch is a
+/// log-linear histogram over the IEEE-754 double representation
+/// instead — the same family as obs' HDR buckets, tuned finer:
+///
+///   bucket(|x|) = (unbiased_exponent - kMinExp2) * 2^kSubBits
+///               + top kSubBits mantissa bits
+///
+/// Sub-bucketing an octave into 2^kSubBits = 32 linear slices bounds
+/// the relative quantile error by 1/32 ≈ 3.1% — comfortably inside the
+/// paper's reporting granularity (Table 1 prints three significant
+/// digits of Mbps).  Counts are plain uint64 adds, so merge is
+/// associative, commutative, and bit-exact by construction; the only
+/// non-count state (min/max) merges with min/max, which are equally
+/// order-free.  No running double sum is kept — mean() is derived from
+/// bucket counts in index order, so it too is merge-order independent.
+///
+/// Conventions shared with EmpiricalDistribution:
+///   - quantile()/median()/min()/max() on an empty sketch return quiet
+///     NaN (PR 5's campaign convention);
+///   - q = 0 and q = 1 return the *exact* tracked min/max, and every
+///     interpolated quantile is clamped into [min, max] — a
+///     single-element sketch therefore answers that element exactly
+///     for every q.
+/// Non-finite inputs are ignored (counted in rejected()), matching the
+/// campaign filter's treatment of failed runs.
+class QuantileSketch {
+ public:
+  static constexpr int kSubBits = 5;  // 32 sub-buckets per octave
+  /// Magnitudes in [2^kMinExp2, 2^kMaxExp2) get their own buckets;
+  /// smaller ones (incl. 0 and subnormals) collapse into a zero bucket,
+  /// larger ones clamp into the top bucket.  The span covers ~1e-10 to
+  /// ~1e12 — nanoseconds-as-seconds through terabytes — with slack.
+  static constexpr int kMinExp2 = -32;
+  static constexpr int kMaxExp2 = 40;
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kMaxExp2 - kMinExp2) << kSubBits;
+
+  QuantileSketch();
+
+  void add(double x);
+  /// Associative, commutative, bit-exact: for any sharding of a stream
+  /// into sketches and any merge tree over them, the result's
+  /// observable state (and therefore every quantile) is identical.
+  void merge_from(const QuantileSketch& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  /// Non-finite samples seen and ignored.
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+
+  /// Quiet NaN when empty; otherwise exact extremes.
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Bucket-midpoint mean (same ±3.1% relative bound); NaN when empty.
+  [[nodiscard]] double mean() const;
+
+  /// q in [0,1], linear interpolation inside the hit bucket, clamped to
+  /// [min(), max()].  NaN when empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  /// Heap footprint in bytes (the positive array always; the negative
+  /// array only once a negative sample arrives).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  [[nodiscard]] static std::size_t bucket_of(double magnitude);
+  [[nodiscard]] static double bucket_lo(std::size_t b);
+  [[nodiscard]] static double bucket_hi(std::size_t b);
+
+  std::vector<std::uint64_t> pos_;  // sized kBuckets
+  std::vector<std::uint64_t> neg_;  // lazily sized kBuckets
+  std::uint64_t zero_ = 0;          // |x| below 2^kMinExp2 (incl. ±0)
+  std::uint64_t count_ = 0;
+  std::uint64_t rejected_ = 0;
+  double min_ = 0.0;  // valid iff count_ > 0
+  double max_ = 0.0;
 };
 
 /// Convenience: median of a vector (copies; fine for bench-sized data).

@@ -24,6 +24,10 @@ class Table {
 
   void print(std::ostream& os) const;
 
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,173 @@
+// The shared-infrastructure world: many concurrent users contending
+// for the cells of cell.hpp inside one simulation.
+//
+// Each Table-1 cluster becomes ONE simulation containing a set of
+// *venues* — each one WifiCell + one LteSector sharing one Backhaul
+// (the coffee shop's AP, the overhead sector, and the shop's uplink) —
+// plus n fluid user flows that replay the paper's measurement
+// protocol: every user runs a WiFi bulk probe, then
+// an LTE bulk probe, then (optionally) an MPTCP probe attached to BOTH
+// cells at once — grants from either cell drain one shared backlog,
+// which is exactly the aggregation-throughput question of Figure 7.
+// Flows are fluid (byte backlogs served by grants, no per-packet
+// events), which is what makes 10^5-10^6 concurrent users tractable:
+// event count scales with cell service ticks, not with packets.  Full
+// per-packet fidelity over the same cells is available separately via
+// world::CellPort (port.hpp) for endpoint-level tests.
+//
+// Determinism contract (DESIGN.md §14):
+//   - Every per-user random draw comes from an Rng forked off
+//     (seed, cluster name) BEFORE the simulation starts; nothing inside
+//     the event loop draws randomness except the LTE sector's hashed
+//     fading, which is a pure function of (seed, tag, tick).
+//   - One cluster == one Simulator.  run_world shards clusters across
+//     workers with parallel_map and merges StreamingClusterStats in
+//     cluster order, so results are byte-identical at any MN_THREADS.
+//   - Within a cluster, cells keep batched and scalar dispatch
+//     bit-identical (see cell.hpp); the golden test pins both axes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "measure/streaming.hpp"
+#include "measure/world.hpp"
+#include "obs/obs.hpp"
+#include "sim/simulator.hpp"
+#include "world/cell.hpp"
+
+namespace mn::world {
+
+struct WorldOptions {
+  /// Bytes per probe transfer (the paper's fixed 1 MB bulk download).
+  std::int64_t transfer_bytes = 1'000'000;
+  /// Run the third, dual-attached MPTCP probe after the two singles.
+  bool mptcp_probe = true;
+  /// Probability a user skips one technology (the paper's incomplete
+  /// runs); skipped users never enter the LTE-win denominator.
+  double incomplete_probability = 0.0;
+  /// User arrival times are uniform over [0, arrival_window_s).  The
+  /// default keeps a 64-user venue below saturation (crowdsourced users
+  /// trickle in; they do not start in the same second) — shrink it to
+  /// study thundering-herd overload, where the WiFi-first protocol
+  /// piles every arrival onto the APs and LTE wins almost everywhere.
+  double arrival_window_s = 60.0;
+
+  // -- contention model ----------------------------------------------
+  /// Users per venue (one WifiCell + LteSector + Backhaul).  A cluster
+  /// with n users gets ceil(n / users_per_cell) venues and users are
+  /// dealt round-robin, so cell contention stays at realistic AP
+  /// density no matter how many users the cluster holds.
+  int users_per_cell = 64;
+  Duration service_tick = msec(5);
+  int wifi_grants_per_tick = 8;
+  int lte_grants_per_tick = 8;
+  double dcf_overhead = 0.03;
+  int pf_window = 64;
+  double pf_ewma_ticks = 100.0;
+  double fading_depth = 0.4;
+  /// Per-venue backhaul shared by its WiFi cell and LTE sector;
+  /// <= 0 disables the bottleneck.
+  double backhaul_mbps = 40.0;
+  Duration backhaul_burst = msec(20);
+
+  std::uint64_t seed = 20130901;
+  /// Register per-cell gauges into an ObsHub on the cluster's sim.
+  bool attach_obs = false;
+  /// false -> width-1 scalar dispatch (golden tests; results identical).
+  bool batch_dispatch = true;
+  /// Worker threads for run_world (0 -> MN_THREADS / hardware).
+  int parallelism = 0;
+};
+
+/// One cluster's shared world: cells + n users on one Simulator.  The
+/// caller owns the Simulator and drives it (run_until_idle); the world
+/// schedules user arrivals in its constructor.
+class ClusterWorld final : public GrantSink {
+ public:
+  ClusterWorld(Simulator& sim, const ClusterSpec& spec, int n_users,
+               const WorldOptions& opt);
+
+  std::int64_t on_grant(std::uint32_t tag, std::int64_t offered_bytes) override;
+
+  [[nodiscard]] const StreamingClusterStats& stats() const { return stats_; }
+  [[nodiscard]] StreamingClusterStats take_stats() { return std::move(stats_); }
+  [[nodiscard]] int users_in_flight() const { return in_flight_; }
+  [[nodiscard]] std::size_t venue_count() const { return venues_.size(); }
+  [[nodiscard]] WifiCell& wifi(std::size_t v = 0) { return venues_[v]->wifi; }
+  [[nodiscard]] LteSector& lte(std::size_t v = 0) { return venues_[v]->lte; }
+  [[nodiscard]] Backhaul& backhaul(std::size_t v = 0) { return venues_[v]->backhaul; }
+
+ private:
+  struct Venue {
+    Backhaul backhaul;  // initialized first: the cells point at it
+    WifiCell wifi;
+    LteSector lte;
+    Venue(Simulator& sim, Backhaul bh, bool use_backhaul, CellConfig wifi_cfg,
+          WifiCell::Options wopt, CellConfig lte_cfg, LteSector::Options lopt)
+        : backhaul(bh),
+          wifi(sim, with_backhaul(std::move(wifi_cfg), use_backhaul ? &backhaul : nullptr),
+               wopt),
+          lte(sim, with_backhaul(std::move(lte_cfg), use_backhaul ? &backhaul : nullptr),
+              lopt) {}
+
+   private:
+    static CellConfig with_backhaul(CellConfig c, Backhaul* b) {
+      c.backhaul = b;
+      return c;
+    }
+  };
+  enum Phase : std::uint8_t { kWifi = 0, kLte = 1, kMptcp = 2, kDone = 3 };
+
+  struct UserFlow {
+    float wifi_phy_mbps = 0.0f;
+    float lte_phy_mbps = 0.0f;
+    float wifi_rtt_ms = 0.0f;  // uncontended base RTTs
+    float lte_rtt_ms = 0.0f;
+    std::int64_t remaining = 0;
+    std::int64_t phase_start_us = 0;
+    std::uint32_t grants = 0;
+    std::uint8_t phase = kWifi;
+    bool skip_wifi = false;
+    bool skip_lte = false;
+    StationId wifi_st;
+    StationId lte_st;
+    float wifi_down_mbps = -1.0f;  // measured; <0 = not measured
+    float lte_down_mbps = -1.0f;
+  };
+
+  void start_user(std::uint32_t i);
+  void begin_phase(std::uint32_t i, std::uint8_t phase);
+  void complete_phase(std::uint32_t i);
+
+  Simulator& sim_;
+  WorldOptions opt_;
+  std::vector<std::unique_ptr<Venue>> venues_;
+  std::vector<UserFlow> users_;
+  StreamingClusterStats stats_;
+  int in_flight_ = 0;
+};
+
+/// Aggregate outcome of a multi-cluster world run.
+struct WorldResult {
+  StreamingRunStats stats;
+  std::uint64_t events_fired = 0;
+  std::uint64_t total_users = 0;
+  double sim_horizon_s = 0.0;  // max end-of-sim time across clusters
+};
+
+/// Distribute `total_users` over `world`'s clusters (weighted by each
+/// cluster's Table-1 run count), simulate every cluster on its own
+/// Simulator — in parallel across opt.parallelism workers — and merge
+/// the per-cluster streaming stats in cluster order.
+[[nodiscard]] WorldResult run_world(const std::vector<ClusterSpec>& world,
+                                    std::uint64_t total_users, const WorldOptions& opt);
+
+/// The deterministic per-cluster user split run_world uses (exposed for
+/// tests and for benches that want to report it).
+[[nodiscard]] std::vector<int> split_users(const std::vector<ClusterSpec>& world,
+                                           std::uint64_t total_users);
+
+}  // namespace mn::world

@@ -1,0 +1,139 @@
+// Shared-world determinism goldens: the cluster digest must be
+// byte-identical across worker counts (MN_THREADS axis) and across
+// batched vs scalar sink dispatch — the two axes that reorder event
+// *processing* without being allowed to change event *semantics*.
+#include "world/shared_world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <numeric>
+
+#include "measure/world.hpp"
+#include "util/inplace_function.hpp"
+
+namespace mn::world {
+namespace {
+
+/// RAII MN_SCALAR_DISPATCH=1 (read by every Simulator constructor).
+struct ScopedScalarDispatch {
+  ScopedScalarDispatch() { ::setenv("MN_SCALAR_DISPATCH", "1", 1); }
+  ~ScopedScalarDispatch() { ::unsetenv("MN_SCALAR_DISPATCH"); }
+};
+
+WorldOptions small_opts() {
+  WorldOptions opt;
+  opt.arrival_window_s = 10.0;
+  opt.incomplete_probability = 0.1;
+  return opt;
+}
+
+constexpr std::uint64_t kUsers = 300;
+
+TEST(SplitUsers, DeterministicWeightedAndExhaustive) {
+  const auto world = table1_world();
+  const auto counts = split_users(world, 10'000);
+  ASSERT_EQ(counts.size(), world.size());
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0), 10'000);
+  // Weighted by cluster run counts: Boston (884 paper runs) must get
+  // the largest share.
+  for (std::size_t i = 1; i < counts.size(); ++i) EXPECT_GE(counts[0], counts[i]);
+  EXPECT_EQ(counts, split_users(world, 10'000)) << "pure function of inputs";
+  // Everyone lands somewhere even when users < clusters.
+  const auto tiny = split_users(world, 5);
+  EXPECT_EQ(std::accumulate(tiny.begin(), tiny.end(), 0), 5);
+}
+
+TEST(SharedWorld, EveryUserCompletesAndStatsAddUp) {
+  const auto world = table1_world();
+  const auto r = run_world(world, kUsers, small_opts());
+  EXPECT_EQ(r.total_users, kUsers);
+  EXPECT_GT(r.events_fired, 0u);
+  EXPECT_GT(r.sim_horizon_s, 0.0);
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t both = 0;
+  for (std::size_t i = 0; i < r.stats.size(); ++i) {
+    const StreamingClusterStats& c = r.stats.cluster(i);
+    started += c.users_started;
+    completed += c.users_completed;
+    both += c.both_measured;
+    EXPECT_LE(c.lte_wins, c.both_measured);
+  }
+  EXPECT_EQ(started, kUsers);
+  EXPECT_EQ(completed, kUsers);
+  // ~10% incomplete runs skip one side and leave the win denominator.
+  EXPECT_LT(both, kUsers);
+  EXPECT_GT(both, kUsers / 2);
+}
+
+TEST(SharedWorld, DigestIdenticalAcrossWorkerCounts) {
+  const auto world = table1_world();
+  WorldOptions serial = small_opts();
+  serial.parallelism = 0;
+  WorldOptions wide = small_opts();
+  wide.parallelism = 4;
+  const std::string a = run_world(world, kUsers, serial).stats.digest();
+  const std::string b = run_world(world, kUsers, wide).stats.digest();
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(SharedWorld, DigestIdenticalUnderScalarDispatch) {
+  const auto world = table1_world();
+  std::string batched;
+  {
+    const auto r = run_world(world, kUsers, small_opts());
+    batched = r.stats.digest();
+  }
+  std::string scalar_env;
+  {
+    ScopedScalarDispatch env;  // every Simulator in run_world sees it
+    scalar_env = run_world(world, kUsers, small_opts()).stats.digest();
+  }
+  std::string scalar_opt;
+  {
+    WorldOptions opt = small_opts();
+    opt.batch_dispatch = false;
+    scalar_opt = run_world(world, kUsers, opt).stats.digest();
+  }
+  ASSERT_FALSE(batched.empty());
+  EXPECT_EQ(batched, scalar_env);
+  EXPECT_EQ(batched, scalar_opt);
+}
+
+TEST(SharedWorld, SteadyStateStaysOffTheHeapFallbackPath) {
+  const auto world = table1_world();
+  // Warm-up run absorbs one-time lazy init (negative sketch arrays etc.).
+  (void)run_world(world, 50, small_opts());
+  const std::uint64_t before = inplace_function_heap_fallbacks();
+  (void)run_world(world, kUsers, small_opts());
+  EXPECT_EQ(inplace_function_heap_fallbacks(), before);
+}
+
+TEST(SharedWorld, VenueCountScalesWithUsers) {
+  Simulator sim;
+  const auto world = table1_world();
+  WorldOptions opt = small_opts();
+  opt.users_per_cell = 64;
+  ClusterWorld small(sim, world[0], 10, opt);
+  EXPECT_EQ(small.venue_count(), 1u);
+  Simulator sim2;
+  ClusterWorld big(sim2, world[0], 1000, opt);
+  EXPECT_EQ(big.venue_count(), 16u);  // ceil(1000 / 64)
+}
+
+TEST(SharedWorld, ObsRegistersPerCellSeriesWhenAsked) {
+  const auto world = table1_world();
+  WorldOptions opt = small_opts();
+  opt.attach_obs = true;  // must not throw (metric-capacity headroom)
+  const auto r = run_world(world, 100, opt);
+  std::uint64_t completed = 0;
+  for (std::size_t i = 0; i < r.stats.size(); ++i) {
+    completed += r.stats.cluster(i).users_completed;
+  }
+  EXPECT_EQ(completed, 100u);
+}
+
+}  // namespace
+}  // namespace mn::world
