@@ -6,6 +6,7 @@
 
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common.hpp"
@@ -15,6 +16,8 @@
 #include "net/trace_gen.hpp"
 #include "obs/obs.hpp"
 #include "sim/simulator.hpp"
+#include "store/remote/client.hpp"
+#include "store/remote/server.hpp"
 #include "store/run_store.hpp"
 #include "tcp/flow.hpp"
 #include "util/inplace_function.hpp"
@@ -309,6 +312,42 @@ void BM_StoreLookup(benchmark::State& state) {
   std::filesystem::remove_all(dir);
 }
 BENCHMARK(BM_StoreLookup);
+
+// The remote tier's lookup: one MNSP1 GET round trip over a Unix-domain
+// socket to an in-process StoreServer, same 1024-record store and
+// hit/miss mix as BM_StoreLookup.  The delta over the ~28ns local
+// lookup IS the wire cost — the number an operator weighs against
+// re-executing a run.
+void BM_RemoteStoreLookup(benchmark::State& state) {
+  const auto base = std::filesystem::temp_directory_path() / "mn_bench_remote_lookup";
+  std::filesystem::remove_all(base);
+  std::filesystem::create_directories(base);
+  const std::string dir = (base / "store").string();
+  const std::string sock = (base / "mn.sock").string();
+  {
+    store::RunStore seed{dir};
+    for (std::uint64_t i = 0; i < 1024; ++i) {
+      seed.put({i, i * 0x9e3779b97f4a7c15ull}, std::string(64, 'x'));
+    }
+  }
+  store::remote::StoreServer server{{dir, sock}};
+  std::thread server_thread{[&server] { server.run(); }};
+  store::remote::RemoteStoreOptions ropt;
+  ropt.endpoint = sock;
+  {
+    store::remote::RemoteStore client{std::move(ropt)};
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+      const std::uint64_t k = i++ & 2047;  // every other lookup misses
+      auto hit = client.lookup({k, k * 0x9e3779b97f4a7c15ull});
+      benchmark::DoNotOptimize(hit);
+    }
+  }
+  server.stop();
+  server_thread.join();
+  std::filesystem::remove_all(base);
+}
+BENCHMARK(BM_RemoteStoreLookup);
 
 // Cold vs warm campaign through the store: cold pays full simulation
 // plus the append, warm replays from cache.  The ratio is the headline

@@ -177,9 +177,12 @@ std::vector<SweepPoint> sweep_flow_sizes(const MpNetworkSetup& net,
   std::vector<std::size_t> missing;
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     keys[i] = sweep_scenario_key(net, config, sizes[i], options.dir);
-    if (auto blob = options.store->lookup(keys[i])) {
+  }
+  const auto blobs = options.store->lookup_many(keys);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (blobs[i]) {
       try {
-        points[i] = parse_sweep_point(*blob);
+        points[i] = parse_sweep_point(*blobs[i]);
         continue;
       } catch (const std::exception&) {
         // Undecodable blob = miss; superseded by the fresh result below.

@@ -11,7 +11,7 @@
 #include "faults/fault_plan.hpp"
 #include "mptcp/testbed.hpp"
 #include "store/key.hpp"
-#include "store/run_store.hpp"
+#include "store/store.hpp"
 #include "tcp/flow.hpp"
 
 namespace mn {
@@ -75,7 +75,7 @@ struct SweepOptions {
   /// and appended on miss.  Figure benches sharing one store then pay
   /// for each (net, config, size, dir) point once across the suite.
   /// Not owned.
-  store::RunStore* store = nullptr;
+  store::Store* store = nullptr;
 };
 
 /// Content key of one sweep point: a canonical hash of the full network

@@ -266,9 +266,12 @@ ChaosSoakSummary run_chaos_soak(const ChaosSoakOptions& options) {
     for (std::size_t i = 0; i < n; ++i) {
       seeds[i] = options.seed + static_cast<std::uint64_t>(i);
       keys[i] = chaos_scenario_key(seeds[i], options);
-      if (auto blob = options.store->lookup(keys[i])) {
+    }
+    const auto blobs = options.store->lookup_many(keys);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (blobs[i]) {
         try {
-          reports[i] = parse_chaos_report(*blob);
+          reports[i] = parse_chaos_report(*blobs[i]);
           write_flight_dump(reports[i], options.flight_dump_dir);
           continue;
         } catch (const std::exception&) {

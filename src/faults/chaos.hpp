@@ -23,7 +23,7 @@
 #include "mptcp/testbed.hpp"
 #include "obs/metrics.hpp"
 #include "store/key.hpp"
-#include "store/run_store.hpp"
+#include "store/store.hpp"
 
 namespace mn {
 
@@ -53,7 +53,7 @@ struct ChaosSoakOptions {
   /// carried a flight dump re-writes its .mnfr file, so the on-disk
   /// black boxes survive a crash-and-rerun exactly like the reports.
   /// Not owned.
-  store::RunStore* store = nullptr;
+  store::Store* store = nullptr;
 };
 
 /// Everything observed in one chaos run (reproducible from `seed`).

@@ -372,11 +372,14 @@ std::vector<RunRecord> run_campaign(const std::vector<ClusterSpec>& world,
   std::vector<store::ScenarioKey> keys(plans.size());
   std::vector<RunRecord> records(plans.size());
   std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < plans.size(); ++i) keys[i] = scenario_key(plans[i], options);
+  // One batched lookup: a remote store answers the whole plan in a
+  // single MULTI_GET round trip instead of one RTT per run.
+  const auto blobs = options.store->lookup_many(keys);
   for (std::size_t i = 0; i < plans.size(); ++i) {
-    keys[i] = scenario_key(plans[i], options);
-    if (auto blob = options.store->lookup(keys[i])) {
+    if (blobs[i]) {
       try {
-        records[i] = parse_run_record(*blob);
+        records[i] = parse_run_record(*blobs[i]);
         continue;
       } catch (const std::exception&) {
         // Undecodable blob = miss; the fresh result supersedes it below.

@@ -17,7 +17,7 @@
 #include "mptcp/mptcp.hpp"
 #include "obs/metrics.hpp"
 #include "store/key.hpp"
-#include "store/run_store.hpp"
+#include "store/store.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
@@ -107,7 +107,7 @@ struct CampaignOptions {
   /// metrics, and CSV are byte-identical whether a run was simulated or
   /// replayed from cache (the store's own hit/miss counters live on the
   /// store, never in the run metrics).  Not owned.
-  store::RunStore* store = nullptr;
+  store::Store* store = nullptr;
 };
 
 /// One pre-planned campaign run: every random input the run needs,

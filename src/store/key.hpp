@@ -25,6 +25,7 @@
 #include <compare>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -46,6 +47,10 @@ struct ScenarioKey {
 
   /// 32 lowercase hex characters, hi half first (stable display form).
   [[nodiscard]] std::string hex() const;
+
+  /// Inverse of hex(): exactly 32 hex digits (either case), or nullopt.
+  /// Operator tooling takes keys on the command line in this form.
+  [[nodiscard]] static std::optional<ScenarioKey> from_hex(std::string_view s);
 };
 
 /// For unordered_map: the key is already a high-quality hash.

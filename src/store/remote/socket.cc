@@ -1,0 +1,256 @@
+#include "store/remote/socket.hpp"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace mn::store::remote {
+namespace {
+
+bool set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+void set_io_timeout(int fd, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+int parse_port(const std::string& s) {
+  if (s.empty() || s.size() > 5) throw std::invalid_argument("store endpoint: bad port '" + s + "'");
+  long v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') throw std::invalid_argument("store endpoint: bad port '" + s + "'");
+    v = v * 10 + (c - '0');
+  }
+  if (v > 65535) throw std::invalid_argument("store endpoint: bad port '" + s + "'");
+  return static_cast<int>(v);
+}
+
+/// Fill a sockaddr_un; throws when the path does not fit.
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof addr.sun_path) {
+    throw std::invalid_argument("store endpoint: unix path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+std::string Endpoint::describe() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Endpoint parse_endpoint(const std::string& spec) {
+  Endpoint ep;
+  std::string rest = spec;
+  bool forced_unix = false;
+  bool forced_tcp = false;
+  if (rest.rfind("unix:", 0) == 0) {
+    forced_unix = true;
+    rest = rest.substr(5);
+  } else if (rest.rfind("tcp:", 0) == 0) {
+    forced_tcp = true;
+    rest = rest.substr(4);
+  }
+  const std::size_t colon = rest.rfind(':');
+  const bool looks_tcp =
+      !forced_unix && colon != std::string::npos && rest.find('/') == std::string::npos;
+  if (forced_tcp || looks_tcp) {
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("store endpoint: tcp spec needs host:port, got '" + spec + "'");
+    }
+    ep.kind = Endpoint::Kind::kTcp;
+    ep.host = rest.substr(0, colon);
+    if (ep.host.empty()) ep.host = "127.0.0.1";
+    ep.port = static_cast<std::uint16_t>(parse_port(rest.substr(colon + 1)));
+    return ep;
+  }
+  ep.kind = Endpoint::Kind::kUnix;
+  ep.path = rest;
+  if (ep.path.empty()) throw std::invalid_argument("store endpoint: empty socket path");
+  return ep;
+}
+
+int connect_endpoint(const Endpoint& ep, std::chrono::milliseconds connect_timeout,
+                     std::chrono::milliseconds io_timeout) {
+  int fd = -1;
+  sockaddr_storage storage{};
+  socklen_t addr_len = 0;
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    const sockaddr_un addr = unix_addr(ep.path);
+    std::memcpy(&storage, &addr, sizeof addr);
+    addr_len = sizeof addr;
+  } else {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const std::string port = std::to_string(ep.port);
+    if (::getaddrinfo(ep.host.c_str(), port.c_str(), &hints, &res) != 0 || res == nullptr) {
+      errno = EHOSTUNREACH;
+      return -1;
+    }
+    fd = ::socket(res->ai_family, res->ai_socktype | SOCK_CLOEXEC, res->ai_protocol);
+    if (fd < 0) {
+      ::freeaddrinfo(res);
+      return -1;
+    }
+    std::memcpy(&storage, res->ai_addr, res->ai_addrlen);
+    addr_len = res->ai_addrlen;
+    ::freeaddrinfo(res);
+  }
+
+  // Nonblocking connect bounded by poll: a dead TCP peer fails in
+  // `connect_timeout`, not in the kernel's minutes-long default.
+  if (!set_nonblocking(fd, true)) {
+    ::close(fd);
+    return -1;
+  }
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&storage), addr_len);
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    do {
+      rc = ::poll(&pfd, 1, static_cast<int>(connect_timeout.count()));
+    } while (rc < 0 && errno == EINTR);
+    if (rc <= 0) {
+      if (rc == 0) errno = ETIMEDOUT;
+      ::close(fd);
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      errno = err != 0 ? err : ECONNREFUSED;
+      return -1;
+    }
+  } else if (rc != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    return -1;
+  }
+  if (!set_nonblocking(fd, false)) {
+    ::close(fd);
+    return -1;
+  }
+  set_io_timeout(fd, io_timeout);
+  if (ep.kind == Endpoint::Kind::kTcp) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  return fd;
+}
+
+int listen_endpoint(const Endpoint& ep) {
+  int fd = -1;
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw std::runtime_error("store server: socket(AF_UNIX): " + std::string{std::strerror(errno)});
+    // A stale socket *file* from a dead server blocks bind; a live
+    // server is excluded by serve.lock before we get here, so any
+    // existing socket at the path is dead by construction.
+    struct stat st {};
+    if (::lstat(ep.path.c_str(), &st) == 0 && S_ISSOCK(st.st_mode)) {
+      ::unlink(ep.path.c_str());
+    }
+    const sockaddr_un addr = unix_addr(ep.path);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error("store server: bind " + ep.path + ": " + std::strerror(err));
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw std::runtime_error("store server: socket(AF_INET): " + std::string{std::strerror(errno)});
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    addrinfo* res = nullptr;
+    const std::string port = std::to_string(ep.port);
+    if (::getaddrinfo(ep.host.empty() ? nullptr : ep.host.c_str(), port.c_str(), &hints,
+                      &res) != 0 ||
+        res == nullptr) {
+      ::close(fd);
+      throw std::runtime_error("store server: cannot resolve " + ep.describe());
+    }
+    const int rc = ::bind(fd, res->ai_addr, res->ai_addrlen);
+    const int err = errno;
+    ::freeaddrinfo(res);
+    if (rc != 0) {
+      ::close(fd);
+      throw std::runtime_error("store server: bind " + ep.describe() + ": " +
+                               std::strerror(err));
+    }
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("store server: listen " + ep.describe() + ": " +
+                             std::strerror(err));
+  }
+  if (!set_nonblocking(fd, true)) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("store server: fcntl(O_NONBLOCK): " +
+                             std::string{std::strerror(err)});
+  }
+  return fd;
+}
+
+std::uint16_t local_tcp_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) return 0;
+  return ntohs(addr.sin_port);
+}
+
+bool send_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+long recv_some(int fd, char* buf, std::size_t buf_len) {
+  ssize_t n;
+  do {
+    n = ::recv(fd, buf, buf_len, 0);
+  } while (n < 0 && errno == EINTR);
+  return static_cast<long>(n);
+}
+
+}  // namespace mn::store::remote

@@ -1,0 +1,61 @@
+// Socket plumbing for the store service: endpoint parsing, bounded
+// connects, and EINTR-safe send/recv — shared by StoreServer and
+// RemoteStore so both sides agree on what "--socket <spec>" means.
+//
+//   <spec> := "unix:<path>" | "tcp:<host>:<port>"
+//           | a path containing '/'            (Unix-domain socket)
+//           | "<host>:<port>"                  (TCP)
+//           | anything else                    (Unix-domain socket)
+//
+// Nothing here throws for *peer* behaviour (refused, reset, timeout) —
+// those return error codes so RemoteStore can degrade to a miss.  Only
+// local programming errors (unparseable spec, bind failures in the
+// server) throw.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mn::store::remote {
+
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  // kUnix: filesystem path of the socket
+  std::string host;  // kTcp
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Parse a --socket spec.  Throws std::invalid_argument when a tcp spec
+/// has a malformed port; never touches the filesystem.
+[[nodiscard]] Endpoint parse_endpoint(const std::string& spec);
+
+/// Connect with a deadline (nonblocking connect + poll).  Returns the
+/// connected fd (blocking mode, SO_RCVTIMEO/SO_SNDTIMEO set to
+/// `io_timeout`) or -1 with errno describing the failure.
+[[nodiscard]] int connect_endpoint(const Endpoint& ep,
+                                   std::chrono::milliseconds connect_timeout,
+                                   std::chrono::milliseconds io_timeout);
+
+/// Bind + listen.  For Unix endpoints a stale socket file left by a
+/// dead server is unlinked first (a *live* server is excluded by the
+/// serve.lock, not by the socket file).  Throws std::runtime_error on
+/// failure.  The returned fd is nonblocking (the server poll loop).
+[[nodiscard]] int listen_endpoint(const Endpoint& ep);
+
+/// The port a tcp listener actually bound (for "port 0" in tests).
+[[nodiscard]] std::uint16_t local_tcp_port(int fd);
+
+/// Write the whole buffer, retrying on EINTR / partial writes.  Returns
+/// false on any error (including a send timeout).
+[[nodiscard]] bool send_all(int fd, std::string_view bytes);
+
+/// One recv into `buf` (up to buf_len).  Returns >0 bytes read, 0 on
+/// orderly EOF, -1 on error/timeout.
+[[nodiscard]] long recv_some(int fd, char* buf, std::size_t buf_len);
+
+}  // namespace mn::store::remote

@@ -1,0 +1,289 @@
+#include "store/remote/wire.hpp"
+
+#include "store/codec.hpp"
+#include "util/crc32.hpp"
+
+namespace mn::store::wire {
+namespace {
+
+std::uint32_t le_u32_at(std::string_view bytes, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(bytes[at + static_cast<std::size_t>(i)]))
+         << (i * 8);
+  }
+  return v;
+}
+
+bool known_op(std::uint8_t op) {
+  switch (static_cast<Op>(op)) {
+    case Op::kPing:
+    case Op::kPong:
+    case Op::kGet:
+    case Op::kGetReply:
+    case Op::kMultiGet:
+    case Op::kMultiGetReply:
+    case Op::kPut:
+    case Op::kPutReply:
+    case Op::kStats:
+    case Op::kStatsReply:
+    case Op::kError:
+      return true;
+  }
+  return false;
+}
+
+/// Wraps BinReader's overrun exceptions as WireError so a malformed
+/// body and a malformed frame degrade identically at the client.
+template <typename Fn>
+auto parse_body(Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const WireError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw WireError(std::string{"MNSP1 body: "} + e.what());
+  }
+}
+
+}  // namespace
+
+std::string encode_frame(Op op, std::string_view body) {
+  std::string payload;
+  payload.reserve(2 + body.size());
+  payload.push_back(static_cast<char>(kWireProtocolVersion));
+  payload.push_back(static_cast<char>(op));
+  payload.append(body.data(), body.size());
+  BinWriter header;
+  header.put_u32(static_cast<std::uint32_t>(payload.size()));
+  header.put_u32(crc32(payload));
+  std::string frame = header.take();
+  frame += payload;
+  return frame;
+}
+
+void FrameParser::feed(std::string_view bytes) {
+  // Compact the consumed prefix away before it grows unbounded.
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= (64u << 10))) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(bytes.data(), bytes.size());
+}
+
+std::optional<Message> FrameParser::next() {
+  const std::string_view view{buf_.data() + pos_, buf_.size() - pos_};
+  if (view.size() < kWireHeaderBytes) return std::nullopt;
+  const std::uint32_t len = le_u32_at(view, 0);
+  if (len < 2 || len > kMaxWirePayload) {
+    throw WireError("MNSP1 frame: implausible payload length " + std::to_string(len));
+  }
+  if (view.size() < kWireHeaderBytes + len) return std::nullopt;
+  const std::string_view payload = view.substr(kWireHeaderBytes, len);
+  if (crc32(payload) != le_u32_at(view, 4)) {
+    throw WireError("MNSP1 frame: CRC mismatch");
+  }
+  const auto version = static_cast<std::uint8_t>(payload[0]);
+  if (version != kWireProtocolVersion) {
+    throw WireError("MNSP1 frame: unknown protocol version " + std::to_string(version));
+  }
+  const auto op = static_cast<std::uint8_t>(payload[1]);
+  if (!known_op(op)) {
+    throw WireError("MNSP1 frame: unknown op " + std::to_string(op));
+  }
+  Message msg;
+  msg.op = static_cast<Op>(op);
+  msg.body.assign(payload.substr(2));
+  pos_ += kWireHeaderBytes + len;
+  return msg;
+}
+
+std::string encode_nonce_body(std::uint64_t nonce) {
+  BinWriter w;
+  w.put_u64(nonce);
+  return w.take();
+}
+
+std::uint64_t decode_nonce_body(std::string_view body) {
+  return parse_body([&] {
+    BinReader r{body};
+    const std::uint64_t nonce = r.get_u64();
+    r.expect_done();
+    return nonce;
+  });
+}
+
+std::string encode_key_body(const ScenarioKey& key) {
+  BinWriter w;
+  w.put_u64(key.hi);
+  w.put_u64(key.lo);
+  return w.take();
+}
+
+ScenarioKey decode_key_body(std::string_view body) {
+  return parse_body([&] {
+    BinReader r{body};
+    ScenarioKey key;
+    key.hi = r.get_u64();
+    key.lo = r.get_u64();
+    r.expect_done();
+    return key;
+  });
+}
+
+std::string encode_keys_body(const std::vector<ScenarioKey>& keys) {
+  BinWriter w;
+  w.put_u32(static_cast<std::uint32_t>(keys.size()));
+  for (const ScenarioKey& k : keys) {
+    w.put_u64(k.hi);
+    w.put_u64(k.lo);
+  }
+  return w.take();
+}
+
+std::vector<ScenarioKey> decode_keys_body(std::string_view body) {
+  return parse_body([&] {
+    BinReader r{body};
+    const std::uint32_t n = r.get_u32();
+    if (static_cast<std::size_t>(n) * 16 != r.remaining()) {
+      throw WireError("MNSP1 MULTI_GET: key count does not match body size");
+    }
+    std::vector<ScenarioKey> keys(n);
+    for (auto& k : keys) {
+      k.hi = r.get_u64();
+      k.lo = r.get_u64();
+    }
+    r.expect_done();
+    return keys;
+  });
+}
+
+std::string encode_blob_reply(const std::optional<std::string_view>& blob) {
+  BinWriter w;
+  w.put_bool(blob.has_value());
+  w.put_str(blob.value_or(std::string_view{}));
+  return w.take();
+}
+
+std::optional<std::string> decode_blob_reply(std::string_view body) {
+  return parse_body([&]() -> std::optional<std::string> {
+    BinReader r{body};
+    const bool found = r.get_bool();
+    std::string blob = r.get_str();
+    r.expect_done();
+    if (!found) return std::nullopt;
+    return blob;
+  });
+}
+
+std::string encode_blobs_reply(const std::vector<std::optional<std::string_view>>& blobs) {
+  BinWriter w;
+  w.put_u32(static_cast<std::uint32_t>(blobs.size()));
+  for (const auto& b : blobs) {
+    w.put_bool(b.has_value());
+    w.put_str(b.value_or(std::string_view{}));
+  }
+  return w.take();
+}
+
+std::vector<std::optional<std::string>> decode_blobs_reply(std::string_view body) {
+  return parse_body([&] {
+    BinReader r{body};
+    const std::uint32_t n = r.get_u32();
+    std::vector<std::optional<std::string>> out(n);
+    for (auto& slot : out) {
+      const bool found = r.get_bool();
+      std::string blob = r.get_str();
+      if (found) slot = std::move(blob);
+    }
+    r.expect_done();
+    return out;
+  });
+}
+
+std::string encode_put_body(const ScenarioKey& key, std::string_view blob) {
+  BinWriter w;
+  w.put_u64(key.hi);
+  w.put_u64(key.lo);
+  w.put_str(blob);
+  return w.take();
+}
+
+std::pair<ScenarioKey, std::string> decode_put_body(std::string_view body) {
+  return parse_body([&] {
+    BinReader r{body};
+    ScenarioKey key;
+    key.hi = r.get_u64();
+    key.lo = r.get_u64();
+    std::string blob = r.get_str();
+    r.expect_done();
+    return std::pair<ScenarioKey, std::string>{key, std::move(blob)};
+  });
+}
+
+std::string encode_status_body(std::uint8_t status) {
+  BinWriter w;
+  w.put_u8(status);
+  return w.take();
+}
+
+std::uint8_t decode_status_body(std::string_view body) {
+  return parse_body([&] {
+    BinReader r{body};
+    const std::uint8_t status = r.get_u8();
+    r.expect_done();
+    return status;
+  });
+}
+
+std::string encode_error_body(std::string_view message) {
+  BinWriter w;
+  w.put_str(message);
+  return w.take();
+}
+
+std::string decode_error_body(std::string_view body) {
+  return parse_body([&] {
+    BinReader r{body};
+    std::string msg = r.get_str();
+    r.expect_done();
+    return msg;
+  });
+}
+
+std::string encode_stats_reply(const WireStats& s) {
+  BinWriter w;
+  w.put_u64(s.entries);
+  w.put_u64(s.segments);
+  w.put_u64(s.hits);
+  w.put_u64(s.misses);
+  w.put_u64(s.gets);
+  w.put_u64(s.multi_gets);
+  w.put_u64(s.puts);
+  w.put_u64(s.bytes_appended);
+  w.put_u64(s.connections);
+  w.put_u64(s.protocol_errors);
+  return w.take();
+}
+
+WireStats decode_stats_reply(std::string_view body) {
+  return parse_body([&] {
+    BinReader r{body};
+    WireStats s;
+    s.entries = r.get_u64();
+    s.segments = r.get_u64();
+    s.hits = r.get_u64();
+    s.misses = r.get_u64();
+    s.gets = r.get_u64();
+    s.multi_gets = r.get_u64();
+    s.puts = r.get_u64();
+    s.bytes_appended = r.get_u64();
+    s.connections = r.get_u64();
+    s.protocol_errors = r.get_u64();
+    r.expect_done();
+    return s;
+  });
+}
+
+}  // namespace mn::store::wire

@@ -1,0 +1,149 @@
+// MNSP1: the store service's length-prefixed binary wire protocol.
+//
+// One frame on the wire:
+//
+//   u32 payload_len | u32 crc32(payload) | payload
+//   payload := u8 protocol_version (=1) | u8 op | body
+//
+// Everything is little-endian with explicit widths, encoded through the
+// same BinWriter/BinReader discipline as the segment format and
+// KeyBuilder: length-prefixed strings, bit-exact integers — the bytes
+// are identical on every platform.  The CRC spans the whole payload, so
+// a flipped bit anywhere surfaces as WireError, which the client treats
+// as a degraded connection (cache miss), never as data.
+//
+// Ops (requests from the client, replies from the server):
+//
+//   PING      u64 nonce                 -> PONG       u64 nonce (echo)
+//   GET       key.hi u64 | key.lo u64   -> GET_REPLY  bool found | str blob
+//   MULTI_GET u32 n | n * (hi,lo)       -> MULTI_GET_REPLY
+//                                            u32 n | n * (bool | str blob)
+//   PUT       hi | lo | str blob        -> PUT_REPLY  u8 status (0 = ok)
+//   STATS     (empty)                   -> STATS_REPLY (WireStats fields)
+//   (server only) ERROR  str message — sent before closing on a
+//   malformed request or version mismatch.
+//
+// Versioning: the protocol version rides in every payload.  A server
+// refuses a mismatched version with ERROR; a client treats any
+// unexpected version as WireError.  A future MNSP2 never half-parses
+// as MNSP1 — the same wholesale-refusal rule as segment files.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "store/key.hpp"
+
+namespace mn::store::wire {
+
+inline constexpr std::uint8_t kWireProtocolVersion = 1;
+/// Upper bound on one frame's payload: covers the largest record blob
+/// (64 MiB, kMaxFramePayload) plus a batched reply's framing with room
+/// to spare.  A longer length prefix is corruption, not a message.
+inline constexpr std::uint32_t kMaxWirePayload = 256u << 20;
+/// Frame header: payload_len + crc.
+inline constexpr std::size_t kWireHeaderBytes = 4 + 4;
+/// Client-side MULTI_GET chunk size: bounds one reply's size while
+/// still amortizing the round trip over hundreds of keys.
+inline constexpr std::size_t kMultiGetBatch = 256;
+
+enum class Op : std::uint8_t {
+  kPing = 1,
+  kPong = 2,
+  kGet = 3,
+  kGetReply = 4,
+  kMultiGet = 5,
+  kMultiGetReply = 6,
+  kPut = 7,
+  kPutReply = 8,
+  kStats = 9,
+  kStatsReply = 10,
+  kError = 15,
+};
+
+/// Any framing/encoding violation: bad CRC, oversize length, unknown
+/// op, version mismatch, malformed body, truncated stream.  Clients
+/// degrade on it; the server answers ERROR and closes.
+struct WireError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct Message {
+  Op op = Op::kError;
+  std::string body;
+};
+
+/// One full frame (header + version + op + body), ready to write.
+[[nodiscard]] std::string encode_frame(Op op, std::string_view body);
+
+/// Incremental frame decoder: feed() arbitrary byte chunks, next()
+/// yields complete messages.  Throws WireError on any malformed input —
+/// once thrown, the stream is poisoned and the connection must drop
+/// (there is no resynchronization on a byte stream).
+class FrameParser {
+ public:
+  void feed(std::string_view bytes);
+  /// Next complete message, or nullopt when more bytes are needed.
+  [[nodiscard]] std::optional<Message> next();
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+};
+
+// ---- body codecs (shared by client and server) ----------------------
+
+[[nodiscard]] std::string encode_nonce_body(std::uint64_t nonce);
+[[nodiscard]] std::uint64_t decode_nonce_body(std::string_view body);
+
+[[nodiscard]] std::string encode_key_body(const ScenarioKey& key);
+[[nodiscard]] ScenarioKey decode_key_body(std::string_view body);
+
+[[nodiscard]] std::string encode_keys_body(const std::vector<ScenarioKey>& keys);
+[[nodiscard]] std::vector<ScenarioKey> decode_keys_body(std::string_view body);
+
+/// GET_REPLY: found + blob.
+[[nodiscard]] std::string encode_blob_reply(const std::optional<std::string_view>& blob);
+[[nodiscard]] std::optional<std::string> decode_blob_reply(std::string_view body);
+
+/// MULTI_GET_REPLY: per-key found + blob, in request order.  The server
+/// encodes views (zero-copy out of its mmap'd segments).
+[[nodiscard]] std::string encode_blobs_reply(
+    const std::vector<std::optional<std::string_view>>& blobs);
+[[nodiscard]] std::vector<std::optional<std::string>> decode_blobs_reply(
+    std::string_view body);
+
+[[nodiscard]] std::string encode_put_body(const ScenarioKey& key, std::string_view blob);
+[[nodiscard]] std::pair<ScenarioKey, std::string> decode_put_body(std::string_view body);
+
+[[nodiscard]] std::string encode_status_body(std::uint8_t status);
+[[nodiscard]] std::uint8_t decode_status_body(std::string_view body);
+
+[[nodiscard]] std::string encode_error_body(std::string_view message);
+[[nodiscard]] std::string decode_error_body(std::string_view body);
+
+/// The server's STATS_REPLY payload.
+struct WireStats {
+  std::uint64_t entries = 0;
+  std::uint64_t segments = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t multi_gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t bytes_appended = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t protocol_errors = 0;
+
+  friend bool operator==(const WireStats&, const WireStats&) = default;
+};
+[[nodiscard]] std::string encode_stats_reply(const WireStats& s);
+[[nodiscard]] WireStats decode_stats_reply(std::string_view body);
+
+}  // namespace mn::store::wire

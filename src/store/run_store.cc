@@ -1,7 +1,12 @@
 #include "store/run_store.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <stdexcept>
 
@@ -31,7 +36,39 @@ std::optional<std::uint64_t> segment_number(const std::string& filename) {
   return n;
 }
 
+std::string segment_path_in(const std::string& dir, std::uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s%06llu%s", std::string{kSegmentPrefix}.c_str(),
+                static_cast<unsigned long long>(index), std::string{kSegmentSuffix}.c_str());
+  return (fs::path(dir) / buf).string();
+}
+
 }  // namespace
+
+std::string claim_next_segment(const std::string& dir) {
+  // Start past the highest existing number, then O_EXCL upward: the
+  // kernel arbitrates concurrent claimers, no lock needed.
+  std::uint64_t next = 1;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (const auto n = segment_number(entry.path().filename().string())) {
+      if (*n >= next) next = *n + 1;
+    }
+  }
+  for (;; ++next) {
+    const std::string path = segment_path_in(dir, next);
+    const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY | O_CLOEXEC, 0644);
+    if (fd >= 0) {
+      ::close(fd);
+      return path;
+    }
+    if (errno != EEXIST) {
+      throw std::runtime_error("store: cannot claim segment " + path + ": " +
+                               std::strerror(errno));
+    }
+  }
+}
 
 std::vector<std::string> list_segment_files(const std::string& dir) {
   std::vector<std::pair<std::uint64_t, std::string>> numbered;
@@ -52,6 +89,9 @@ RunStore::RunStore(std::string dir) : dir_(std::move(dir)) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec) throw std::runtime_error("store: cannot create directory " + dir_);
+  // Shared hold for our lifetime: appenders/loaders coexist; a compactor
+  // (exclusive) can never delete files while we load or append.
+  dir_lock_ = FileLock::shared(store_lock_path(dir_));
   std::lock_guard<std::mutex> lock(mu_);
   load_locked();
 }
@@ -76,22 +116,12 @@ void RunStore::load_locked() {
     for (SegmentEntry& e : seg.entries) {
       map_[e.key] = std::move(e.blob);  // later frames supersede earlier
     }
-    const auto n = segment_number(fs::path(path).filename().string());
-    if (n && *n >= next_segment_) next_segment_ = *n + 1;
   }
   stats_.entries = map_.size();
 }
 
-std::string RunStore::segment_path(std::uint64_t index) const {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%s%06llu%s", std::string{kSegmentPrefix}.c_str(),
-                static_cast<unsigned long long>(index), std::string{kSegmentSuffix}.c_str());
-  return (fs::path(dir_) / buf).string();
-}
-
 void RunStore::open_writer_locked() {
-  writer_ = std::make_unique<SegmentWriter>(segment_path(next_segment_));
-  ++next_segment_;
+  writer_ = std::make_unique<SegmentWriter>(claim_next_segment(dir_));
 }
 
 std::optional<std::string> RunStore::lookup(const ScenarioKey& key) {
@@ -146,21 +176,56 @@ void RunStore::compact() {
     writer_->seal();
     writer_.reset();
   }
-  const std::vector<std::string> old_files = list_segment_files(dir_);
-  // Deterministic compact: live entries in key order, one sealed segment.
-  std::vector<std::pair<ScenarioKey, std::string>> live(map_.begin(), map_.end());
-  std::sort(live.begin(), live.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  {
-    SegmentWriter writer{segment_path(next_segment_)};
-    for (const auto& [key, blob] : live) stats_.bytes_written += writer.append(key, blob);
-    writer.seal();
+  // Exclusive directory ownership for the census + rewrite + delete.
+  // Our own shared hold is released first — flock is per-description,
+  // so we would otherwise wait on ourselves; it is restored (and the
+  // store left untouched) on every exit path, including StoreBusyError.
+  dir_lock_.release();
+  FileLock excl;
+  try {
+    excl = FileLock::exclusive(store_lock_path(dir_));
+  } catch (...) {
+    dir_lock_ = FileLock::shared(store_lock_path(dir_));
+    throw;
   }
-  ++next_segment_;
-  for (const std::string& path : old_files) {
-    std::error_code ec;
-    fs::remove(path, ec);  // best effort: a leftover is re-read, not fatal
+  try {
+    // Census from DISK, not from map_: another process may have appended
+    // records this handle never loaded, and every put of our own is
+    // already flushed to our segments — so the on-disk state is the
+    // complete live set.  Refused segments (foreign format versions)
+    // contribute nothing and are left on disk untouched.
+    const std::vector<std::string> old_files = list_segment_files(dir_);
+    std::vector<std::string> deletable;
+    std::unordered_map<ScenarioKey, std::string, ScenarioKeyHash> merged;
+    for (const std::string& path : old_files) {
+      SegmentReadResult seg = read_segment(path);
+      if (seg.version_mismatch) continue;
+      deletable.push_back(path);
+      stats_.torn_frames += seg.torn_frames;
+      for (SegmentEntry& e : seg.entries) merged[e.key] = std::move(e.blob);
+    }
+    // Deterministic compact: live entries in key order, one sealed segment.
+    std::vector<std::pair<ScenarioKey, std::string>> live(merged.begin(), merged.end());
+    std::sort(live.begin(), live.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    {
+      SegmentWriter writer{claim_next_segment(dir_)};
+      for (const auto& [key, blob] : live) stats_.bytes_written += writer.append(key, blob);
+      writer.seal();
+    }
+    for (const std::string& path : deletable) {
+      std::error_code ec;
+      fs::remove(path, ec);  // best effort: a leftover is re-read, not fatal
+    }
+    map_ = std::move(merged);
+    stats_.entries = map_.size();
+  } catch (...) {
+    excl.release();
+    dir_lock_ = FileLock::shared(store_lock_path(dir_));
+    throw;
   }
+  excl.release();
+  dir_lock_ = FileLock::shared(store_lock_path(dir_));
 }
 
 RunStore::Stats RunStore::stats() const {

@@ -20,6 +20,15 @@
 // is a pure function of the keyed inputs, so *which* worker wrote it
 // first can never change a byte of output.
 //
+// Cross-process sharing (the fleet tier, see lockfile.hpp): every open
+// RunStore holds `<dir>/store.lock` SHARED for its lifetime, new
+// segment files are claimed with O_EXCL so two appenders can never
+// clobber one another, and compact() upgrades to an EXCLUSIVE hold and
+// re-censuses the directory from disk — records appended by *other*
+// processes (which this handle never loaded) survive compaction.
+// A compact attempted while another appender is alive throws
+// StoreBusyError and modifies nothing.
+//
 // Observability: hits/misses/appended bytes/torn frames are recorded in
 // an owned obs::MetricsRegistry (store.hits, store.misses,
 // store.bytes_written, store.torn_frames, ...).  The store's snapshot is
@@ -39,27 +48,29 @@
 
 #include "obs/metrics.hpp"
 #include "store/key.hpp"
+#include "store/lockfile.hpp"
 #include "store/segment.hpp"
+#include "store/store.hpp"
 
 namespace mn::store {
 
-class RunStore {
+class RunStore : public Store {
  public:
   /// Opens (creating the directory if needed) and loads every segment.
   /// Throws std::runtime_error when the directory cannot be created or
   /// a segment file cannot be opened at all (corrupt *content* is
   /// tolerated and counted instead).
   explicit RunStore(std::string dir);
-  ~RunStore();
+  ~RunStore() override;
   RunStore(const RunStore&) = delete;
   RunStore& operator=(const RunStore&) = delete;
 
   /// Cached blob for `key`, or nullopt.  Counts store.hits/store.misses.
-  [[nodiscard]] std::optional<std::string> lookup(const ScenarioKey& key);
+  [[nodiscard]] std::optional<std::string> lookup(const ScenarioKey& key) override;
 
   /// Insert/overwrite `key` and append it durably to the active
   /// segment.  Safe to call concurrently with lookups and other puts.
-  void put(const ScenarioKey& key, std::string_view blob);
+  void put(const ScenarioKey& key, std::string_view blob) override;
 
   [[nodiscard]] bool contains(const ScenarioKey& key) const;
   [[nodiscard]] std::size_t size() const;
@@ -71,7 +82,12 @@ class RunStore {
 
   /// Rewrite every live entry into one fresh sealed segment and delete
   /// the old files: superseded duplicates and undecodable frames are
-  /// dropped, disk usage shrinks to the live set.
+  /// dropped, disk usage shrinks to the live set.  Requires exclusive
+  /// directory ownership — throws StoreBusyError (modifying nothing)
+  /// while any other process holds the store open.  The census is taken
+  /// from disk under the lock, so records appended by other processes
+  /// are preserved; refused segments (foreign format versions) are left
+  /// in place untouched.
   void compact();
 
   /// Seal the active segment (if any): subsequent puts open a new one.
@@ -99,18 +115,24 @@ class RunStore {
  private:
   void load_locked();
   void open_writer_locked();
-  [[nodiscard]] std::string segment_path(std::uint64_t index) const;
 
   mutable std::mutex mu_;
   std::string dir_;
+  FileLock dir_lock_;  // shared hold on store.lock for our lifetime
   std::unordered_map<ScenarioKey, std::string, ScenarioKeyHash> map_;
   std::unique_ptr<SegmentWriter> writer_;
-  std::uint64_t next_segment_ = 1;
   Stats stats_;
 };
 
 /// Segment files of `dir` in load order (ascending segment number).
 [[nodiscard]] std::vector<std::string> list_segment_files(const std::string& dir);
+
+/// Atomically claim the next unused segment file name in `dir` via
+/// O_EXCL creation: scans for the highest existing number and creates
+/// the successor, retrying upward on EEXIST — two processes claiming
+/// concurrently always get distinct files.  Returns the claimed path
+/// (created empty; hand it to SegmentWriter).
+[[nodiscard]] std::string claim_next_segment(const std::string& dir);
 
 /// Integrity report over a store directory, without opening a RunStore
 /// (pure read: the CLI's `verify`).

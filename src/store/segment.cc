@@ -53,11 +53,16 @@ std::size_t find_index_offset(std::string_view data) {
 
 }  // namespace
 
-SegmentReadResult read_segment(const std::string& path) {
-  const std::string data = read_file(path);
-  SegmentReadResult res;
+SegmentScan scan_segment(std::string_view data) {
+  SegmentScan res;
 
-  if (data.size() < kHeaderBytes || std::string_view{data}.substr(0, 6) != kSegmentMagic) {
+  if (data.empty()) {
+    // A claimed segment whose writer died before the header: nothing to
+    // read, nothing wrong — the crash-tolerance contract of a torn tail.
+    res.note = "empty segment (claimed, never written)";
+    return res;
+  }
+  if (data.size() < kHeaderBytes || data.substr(0, 6) != kSegmentMagic) {
     res.version_mismatch = true;
     res.note = "not an MNRS1 segment";
     return res;
@@ -111,12 +116,13 @@ SegmentReadResult read_segment(const std::string& path) {
         ++res.torn_frames;
         res.note += "short record at offset " + std::to_string(pos) + "; ";
       } else {
-        SegmentEntry e;
+        ScanEntry e;
         e.key.hi = le_u64(data, pos + kFrameHeaderBytes);
         e.key.lo = le_u64(data, pos + kFrameHeaderBytes + 8);
-        e.blob.assign(payload.substr(kRecordKeyBytes));
         e.offset = pos;
-        res.entries.push_back(std::move(e));
+        e.blob_offset = pos + kFrameHeaderBytes + kRecordKeyBytes;
+        e.blob_len = len - kRecordKeyBytes;
+        res.entries.push_back(e);
       }
     }
     // Stray index frames before the footer's one carry no records; skip.
@@ -148,6 +154,26 @@ SegmentReadResult read_segment(const std::string& path) {
       ++res.torn_frames;
       res.note += "footer present but index frame unreadable; ";
     }
+  }
+  return res;
+}
+
+SegmentReadResult read_segment(const std::string& path) {
+  const std::string data = read_file(path);
+  const SegmentScan scan = scan_segment(data);
+  SegmentReadResult res;
+  res.sealed = scan.sealed;
+  res.version_mismatch = scan.version_mismatch;
+  res.torn_frames = scan.torn_frames;
+  res.truncated_bytes = scan.truncated_bytes;
+  res.note = scan.note;
+  res.entries.reserve(scan.entries.size());
+  for (const ScanEntry& e : scan.entries) {
+    SegmentEntry out;
+    out.key = e.key;
+    out.offset = e.offset;
+    out.blob.assign(data, e.blob_offset, e.blob_len);
+    res.entries.push_back(std::move(out));
   }
   return res;
 }

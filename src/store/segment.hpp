@@ -54,6 +54,34 @@ struct SegmentEntry {
   std::uint64_t offset = 0;  // frame offset in the file (diagnostics)
 };
 
+/// One decodable record located (not copied) by scan_segment: the blob
+/// is a [blob_offset, blob_offset + blob_len) slice of the scanned
+/// buffer.  The basis of the zero-copy mmap views (segment_view.hpp).
+struct ScanEntry {
+  ScenarioKey key;
+  std::uint64_t offset = 0;       // frame offset in the buffer
+  std::uint64_t blob_offset = 0;  // blob bytes start here
+  std::uint64_t blob_len = 0;
+};
+
+struct SegmentScan {
+  std::vector<ScanEntry> entries;  // decodable records, buffer order
+  bool sealed = false;
+  bool version_mismatch = false;
+  std::uint64_t torn_frames = 0;
+  std::uint64_t truncated_bytes = 0;
+  std::string note;
+};
+
+/// Scan one segment *buffer* (a whole file read into memory, or an
+/// mmap'd view of it) with full corruption tolerance: torn tails
+/// truncate, bad-CRC frames skip, foreign magics refuse — identical
+/// semantics to read_segment, which is now a thin copying wrapper.
+/// An empty buffer is a *claimed-but-never-written* segment (a writer
+/// died between O_EXCL claim and header write): zero records, not
+/// damage, not a refusal.
+[[nodiscard]] SegmentScan scan_segment(std::string_view data);
+
 struct SegmentReadResult {
   std::vector<SegmentEntry> entries;  // decodable records, file order
   bool sealed = false;                // valid footer index present

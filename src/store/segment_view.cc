@@ -1,0 +1,74 @@
+#include "store/segment_view.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace mn::store {
+
+MappedSegment::MappedSegment(std::string path) : path_(std::move(path)) {
+  const int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw std::runtime_error("store segment view: cannot open " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("store segment view: fstat " + path_ + ": " +
+                             std::strerror(err));
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error("store segment view: mmap " + path_ + ": " +
+                               std::strerror(err));
+    }
+    base_ = p;
+  }
+  ::close(fd);  // the mapping keeps the pages; the fd is not needed
+  scan_ = scan_segment(data());
+}
+
+MappedSegment::~MappedSegment() { unmap(); }
+
+MappedSegment::MappedSegment(MappedSegment&& other) noexcept
+    : path_(std::move(other.path_)),
+      base_(other.base_),
+      size_(other.size_),
+      scan_(std::move(other.scan_)) {
+  other.base_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedSegment& MappedSegment::operator=(MappedSegment&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    path_ = std::move(other.path_);
+    base_ = other.base_;
+    size_ = other.size_;
+    scan_ = std::move(other.scan_);
+    other.base_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void MappedSegment::unmap() {
+  if (base_ != nullptr) {
+    ::munmap(base_, size_);
+    base_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace mn::store

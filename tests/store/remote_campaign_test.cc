@@ -1,0 +1,208 @@
+// The headline contract of the remote tier: campaign output is
+// byte-identical across {no store, local store, remote store, server
+// killed mid-campaign}, at serial and parallel worker counts — and a
+// fleet of workers sharing one server dedupes work (each missing run
+// executes exactly once).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "measure/campaign.hpp"
+#include "store/remote/client.hpp"
+#include "store/remote/server.hpp"
+#include "store/run_store.hpp"
+
+namespace mn {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<ClusterSpec> tiny_world() {
+  return {make_cluster("FastWiFi", {40.0, -70.0}, 12, 0.10, 14.0),
+          make_cluster("FastLTE", {10.0, 100.0}, 12, 0.85, 4.0)};
+}
+
+CampaignOptions small_campaign() {
+  CampaignOptions opt;
+  opt.run_scale = 0.25;  // 6 runs
+  opt.incomplete_probability = 0.2;
+  opt.fault_probability = 0.15;
+  return opt;
+}
+
+std::string campaign_bytes(const std::vector<RunRecord>& runs) {
+  return to_csv(runs).str() + "\n===\n" + merge_run_metrics(runs).prometheus_text();
+}
+
+class RemoteCampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = fs::path(::testing::TempDir()) /
+            ("rcamp_" + std::string{::testing::UnitTest::GetInstance()
+                                        ->current_test_info()
+                                        ->name()});
+    fs::remove_all(base_);
+    fs::create_directories(base_);
+  }
+  void TearDown() override {
+    stop_server();
+    fs::remove_all(base_);
+  }
+
+  [[nodiscard]] std::string store_dir() const { return (base_ / "store").string(); }
+  [[nodiscard]] std::string sock() const { return (base_ / "mn.sock").string(); }
+
+  void start_server() {
+    server_ = std::make_unique<store::remote::StoreServer>(
+        store::remote::StoreServerOptions{store_dir(), sock()});
+    server_thread_ = std::thread([this] { server_->run(); });
+  }
+  void stop_server() {
+    if (server_) server_->stop();
+    if (server_thread_.joinable()) server_thread_.join();
+    server_.reset();
+  }
+
+  [[nodiscard]] store::remote::RemoteStore make_client(int max_attempts = 3) const {
+    store::remote::RemoteStoreOptions opt;
+    opt.endpoint = sock();
+    opt.max_attempts = max_attempts;
+    opt.initial_backoff = std::chrono::milliseconds{1};
+    opt.max_backoff = std::chrono::milliseconds{5};
+    return store::remote::RemoteStore{std::move(opt)};
+  }
+
+  fs::path base_;
+  std::unique_ptr<store::remote::StoreServer> server_;
+  std::thread server_thread_;
+};
+
+// The golden matrix: every store tier, serial and parallel, one output.
+TEST_F(RemoteCampaignTest, AllStoreTiersAreByteIdenticalAtAnyParallelism) {
+  CampaignOptions opt = small_campaign();
+  opt.parallelism = 0;
+  const std::string golden = campaign_bytes(run_campaign(tiny_world(), opt));
+
+  start_server();
+  for (int workers : {1, 4}) {
+    opt.parallelism = workers;
+
+    // Local tier (its own directory, independent of the server's).
+    {
+      fs::remove_all(base_ / "local");
+      store::RunStore local{(base_ / "local").string()};
+      opt.store = &local;
+      EXPECT_EQ(campaign_bytes(run_campaign(tiny_world(), opt)), golden)
+          << "local cold, workers=" << workers;
+      EXPECT_EQ(campaign_bytes(run_campaign(tiny_world(), opt)), golden)
+          << "local warm, workers=" << workers;
+    }
+
+    // Remote tier: cold on first pass, warm from then on (the server
+    // keeps its store across client sessions and worker counts).
+    auto remote = make_client();
+    opt.store = &remote;
+    EXPECT_EQ(campaign_bytes(run_campaign(tiny_world(), opt)), golden)
+        << "remote, workers=" << workers;
+    EXPECT_EQ(remote.stats().degraded, 0u);
+    opt.store = nullptr;
+  }
+
+  // After the matrix the server's store holds exactly the plan's runs.
+  const auto plans = plan_campaign(tiny_world(), opt);
+  EXPECT_EQ(server_->stats().entries, plans.size());
+}
+
+// A dead server is a slow campaign, never a different campaign.
+TEST_F(RemoteCampaignTest, ServerKilledMidCampaignStillByteIdentical) {
+  CampaignOptions opt = small_campaign();
+  opt.parallelism = 0;
+  const std::string golden = campaign_bytes(run_campaign(tiny_world(), opt));
+
+  start_server();
+  auto remote = make_client(/*max_attempts=*/1);
+  opt.store = &remote;
+
+  // Warm the server with half the plan, then kill it mid-fleet.
+  const auto plans = plan_campaign(tiny_world(), opt);
+  for (std::size_t i = 0; i < plans.size() / 2; ++i) {
+    remote.put(scenario_key(plans[i], opt),
+               serialize_run_record(execute_run(plans[i], opt)));
+  }
+  stop_server();  // SIGKILL-equivalent for the client: connection dies
+
+  for (int workers : {1, 4}) {
+    opt.parallelism = workers;
+    const auto runs = run_campaign(tiny_world(), opt);
+    EXPECT_EQ(campaign_bytes(runs), golden) << "dead server, workers=" << workers;
+    std::size_t failed = 0;
+    for (const auto& r : runs) failed += r.failed ? 1 : 0;
+    EXPECT_EQ(failed, 0u);
+  }
+  EXPECT_GT(remote.stats().degraded, 0u);
+  EXPECT_EQ(remote.stats().hits, 0u);  // every lookup degraded to a miss
+}
+
+// Fleet dedupe: two workers sharing one server — the second worker
+// re-executes nothing.
+TEST_F(RemoteCampaignTest, SecondFleetWorkerRunsNothing) {
+  CampaignOptions opt = small_campaign();
+  opt.parallelism = 2;
+  start_server();
+
+  auto worker1 = make_client();
+  opt.store = &worker1;
+  const auto cold = run_campaign(tiny_world(), opt);
+  EXPECT_EQ(worker1.stats().hits, 0u);
+  EXPECT_EQ(worker1.stats().misses, cold.size());
+  EXPECT_EQ(worker1.stats().puts, cold.size());
+
+  auto worker2 = make_client();
+  opt.store = &worker2;
+  const auto warm = run_campaign(tiny_world(), opt);
+  EXPECT_EQ(campaign_bytes(warm), campaign_bytes(cold));
+  EXPECT_EQ(worker2.stats().hits, warm.size());
+  EXPECT_EQ(worker2.stats().misses, 0u);
+  EXPECT_EQ(worker2.stats().puts, 0u);
+
+  // Each missing run executed exactly once, fleet-wide.
+  EXPECT_EQ(server_->stats().puts, cold.size());
+}
+
+// Sweep and chaos ride the same Store interface — spot-check the sweep
+// through the remote tier.
+TEST_F(RemoteCampaignTest, SweepThroughRemoteTierMatchesBaseline) {
+  LinkSpec wifi;
+  wifi.rate_mbps = 12.0;
+  LinkSpec lte;
+  lte.rate_mbps = 6.0;
+  lte.one_way_delay = msec(30);
+  const MpNetworkSetup net = symmetric_setup(wifi, lte);
+  const TransportConfig config = TransportConfig::mptcp(PathId::kWifi, CcAlgo::kCoupled);
+  const std::vector<std::int64_t> sizes{20'000, 200'000};
+
+  SweepOptions opt;
+  opt.parallelism = 0;
+  const auto baseline = sweep_flow_sizes(net, config, sizes, opt);
+
+  start_server();
+  auto remote = make_client();
+  opt.store = &remote;
+  const auto cold = sweep_flow_sizes(net, config, sizes, opt);
+  const auto warm = sweep_flow_sizes(net, config, sizes, opt);
+  EXPECT_EQ(remote.stats().misses, sizes.size());
+  EXPECT_EQ(remote.stats().hits, sizes.size());
+  ASSERT_EQ(warm.size(), baseline.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(cold[i].throughput_mbps, baseline[i].throughput_mbps);
+    EXPECT_EQ(warm[i].completion_time, baseline[i].completion_time);
+  }
+}
+
+}  // namespace
+}  // namespace mn

@@ -145,8 +145,14 @@ TEST_F(SegmentTest, WrongMagicAndWrongVersionAreRefused) {
   EXPECT_TRUE(r.version_mismatch);
   EXPECT_TRUE(r.entries.empty());  // refused wholesale, never half-read
 
+  // An empty file is NOT a refusal: it is a segment another process
+  // claimed (O_EXCL) and never wrote — the crash window between claim
+  // and header.  Tolerated as zero records so verify stays green.
   spit(path("e.mnrs"), "");
-  EXPECT_TRUE(read_segment(path("e.mnrs")).version_mismatch);
+  const auto empty = read_segment(path("e.mnrs"));
+  EXPECT_FALSE(empty.version_mismatch);
+  EXPECT_EQ(empty.torn_frames, 0u);
+  EXPECT_TRUE(empty.entries.empty());
 }
 
 TEST_F(SegmentTest, EveryPrefixTruncationIsHandledCleanly) {

@@ -1,0 +1,191 @@
+// MNSP1 wire protocol: framing, CRC, versioning, and every body codec
+// must be bit-exact, refuse damage wholesale, and survive arbitrary
+// stream fragmentation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "store/key.hpp"
+#include "store/remote/wire.hpp"
+#include "util/crc32.hpp"
+
+namespace mn::store::wire {
+namespace {
+
+ScenarioKey key_of(std::uint64_t hi, std::uint64_t lo) { return ScenarioKey{hi, lo}; }
+
+TEST(WireTest, FrameRoundTripsEveryOp) {
+  for (Op op : {Op::kPing, Op::kPong, Op::kGet, Op::kGetReply, Op::kMultiGet,
+                Op::kMultiGetReply, Op::kPut, Op::kPutReply, Op::kStats,
+                Op::kStatsReply, Op::kError}) {
+    const std::string body = "body for op " + std::to_string(static_cast<int>(op));
+    FrameParser p;
+    p.feed(encode_frame(op, body));
+    const auto msg = p.next();
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->op, op);
+    EXPECT_EQ(msg->body, body);
+    EXPECT_FALSE(p.next().has_value());
+    EXPECT_EQ(p.buffered(), 0u);
+  }
+}
+
+TEST(WireTest, EncodingIsDeterministic) {
+  // Bit-exact framing: the same logical message is the same bytes, every
+  // time — the KeyBuilder discipline extended to the wire.
+  EXPECT_EQ(encode_frame(Op::kGet, encode_key_body(key_of(1, 2))),
+            encode_frame(Op::kGet, encode_key_body(key_of(1, 2))));
+  EXPECT_NE(encode_frame(Op::kGet, encode_key_body(key_of(1, 2))),
+            encode_frame(Op::kGet, encode_key_body(key_of(2, 1))));
+}
+
+TEST(WireTest, ByteAtATimeFeedingYieldsTheSameMessages) {
+  const std::string stream = encode_frame(Op::kPing, encode_nonce_body(42)) +
+                             encode_frame(Op::kPut, encode_put_body(key_of(7, 9), "blob")) +
+                             encode_frame(Op::kStats, {});
+  FrameParser p;
+  std::vector<Message> got;
+  for (char c : stream) {
+    p.feed({&c, 1});
+    while (auto m = p.next()) got.push_back(std::move(*m));
+  }
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].op, Op::kPing);
+  EXPECT_EQ(decode_nonce_body(got[0].body), 42u);
+  EXPECT_EQ(got[1].op, Op::kPut);
+  const auto [key, blob] = decode_put_body(got[1].body);
+  EXPECT_EQ(key, key_of(7, 9));
+  EXPECT_EQ(blob, "blob");
+  EXPECT_EQ(got[2].op, Op::kStats);
+  EXPECT_TRUE(got[2].body.empty());
+}
+
+TEST(WireTest, EveryFlippedBitIsACrcOrHeaderError) {
+  const std::string frame = encode_frame(Op::kGet, encode_key_body(key_of(3, 4)));
+  int rejected = 0;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    std::string bad = frame;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    FrameParser p;
+    try {
+      p.feed(bad);
+      const auto m = p.next();
+      // A length-field flip may leave the parser waiting for more bytes;
+      // that is fine — what must never happen is a *successful* parse of
+      // damaged bytes.
+      if (m.has_value()) FAIL() << "bit flip at offset " << i << " parsed cleanly";
+    } catch (const WireError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(WireTest, TruncatedFrameIsIncompleteNeverAMessage) {
+  const std::string frame = encode_frame(Op::kPut, encode_put_body(key_of(1, 1), "payload"));
+  for (std::size_t n = 0; n < frame.size(); ++n) {
+    FrameParser p;
+    p.feed(frame.substr(0, n));
+    EXPECT_FALSE(p.next().has_value()) << "prefix of " << n << " bytes";
+  }
+}
+
+TEST(WireTest, ForeignVersionIsRefusedWholesale) {
+  std::string frame = encode_frame(Op::kPing, encode_nonce_body(1));
+  // Payload starts after the 8-byte header; byte 0 is the version.
+  ASSERT_GT(frame.size(), kWireHeaderBytes);
+  frame[kWireHeaderBytes] = static_cast<char>(kWireProtocolVersion + 1);
+  FrameParser p;
+  p.feed(frame);
+  // Version byte is CRC-covered, so this surfaces as CRC damage — the
+  // point is wholesale refusal, not the specific message.
+  EXPECT_THROW((void)p.next(), WireError);
+}
+
+TEST(WireTest, UnknownOpIsRefused) {
+  // Build a frame with a valid CRC but an op no MNSP1 peer sends.
+  const std::string body;
+  std::string payload;
+  payload.push_back(static_cast<char>(kWireProtocolVersion));
+  payload.push_back(static_cast<char>(0x7F));
+  std::string frame = encode_frame(Op::kPing, {});
+  // Cheaper: corrupting op via re-encode — craft through the public API
+  // by checking the parser's known-op validation with a raw frame.
+  (void)frame;
+  FrameParser p;
+  // Frame the payload manually: len + crc + payload.
+  std::string raw;
+  const auto put_u32 = [&raw](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) raw.push_back(static_cast<char>(v >> (i * 8)));
+  };
+  put_u32(static_cast<std::uint32_t>(payload.size()));
+  put_u32(mn::crc32(payload));
+  raw += payload;
+  p.feed(raw);
+  EXPECT_THROW((void)p.next(), WireError);
+}
+
+TEST(WireTest, ImplausibleLengthIsRefusedImmediately) {
+  std::string raw;
+  const std::uint32_t huge = kMaxWirePayload + 1;
+  for (int i = 0; i < 4; ++i) raw.push_back(static_cast<char>(huge >> (i * 8)));
+  raw += std::string(4, '\0');
+  FrameParser p;
+  p.feed(raw);
+  EXPECT_THROW((void)p.next(), WireError);
+}
+
+TEST(WireTest, KeysBodyRoundTripsAndValidatesSize) {
+  std::vector<ScenarioKey> keys;
+  for (std::uint64_t i = 0; i < 300; ++i) keys.push_back(key_of(i, ~i));
+  const std::string body = encode_keys_body(keys);
+  EXPECT_EQ(decode_keys_body(body), keys);
+  // A trailing half-key is malformed, not silently dropped.
+  EXPECT_THROW((void)decode_keys_body(body.substr(0, body.size() - 3)), WireError);
+}
+
+TEST(WireTest, BlobRepliesDistinguishMissFromEmptyBlob) {
+  EXPECT_EQ(decode_blob_reply(encode_blob_reply(std::nullopt)), std::nullopt);
+  EXPECT_EQ(decode_blob_reply(encode_blob_reply(std::string_view{""})), "");
+  EXPECT_EQ(decode_blob_reply(encode_blob_reply(std::string_view{"x"})), "x");
+
+  const std::vector<std::optional<std::string_view>> blobs{
+      std::nullopt, std::string_view{""}, std::string_view{"abc"}};
+  const auto back = decode_blobs_reply(encode_blobs_reply(blobs));
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_FALSE(back[0].has_value());
+  EXPECT_EQ(back[1], "");
+  EXPECT_EQ(back[2], "abc");
+}
+
+TEST(WireTest, StatsReplyRoundTripsEveryField) {
+  WireStats s;
+  s.entries = 1;
+  s.segments = 2;
+  s.hits = 3;
+  s.misses = 4;
+  s.gets = 5;
+  s.multi_gets = 6;
+  s.puts = 7;
+  s.bytes_appended = 8;
+  s.connections = 9;
+  s.protocol_errors = 10;
+  EXPECT_EQ(decode_stats_reply(encode_stats_reply(s)), s);
+}
+
+TEST(WireTest, ErrorBodyRoundTrips) {
+  EXPECT_EQ(decode_error_body(encode_error_body("bad version")), "bad version");
+}
+
+TEST(WireTest, MalformedBodiesThrowNeverCrash) {
+  EXPECT_THROW((void)decode_nonce_body("short"), WireError);
+  EXPECT_THROW((void)decode_key_body("0123456789"), WireError);
+  EXPECT_THROW((void)decode_put_body("tiny"), WireError);
+  EXPECT_THROW((void)decode_status_body(""), WireError);
+  EXPECT_THROW((void)decode_stats_reply("x"), WireError);
+  EXPECT_THROW((void)decode_blob_reply(""), WireError);
+}
+
+}  // namespace
+}  // namespace mn::store::wire

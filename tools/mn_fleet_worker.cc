@@ -1,0 +1,124 @@
+// mn_fleet_worker: one worker of a fleet campaign, for CI smoke tests
+// and multi-process experiments.
+//
+//   mn_fleet_worker --out <csv> [--store <dir> | --remote <endpoint>]
+//                   [--threads N] [--run-scale X]
+//
+// Runs the deterministic quickstart-sized campaign (the same tiny world
+// the store tests use) and writes its CSV + merged metrics to --out.
+// With --remote it attaches a RemoteStore client to a `mn_store serve`
+// endpoint; with --store, a local RunStore; with neither, storeless.
+// Whatever the store tier does — cold, warm, shared, dead mid-run — the
+// output bytes must be identical, which is exactly what CI diffs.
+//
+// After the run it prints one machine-greppable line per store counter:
+//
+//   fleet-worker remote.hits=12 remote.misses=0 ...
+//
+// so scripts can assert "worker 2 ran zero runs" without parsing logs.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "measure/campaign.hpp"
+#include "store/remote/client.hpp"
+#include "store/run_store.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: mn_fleet_worker --out <csv> [--store <dir> | --remote <endpoint>]\n"
+               "                       [--threads N] [--run-scale X]\n";
+  return 2;
+}
+
+std::vector<mn::ClusterSpec> fleet_world() {
+  // Same two-cluster world as the store tests: small enough for CI,
+  // rich enough to exercise WiFi-favored and LTE-favored runs.
+  return {mn::make_cluster("FastWiFi", {40.0, -70.0}, 12, 0.10, 14.0),
+          mn::make_cluster("FastLTE", {10.0, 100.0}, 12, 0.85, 4.0)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string store_dir;
+  std::string remote_endpoint;
+  int threads = -1;         // follow MN_THREADS
+  double run_scale = 0.25;  // 6 runs
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : nullptr; };
+    if (arg == "--out") {
+      if (const char* v = next()) out_path = v; else return usage();
+    } else if (arg == "--store") {
+      if (const char* v = next()) store_dir = v; else return usage();
+    } else if (arg == "--remote") {
+      if (const char* v = next()) remote_endpoint = v; else return usage();
+    } else if (arg == "--threads") {
+      if (const char* v = next()) threads = std::atoi(v); else return usage();
+    } else if (arg == "--run-scale") {
+      if (const char* v = next()) run_scale = std::atof(v); else return usage();
+    } else {
+      return usage();
+    }
+  }
+  if (out_path.empty() || (!store_dir.empty() && !remote_endpoint.empty())) return usage();
+
+  try {
+    mn::CampaignOptions opt;
+    opt.run_scale = run_scale;
+    opt.incomplete_probability = 0.2;
+    opt.fault_probability = 0.15;
+    opt.parallelism = threads;
+
+    std::unique_ptr<mn::store::RunStore> local;
+    std::unique_ptr<mn::store::remote::RemoteStore> remote;
+    if (!store_dir.empty()) {
+      local = std::make_unique<mn::store::RunStore>(store_dir);
+      opt.store = local.get();
+    } else if (!remote_endpoint.empty()) {
+      mn::store::remote::RemoteStoreOptions ropt;
+      ropt.endpoint = remote_endpoint;
+      remote = std::make_unique<mn::store::remote::RemoteStore>(std::move(ropt));
+      opt.store = remote.get();
+    }
+
+    const auto runs = mn::run_campaign(fleet_world(), opt);
+
+    std::ofstream out{out_path, std::ios::binary | std::ios::trunc};
+    if (!out) {
+      std::cerr << "mn_fleet_worker: cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << mn::to_csv(runs).str() << "\n===\n"
+        << mn::merge_run_metrics(runs).prometheus_text();
+    out.close();
+
+    std::size_t failed = 0;
+    for (const auto& r : runs) failed += r.failed ? 1 : 0;
+
+    std::cout << "fleet-worker runs=" << runs.size() << " failed=" << failed;
+    if (local) {
+      const auto s = local->stats();
+      std::cout << " local.hits=" << s.hits << " local.misses=" << s.misses
+                << " local.puts=" << s.puts;
+    }
+    if (remote) {
+      const auto s = remote->stats();
+      std::cout << " remote.hits=" << s.hits << " remote.misses=" << s.misses
+                << " remote.puts=" << s.puts << " remote.degraded=" << s.degraded
+                << " remote.reconnects=" << s.reconnects;
+    }
+    std::cout << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "mn_fleet_worker: " << e.what() << "\n";
+    return 1;
+  }
+}
